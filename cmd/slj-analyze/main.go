@@ -1,0 +1,119 @@
+// Command slj-analyze runs the full motion-analysis pipeline on a clip and
+// prints the jump score report, the detected phases, and (optionally) the
+// per-frame silhouettes as ASCII art.
+//
+// Input is either a directory of frame_NN.ppm files produced by slj-synth
+// (or any camera pipeline), or — with -synthetic — a freshly generated clip.
+// The manual first-frame stick figure required by the paper is read from
+// the truth file when present, otherwise derived from a synthetic
+// annotation.
+//
+// Usage:
+//
+//	slj-analyze -synthetic [-defect NAME] [-seed S] [-ascii]
+//	slj-analyze -in DIR [-ascii]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/sljmotion/sljmotion"
+	"github.com/sljmotion/sljmotion/internal/clipio"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slj-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "input directory with frame_NN.ppm (+ optional truth.txt)")
+		synthetic = flag.Bool("synthetic", false, "generate a synthetic clip instead of reading -in")
+		defect    = flag.String("defect", "none", "planted defect for -synthetic")
+		seed      = flag.Int64("seed", 1, "seed for -synthetic")
+		ascii     = flag.Bool("ascii", false, "print per-frame silhouettes as ASCII art")
+		detect    = flag.Bool("detect-windows", false, "use detected takeoff/landing windows instead of the paper's fixed windows")
+	)
+	flag.Parse()
+
+	var frames []*sljmotion.Image
+	var manual sljmotion.Pose
+	var pxPerMeter float64
+
+	switch {
+	case *synthetic:
+		p := synth.DefaultJumpParams()
+		p.Seed = *seed
+		switch *defect {
+		case "none", "":
+		default:
+			found := false
+			for _, c := range synth.DefectClips(p) {
+				if c.Name == *defect {
+					p.Defects = c.Defects
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown defect %q", *defect)
+			}
+		}
+		v, err := synth.Generate(p)
+		if err != nil {
+			return err
+		}
+		frames = v.Frames
+		manual = v.ManualAnnotation(synth.DefaultAnnotationError(), *seed)
+		pxPerMeter = p.PxPerMeter()
+	case *in != "":
+		var err error
+		frames, err = clipio.ReadFrames(*in)
+		if err != nil {
+			return err
+		}
+		manual, err = clipio.ReadManualPose(filepath.Join(*in, "truth.txt"))
+		if err != nil {
+			return fmt.Errorf("first-frame stick figure: %w (provide truth.txt)", err)
+		}
+	default:
+		return fmt.Errorf("need -in DIR or -synthetic")
+	}
+
+	cfg := sljmotion.DefaultConfig()
+	cfg.PxPerMeter = pxPerMeter
+	if *detect {
+		cfg.Windows = sljmotion.WindowsDetected
+	}
+	an, err := sljmotion.NewAnalyzer(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := an.Analyze(frames, manual)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("frames: %d   takeoff: f%d   landing: f%d   distance: %.0f px",
+		len(frames), res.Track.TakeoffFrame, res.Track.LandingFrame, res.Track.JumpDistancePx)
+	if res.Track.JumpDistanceM > 0 {
+		fmt.Printf(" (%.2f m)", res.Track.JumpDistanceM)
+	}
+	fmt.Println()
+	fmt.Print(res.Report.String())
+
+	if *ascii {
+		for k, s := range res.Silhouettes {
+			fmt.Printf("--- frame %02d (phase %s) ---\n", k, res.Track.Phases[k])
+			fmt.Print(sljmotion.ASCIIMask(s.Mask, 72))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// Command slj-bench regenerates every figure and table of the paper's
+// evaluation plus the ablations of DESIGN.md §4, printing paper-vs-measured
+// rows for each (the data behind EXPERIMENTS.md).
+//
+// Usage:
+//
+//	slj-bench [-seed S] [-figures] [-only ID]
+//
+// -figures additionally prints the ASCII figure artefacts. -only restricts
+// the run to one experiment id (F1..F7, T1, T2, T2est, A1..A4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/sljmotion/sljmotion/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slj-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed    = flag.Int64("seed", 1, "workload seed")
+		figures = flag.Bool("figures", false, "print ASCII figure artefacts")
+		only    = flag.String("only", "", "run a single experiment id")
+	)
+	flag.Parse()
+
+	type exp struct {
+		id  string
+		run func() (*experiments.Report, error)
+	}
+	all := []exp{
+		{"F1", func() (*experiments.Report, error) { return experiments.Figure1(*seed) }},
+		{"F2", func() (*experiments.Report, error) { return experiments.Figure2(*seed) }},
+		{"F3", func() (*experiments.Report, error) { return experiments.Figure3(*seed) }},
+		{"F4", func() (*experiments.Report, error) { return experiments.Figure4() }},
+		{"F5", func() (*experiments.Report, error) { return experiments.Figure5() }},
+		{"F6", func() (*experiments.Report, error) { return experiments.Figure6(*seed) }},
+		{"F7", func() (*experiments.Report, error) {
+			rep, _, err := experiments.Figure7(*seed)
+			return rep, err
+		}},
+		{"T1", func() (*experiments.Report, error) { return experiments.Table1() }},
+		{"T2", func() (*experiments.Report, error) {
+			rep, _, err := experiments.Table2(*seed, false)
+			return rep, err
+		}},
+		{"T2est", func() (*experiments.Report, error) {
+			rep, _, err := experiments.Table2(*seed, true)
+			return rep, err
+		}},
+		{"A1", func() (*experiments.Report, error) {
+			rep, _, err := experiments.AblationSeeding(*seed)
+			return rep, err
+		}},
+		{"A2", func() (*experiments.Report, error) { return experiments.AblationBackground(*seed) }},
+		{"A3", func() (*experiments.Report, error) { return experiments.AblationShadow(*seed) }},
+		{"A4", func() (*experiments.Report, error) { return experiments.AblationTracking(*seed) }},
+	}
+
+	failures := 0
+	for _, e := range all {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		rep, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Print(rep.String())
+		if *figures && len(rep.Figures) > 0 {
+			captions := make([]string, 0, len(rep.Figures))
+			for c := range rep.Figures {
+				captions = append(captions, c)
+			}
+			sort.Strings(captions)
+			for _, c := range captions {
+				fmt.Printf("  [%s]\n%s\n", c, rep.Figures[c])
+			}
+		}
+		if !rep.OK() {
+			failures++
+		}
+		fmt.Println()
+	}
+	if failures > 0 {
+		fmt.Printf("%d experiment(s) had mismatching rows\n", failures)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command slj-serve runs the web service the paper names as future work:
+// upload a standing-long-jump clip, receive a JSON analysis with scores and
+// advice.
+//
+// Usage:
+//
+//	slj-serve [-addr :8080]
+//
+// Endpoints:
+//
+//	POST /analyze  multipart form: 'frames' = PPM files (ordered by name),
+//	               'truth' = truth.txt with the manual first-frame pose,
+//	               optional 'poses=1' to include per-frame stick models.
+//	GET  /rules    the encoded Tables 1-2.
+//	GET  /healthz  liveness + clips analysed.
+//
+// Example round trip against a synthetic clip:
+//
+//	slj-synth -out /tmp/clip
+//	curl -s -X POST http://localhost:8080/analyze \
+//	  $(for f in /tmp/clip/frame_*.ppm; do printf ' -F frames=@%s' "$f"; done) \
+//	  -F truth=@/tmp/clip/truth.txt | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slj-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "slj-serve ", log.LstdFlags)
+	srv, err := server.New(core.DefaultConfig(), logger)
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Printf("listening on %s", *addr)
+	return httpServer.ListenAndServe()
+}

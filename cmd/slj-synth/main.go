@@ -1,0 +1,96 @@
+// Command slj-synth renders synthetic standing-long-jump clips (the data
+// substrate replacing the paper's CCD footage) and writes the frames as PPM
+// files plus a ground-truth pose file.
+//
+// Usage:
+//
+//	slj-synth -out DIR [-frames N] [-w W] [-h H] [-seed S] [-defect NAME]
+//
+// Defect names: none, no-knee-bend, no-neck-bend, no-arm-backswing,
+// straight-arms, no-air-knee-bend, upright-trunk, no-arm-forward.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/sljmotion/sljmotion/internal/clipio"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slj-synth:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out    = flag.String("out", "", "output directory (required)")
+		frames = flag.Int("frames", 20, "number of frames")
+		width  = flag.Int("w", 192, "frame width")
+		height = flag.Int("h", 144, "frame height")
+		seed   = flag.Int64("seed", 1, "render seed")
+		defect = flag.String("defect", "none", "planted form defect")
+	)
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	p := synth.DefaultJumpParams()
+	p.Frames = *frames
+	p.W, p.H = *width, *height
+	p.Seed = *seed
+	var ok bool
+	p.Defects, ok = defectByName(*defect)
+	if !ok {
+		return fmt.Errorf("unknown defect %q", *defect)
+	}
+
+	v, err := synth.Generate(p)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	if err := clipio.WriteFrames(*out, v.Frames); err != nil {
+		return err
+	}
+	if err := imaging.WritePPMFile(filepath.Join(*out, "background.ppm"), v.Background); err != nil {
+		return err
+	}
+	if err := clipio.WritePosesFile(filepath.Join(*out, "truth.txt"), v.Truth); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d frames + background + truth to %s\n", len(v.Frames), *out)
+	return nil
+}
+
+func defectByName(name string) (synth.FormDefects, bool) {
+	switch name {
+	case "none", "":
+		return synth.FormDefects{}, true
+	case "no-knee-bend":
+		return synth.FormDefects{NoKneeBend: true}, true
+	case "no-neck-bend":
+		return synth.FormDefects{NoNeckBend: true}, true
+	case "no-arm-backswing":
+		return synth.FormDefects{NoArmBackswing: true}, true
+	case "straight-arms":
+		return synth.FormDefects{StraightArms: true}, true
+	case "no-air-knee-bend":
+		return synth.FormDefects{NoAirKneeBend: true}, true
+	case "upright-trunk":
+		return synth.FormDefects{UprightTrunk: true}, true
+	case "no-arm-forward":
+		return synth.FormDefects{NoArmForward: true}, true
+	default:
+		return synth.FormDefects{}, false
+	}
+}

@@ -1,0 +1,43 @@
+// Quickstart: analyse one standing long jump end to end and print the
+// score report with advice — the minimal use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/sljmotion/sljmotion"
+)
+
+func main() {
+	// 1. Obtain a clip. Real deployments read PPM frames from a camera
+	//    pipeline (sljmotion.ReadPPMFile); here we render the synthetic
+	//    jump that substitutes for the paper's CCD footage.
+	video, err := sljmotion.GenerateSyntheticJump(sljmotion.DefaultJumpParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The paper's method needs a hand-drawn stick figure for the first
+	//    frame; the synthetic substrate simulates the trained person's
+	//    annotation.
+	manual := video.ManualAnnotation(sljmotion.DefaultAnnotationError(), 1)
+
+	// 3. Run the full pipeline: segmentation → GA pose estimation →
+	//    tracking → scoring.
+	analyzer, err := sljmotion.NewAnalyzer(sljmotion.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := analyzer.Analyze(video.Frames, manual)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Use the results.
+	fmt.Printf("takeoff at frame %d, landing at frame %d\n",
+		result.Track.TakeoffFrame, result.Track.LandingFrame)
+	fmt.Printf("jump distance: %.0f px\n", result.Track.JumpDistancePx)
+	fmt.Println()
+	fmt.Print(result.Report.String())
+}

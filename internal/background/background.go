@@ -1,0 +1,260 @@
+// Package background implements Step 1 and Step 2 of the paper's
+// segmentation pipeline: estimating the static background of a video
+// sequence by temporal change detection, and subtracting that background
+// from each frame to obtain a raw foreground mask.
+//
+// Besides the paper's change-detection estimator, the package provides
+// median and running-mean estimators used as ablation baselines
+// (experiment A2 in DESIGN.md).
+package background
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+)
+
+// ErrNoFrames is returned when an estimator receives an empty sequence.
+var ErrNoFrames = errors.New("background: no frames")
+
+// Estimator builds a background image from a frame sequence.
+type Estimator interface {
+	// Estimate returns the background for the given video sequence.
+	// All frames must share one size.
+	Estimate(frames []*imaging.Image) (*imaging.Image, error)
+}
+
+// ChangeDetection is the paper's Step 1 estimator: "pixels with a very small
+// change in two consecutive frames are saved as part of the background",
+// scanned from the first pair to the last pair. The background value of a
+// pixel is the per-channel median of its stable observations — a median
+// rather than a mean so that a subject standing still for a few frames
+// cannot bleed into the estimate (ghosting). Pixels that are never stable
+// fall back to a temporal median over all frames so the estimator is total.
+type ChangeDetection struct {
+	// StabilityThreshold is the maximum per-channel intensity change between
+	// consecutive frames for a pixel to count as background (paper: "very
+	// small change"). Values ≤ 0 select the calibrated default.
+	StabilityThreshold int
+}
+
+// DefaultStabilityThreshold is the calibrated "very small change" bound
+// (DESIGN.md §7).
+const DefaultStabilityThreshold = 6
+
+var _ Estimator = (*ChangeDetection)(nil)
+
+// Estimate implements Estimator.
+func (c *ChangeDetection) Estimate(frames []*imaging.Image) (*imaging.Image, error) {
+	if len(frames) == 0 {
+		return nil, ErrNoFrames
+	}
+	if err := checkSameSize(frames); err != nil {
+		return nil, err
+	}
+	if len(frames) == 1 {
+		return frames[0].Clone(), nil
+	}
+	tau := c.StabilityThreshold
+	if tau <= 0 {
+		tau = DefaultStabilityThreshold
+	}
+
+	w, h := frames[0].W, frames[0].H
+	n := w * h
+	// stable[i] holds the colours observed at pixel i whenever consecutive
+	// frames agreed within tau. Bounded by the number of frame pairs.
+	stable := make([][]imaging.Color, n)
+
+	for k := 0; k+1 < len(frames); k++ {
+		a, b := frames[k], frames[k+1]
+		for i := 0; i < n; i++ {
+			if a.Pix[i].MaxChanDiff(b.Pix[i]) <= tau {
+				stable[i] = append(stable[i], b.Pix[i])
+			}
+		}
+	}
+
+	bg := imaging.NewImage(w, h)
+	var unstable []int
+	rs := make([]uint8, 0, len(frames))
+	gs := make([]uint8, 0, len(frames))
+	bs := make([]uint8, 0, len(frames))
+	for i := 0; i < n; i++ {
+		if len(stable[i]) == 0 {
+			unstable = append(unstable, i)
+			continue
+		}
+		rs, gs, bs = rs[:0], gs[:0], bs[:0]
+		for _, c := range stable[i] {
+			rs = append(rs, c.R)
+			gs = append(gs, c.G)
+			bs = append(bs, c.B)
+		}
+		bg.Pix[i] = imaging.Color{R: medianU8(rs), G: medianU8(gs), B: medianU8(bs)}
+	}
+	if len(unstable) > 0 {
+		med := medianPixels(frames, unstable)
+		for j, i := range unstable {
+			bg.Pix[i] = med[j]
+		}
+	}
+	return bg, nil
+}
+
+// Median estimates the background as the per-pixel temporal median. It is a
+// strong classical baseline used in ablation A2.
+type Median struct{}
+
+var _ Estimator = (*Median)(nil)
+
+// Estimate implements Estimator.
+func (Median) Estimate(frames []*imaging.Image) (*imaging.Image, error) {
+	if len(frames) == 0 {
+		return nil, ErrNoFrames
+	}
+	if err := checkSameSize(frames); err != nil {
+		return nil, err
+	}
+	w, h := frames[0].W, frames[0].H
+	n := w * h
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	med := medianPixels(frames, idx)
+	bg := imaging.NewImage(w, h)
+	copy(bg.Pix, med)
+	return bg, nil
+}
+
+// RunningMean estimates the background as an exponentially weighted running
+// mean with learning rate Alpha in (0,1]. Ablation baseline: it smears the
+// moving object into the background, which the harness quantifies.
+type RunningMean struct {
+	// Alpha is the per-frame learning rate; values ≤ 0 select 0.1.
+	Alpha float64
+}
+
+var _ Estimator = (*RunningMean)(nil)
+
+// Estimate implements Estimator.
+func (r *RunningMean) Estimate(frames []*imaging.Image) (*imaging.Image, error) {
+	if len(frames) == 0 {
+		return nil, ErrNoFrames
+	}
+	if err := checkSameSize(frames); err != nil {
+		return nil, err
+	}
+	alpha := r.Alpha
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	w, h := frames[0].W, frames[0].H
+	n := w * h
+	accR := make([]float64, n)
+	accG := make([]float64, n)
+	accB := make([]float64, n)
+	for i, p := range frames[0].Pix {
+		accR[i], accG[i], accB[i] = float64(p.R), float64(p.G), float64(p.B)
+	}
+	for _, f := range frames[1:] {
+		for i, p := range f.Pix {
+			accR[i] += alpha * (float64(p.R) - accR[i])
+			accG[i] += alpha * (float64(p.G) - accG[i])
+			accB[i] += alpha * (float64(p.B) - accB[i])
+		}
+	}
+	bg := imaging.NewImage(w, h)
+	for i := range bg.Pix {
+		bg.Pix[i] = imaging.Color{R: uint8(accR[i] + 0.5), G: uint8(accG[i] + 0.5), B: uint8(accB[i] + 0.5)}
+	}
+	return bg, nil
+}
+
+// DefaultSubtractThreshold is the calibrated foreground threshold for
+// Subtract (DESIGN.md §7).
+const DefaultSubtractThreshold = 28
+
+// Subtract implements Step 2: pixels whose max-channel difference from the
+// background exceeds threshold become foreground. threshold ≤ 0 selects the
+// calibrated default.
+func Subtract(frame, bg *imaging.Image, threshold int) (*imaging.Mask, error) {
+	if !frame.SameSize(bg) {
+		return nil, fmt.Errorf("subtract %dx%d vs %dx%d: %w",
+			frame.W, frame.H, bg.W, bg.H, imaging.ErrSizeMismatch)
+	}
+	if threshold <= 0 {
+		threshold = DefaultSubtractThreshold
+	}
+	m := imaging.NewMask(frame.W, frame.H)
+	for i := range frame.Pix {
+		if frame.Pix[i].MaxChanDiff(bg.Pix[i]) > threshold {
+			m.Bits[i] = true
+		}
+	}
+	return m, nil
+}
+
+// RMSE returns the root-mean-square error between two images over all
+// channels; the harness uses it to compare estimated and true backgrounds.
+func RMSE(a, b *imaging.Image) (float64, error) {
+	if !a.SameSize(b) {
+		return 0, fmt.Errorf("rmse: %w", imaging.ErrSizeMismatch)
+	}
+	var sum float64
+	for i := range a.Pix {
+		dr := float64(a.Pix[i].R) - float64(b.Pix[i].R)
+		dg := float64(a.Pix[i].G) - float64(b.Pix[i].G)
+		db := float64(a.Pix[i].B) - float64(b.Pix[i].B)
+		sum += dr*dr + dg*dg + db*db
+	}
+	n := float64(len(a.Pix) * 3)
+	return math.Sqrt(sum / n), nil
+}
+
+func checkSameSize(frames []*imaging.Image) error {
+	for i, f := range frames[1:] {
+		if !frames[0].SameSize(f) {
+			return fmt.Errorf("frame %d is %dx%d, frame 0 is %dx%d: %w",
+				i+1, f.W, f.H, frames[0].W, frames[0].H, imaging.ErrSizeMismatch)
+		}
+	}
+	return nil
+}
+
+// medianPixels returns the per-pixel temporal median colour for the given
+// pixel indices.
+func medianPixels(frames []*imaging.Image, idx []int) []imaging.Color {
+	out := make([]imaging.Color, len(idx))
+	rs := make([]uint8, len(frames))
+	gs := make([]uint8, len(frames))
+	bs := make([]uint8, len(frames))
+	for j, i := range idx {
+		for k, f := range frames {
+			rs[k], gs[k], bs[k] = f.Pix[i].R, f.Pix[i].G, f.Pix[i].B
+		}
+		out[j] = imaging.Color{R: medianU8(rs), G: medianU8(gs), B: medianU8(bs)}
+	}
+	return out
+}
+
+// medianU8 computes the median via a 256-bin counting pass, O(n+256),
+// without mutating its input.
+func medianU8(v []uint8) uint8 {
+	var hist [256]int
+	for _, x := range v {
+		hist[x]++
+	}
+	half := (len(v) + 1) / 2
+	run := 0
+	for i, c := range hist {
+		run += c
+		if run >= half {
+			return uint8(i)
+		}
+	}
+	return 0
+}

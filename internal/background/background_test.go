@@ -1,0 +1,222 @@
+package background
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+)
+
+// movingBoxSequence renders a static scene with a box marching across it,
+// the canonical workload for background estimation.
+func movingBoxSequence(n, w, h int, noise float64, seed int64) (frames []*imaging.Image, scene *imaging.Image) {
+	rng := rand.New(rand.NewSource(seed))
+	scene = imaging.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			scene.Set(x, y, imaging.Color{R: uint8(100 + x%20), G: uint8(120 + y%10), B: 90})
+		}
+	}
+	for k := 0; k < n; k++ {
+		f := scene.Clone()
+		bx := 4 + k*3
+		imaging.FillRect(f, imaging.Rect{X0: bx, Y0: h / 3, X1: bx + 8, Y1: h/3 + 12}, imaging.Red)
+		if noise > 0 {
+			for i := range f.Pix {
+				d := int(rng.NormFloat64() * noise)
+				c := f.Pix[i]
+				f.Pix[i] = imaging.Color{
+					R: clamp8(int(c.R) + d), G: clamp8(int(c.G) + d), B: clamp8(int(c.B) + d),
+				}
+			}
+		}
+		frames = append(frames, f)
+	}
+	return frames, scene
+}
+
+func clamp8(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func TestChangeDetectionRecoversScene(t *testing.T) {
+	frames, scene := movingBoxSequence(16, 64, 48, 1.2, 1)
+	est := &ChangeDetection{}
+	bg, err := est.Estimate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := RMSE(bg, scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 8 {
+		t.Errorf("background RMSE = %.2f, want <= 8", rmse)
+	}
+}
+
+func TestChangeDetectionGhostResistance(t *testing.T) {
+	// The box sits still for the first 5 frames, then moves away. The
+	// median-of-stable estimator must not keep the box (ghost) in the
+	// background.
+	scene := imaging.NewImageFilled(40, 30, imaging.Color{R: 100, G: 100, B: 100})
+	var frames []*imaging.Image
+	for k := 0; k < 14; k++ {
+		f := scene.Clone()
+		if k < 5 {
+			imaging.FillRect(f, imaging.Rect{X0: 10, Y0: 10, X1: 18, Y1: 20}, imaging.Red)
+		}
+		frames = append(frames, f)
+	}
+	bg, err := (&ChangeDetection{}).Estimate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.At(14, 15).MaxChanDiff(scene.At(14, 15)) > 10 {
+		t.Errorf("ghost in background: %v", bg.At(14, 15))
+	}
+}
+
+func TestChangeDetectionSingleFrame(t *testing.T) {
+	frames, _ := movingBoxSequence(1, 16, 16, 0, 1)
+	bg, err := (&ChangeDetection{}).Estimate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bg.SameSize(frames[0]) {
+		t.Error("single-frame estimate must echo the frame")
+	}
+}
+
+func TestEstimatorsRejectEmptyAndMismatched(t *testing.T) {
+	ests := []Estimator{&ChangeDetection{}, Median{}, &RunningMean{}}
+	for _, est := range ests {
+		if _, err := est.Estimate(nil); err == nil {
+			t.Errorf("%T: expected error for empty input", est)
+		}
+		frames := []*imaging.Image{imaging.NewImage(4, 4), imaging.NewImage(5, 4)}
+		if _, err := est.Estimate(frames); err == nil {
+			t.Errorf("%T: expected size mismatch error", est)
+		}
+	}
+}
+
+func TestMedianEstimator(t *testing.T) {
+	frames, scene := movingBoxSequence(15, 48, 36, 0, 2)
+	bg, err := Median{}.Estimate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := RMSE(bg, scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 6 {
+		t.Errorf("median RMSE = %.2f, want <= 6", rmse)
+	}
+}
+
+func TestRunningMeanSmearsMovingObject(t *testing.T) {
+	// The running mean is the weak baseline: it must show a higher error
+	// than the median on the same sequence (the ablation A2 shape).
+	frames, scene := movingBoxSequence(15, 48, 36, 0, 3)
+	mean, err := (&RunningMean{Alpha: 0.3}).Estimate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := Median{}.Estimate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmseMean, _ := RMSE(mean, scene)
+	rmseMed, _ := RMSE(med, scene)
+	if rmseMean <= rmseMed {
+		t.Errorf("running mean RMSE %.2f should exceed median %.2f", rmseMean, rmseMed)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	bg := imaging.NewImageFilled(20, 20, imaging.Gray5)
+	frame := bg.Clone()
+	imaging.FillRect(frame, imaging.Rect{X0: 5, Y0: 5, X1: 9, Y1: 9}, imaging.Red)
+	m, err := Subtract(frame, bg, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 25 {
+		t.Errorf("foreground = %d px, want 25", m.Count())
+	}
+	if !m.At(7, 7) || m.At(0, 0) {
+		t.Error("foreground location wrong")
+	}
+}
+
+func TestSubtractThresholdBehaviour(t *testing.T) {
+	bg := imaging.NewImageFilled(4, 4, imaging.Color{R: 100, G: 100, B: 100})
+	frame := imaging.NewImageFilled(4, 4, imaging.Color{R: 120, G: 100, B: 100})
+	m, err := Subtract(frame, bg, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Empty() {
+		t.Error("20-level change under threshold 25 must not trigger")
+	}
+	m, err = Subtract(frame, bg, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 16 {
+		t.Error("20-level change over threshold 15 must trigger everywhere")
+	}
+	// Threshold <= 0 selects the calibrated default.
+	if _, err := Subtract(frame, bg, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtractSizeMismatch(t *testing.T) {
+	if _, err := Subtract(imaging.NewImage(3, 3), imaging.NewImage(4, 4), 10); err == nil {
+		t.Error("expected size mismatch error")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	a := imaging.NewImageFilled(2, 2, imaging.Color{R: 10, G: 10, B: 10})
+	b := imaging.NewImageFilled(2, 2, imaging.Color{R: 13, G: 6, B: 10})
+	got, err := RMSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// per-pixel squared error = 9 + 16 + 0 = 25; mean over 3 channels.
+	want := 2.886751 // sqrt(25/3)
+	if diff := got - want; diff > 1e-4 || diff < -1e-4 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if _, err := RMSE(a, imaging.NewImage(3, 3)); err == nil {
+		t.Error("expected size mismatch error")
+	}
+}
+
+func TestMedianU8(t *testing.T) {
+	tests := []struct {
+		in   []uint8
+		want uint8
+	}{
+		{[]uint8{5}, 5},
+		{[]uint8{1, 2, 3}, 2},
+		{[]uint8{1, 2, 3, 4}, 2},
+		{[]uint8{9, 9, 0, 0, 9}, 9},
+		{[]uint8{255, 0, 128}, 128},
+	}
+	for _, tt := range tests {
+		if got := medianU8(tt.in); got != tt.want {
+			t.Errorf("medianU8(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package core composes the paper's full system: Section 2 segmentation,
+// Section 3 GA-based pose estimation with temporal seeding, movement
+// tracking, and Section 4 scoring — video frames in, an analysis with
+// silhouettes, stick-model poses, jump phases, a score report and advice
+// out.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/pose"
+	"github.com/sljmotion/sljmotion/internal/scoring"
+	"github.com/sljmotion/sljmotion/internal/segmentation"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+	"github.com/sljmotion/sljmotion/internal/track"
+)
+
+// WindowMode selects how the scoring stage windows are chosen.
+type WindowMode int
+
+// Window modes. The paper fixes initiation to the first ten frames and
+// air/landing to the next ten; detection derives them from the tracked
+// ankle trajectory instead.
+const (
+	// WindowsFixed reproduces the paper: first half / second half.
+	WindowsFixed WindowMode = iota + 1
+	// WindowsDetected uses takeoff/landing detection from the tracker.
+	WindowsDetected
+)
+
+// Config assembles the per-stage configurations.
+type Config struct {
+	Segmentation segmentation.Config
+	Pose         pose.Config
+	// BodyHeightPrior is the assumed body height in pixels used to build
+	// the dimension prior before first-frame calibration. ≤0 derives it
+	// from the first silhouette's bounding box.
+	BodyHeightPrior float64
+	// PxPerMeter calibrates jump distance; ≤0 disables metric output.
+	PxPerMeter float64
+	// Windows selects fixed (paper) or detected stage windows.
+	Windows WindowMode
+}
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig() Config {
+	return Config{
+		Segmentation: segmentation.DefaultConfig(),
+		Pose:         pose.DefaultConfig(),
+		Windows:      WindowsFixed,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if err := c.Segmentation.Validate(); err != nil {
+		return err
+	}
+	if err := c.Pose.Validate(); err != nil {
+		return err
+	}
+	if c.Windows != WindowsFixed && c.Windows != WindowsDetected {
+		return fmt.Errorf("core: unknown window mode %d", c.Windows)
+	}
+	return nil
+}
+
+// Result is the complete analysis of one jump clip.
+type Result struct {
+	// Background is the Step 1 estimate.
+	Background *imaging.Image
+	// Silhouettes holds the segmented human object per frame.
+	Silhouettes []segmentation.Silhouette
+	// Dimensions are the calibrated stick lengths/thicknesses.
+	Dimensions stickmodel.Dimensions
+	// Poses are the estimated stick models per frame; Estimates carries the
+	// per-frame GA convergence detail.
+	Poses     []stickmodel.Pose
+	Estimates []pose.Estimate
+	// Track is the movement analysis (phases, distance, trajectories).
+	Track *track.Analysis
+	// Report is the Table 2 scoring outcome with advice.
+	Report *scoring.Report
+}
+
+// Analyzer is the end-to-end system.
+type Analyzer struct {
+	cfg Config
+}
+
+// New constructs an analyzer.
+func New(cfg Config) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analyzer{cfg: cfg}, nil
+}
+
+// Config returns the analyzer configuration.
+func (a *Analyzer) Config() Config { return a.cfg }
+
+// ErrNoFrames is returned when Analyze receives an empty clip.
+var ErrNoFrames = errors.New("core: no frames")
+
+// Analyze runs the full pipeline on a clip. manualFirst is the hand-drawn
+// stick figure for the first frame that the paper requires; it both
+// calibrates the stick dimensions and seeds the temporal chain.
+func (a *Analyzer) Analyze(frames []*imaging.Image, manualFirst stickmodel.Pose) (*Result, error) {
+	if len(frames) == 0 {
+		return nil, ErrNoFrames
+	}
+
+	seg, err := segmentation.New(a.cfg.Segmentation)
+	if err != nil {
+		return nil, fmt.Errorf("segmentation: %w", err)
+	}
+	bg, _, sils, err := seg.RunDetailed(frames)
+	if err != nil {
+		return nil, fmt.Errorf("segmentation: %w", err)
+	}
+
+	dims, err := a.dimensionPrior(sils[0])
+	if err != nil {
+		return nil, err
+	}
+	est, err := pose.NewEstimator(dims, a.cfg.Pose)
+	if err != nil {
+		return nil, fmt.Errorf("pose: %w", err)
+	}
+	calibrated, err := est.Calibrate(sils[0], manualFirst)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: %w", err)
+	}
+	estimates, err := est.EstimateSequence(sils, manualFirst)
+	if err != nil {
+		return nil, fmt.Errorf("pose: %w", err)
+	}
+	poses := make([]stickmodel.Pose, len(estimates))
+	for i, e := range estimates {
+		poses[i] = e.Pose
+	}
+
+	tracker := track.NewTracker(calibrated, a.cfg.PxPerMeter)
+	analysis, err := tracker.Analyze(poses)
+	if err != nil {
+		return nil, fmt.Errorf("track: %w", err)
+	}
+
+	var initW, airW track.Window
+	switch a.cfg.Windows {
+	case WindowsDetected:
+		initW, airW = analysis.Initiation, analysis.AirLanding
+	default:
+		initW, airW = track.FixedWindows(len(poses))
+	}
+	report, err := scoring.NewScorer().Score(poses, initW, airW)
+	if err != nil {
+		return nil, fmt.Errorf("scoring: %w", err)
+	}
+
+	return &Result{
+		Background:  bg,
+		Silhouettes: sils,
+		Dimensions:  calibrated,
+		Poses:       poses,
+		Estimates:   estimates,
+		Track:       analysis,
+		Report:      report,
+	}, nil
+}
+
+// dimensionPrior builds the initial body dimensions either from the
+// configured prior height or from the first silhouette's bounding box.
+func (a *Analyzer) dimensionPrior(first segmentation.Silhouette) (stickmodel.Dimensions, error) {
+	h := a.cfg.BodyHeightPrior
+	if h <= 0 {
+		if first.Area == 0 {
+			return stickmodel.Dimensions{}, pose.ErrEmptySilhouette
+		}
+		// A standing first frame: the bounding-box height approximates the
+		// body height.
+		h = float64(first.BBox.H())
+	}
+	return stickmodel.ChildDimensions(h), nil
+}

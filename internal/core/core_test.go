@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/metrics"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+// fastConfig trims the GA budget for test speed.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Pose.Population = 50
+	cfg.Pose.Generations = 60
+	cfg.Pose.Patience = 12
+	cfg.Pose.RefineRounds = 1
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.Windows = WindowMode(99)
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad window mode must be invalid")
+	}
+	cfg = DefaultConfig()
+	cfg.Pose.Population = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad pose config must propagate")
+	}
+	cfg = DefaultConfig()
+	cfg.Segmentation.SpotFraction = 3
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad segmentation config must propagate")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Windows = WindowMode(0)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAnalyzeRejectsEmptyInput(t *testing.T) {
+	an, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.Analyze(nil, synth.TruePoses(synth.DefaultJumpParams(),
+		(&synth.Video{}).Dims)[0:1][0]); err == nil {
+		t.Error("expected ErrNoFrames")
+	}
+}
+
+func TestAnalyzeEndToEndGoodForm(t *testing.T) {
+	params := synth.DefaultJumpParams()
+	v, err := synth.Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 7)
+
+	an, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze(v.Frames, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Silhouettes) != params.Frames || len(res.Poses) != params.Frames {
+		t.Fatal("per-frame outputs missing")
+	}
+	// Background close to truth.
+	if res.Background == nil {
+		t.Fatal("background missing")
+	}
+	// Pose quality: sequence mean angle error within tolerance.
+	se, err := metrics.CompareSequences(res.Poses, v.Truth, v.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.MeanAngle > 15 {
+		t.Errorf("sequence mean angle error %.1f° too high", se.MeanAngle)
+	}
+	if se.MeanJoint > 5 {
+		t.Errorf("sequence mean joint error %.1f px too high", se.MeanJoint)
+	}
+	// A good-form jump must score high.
+	if res.Report.Passed < 6 {
+		t.Errorf("good form scored %d/7:\n%s", res.Report.Passed, res.Report.String())
+	}
+	// Track output consistent with the synthetic jump.
+	if math.Abs(res.Track.JumpDistancePx-params.JumpPx) > 8 {
+		t.Errorf("jump distance %.1f px, want ~%.1f", res.Track.JumpDistancePx, params.JumpPx)
+	}
+}
+
+func TestAnalyzeDetectedWindows(t *testing.T) {
+	params := synth.DefaultJumpParams()
+	v, err := synth.Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 3)
+	cfg := fastConfig()
+	cfg.Windows = WindowsDetected
+	cfg.PxPerMeter = params.PxPerMeter()
+	an, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze(v.Frames, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Track.JumpDistanceM == 0 {
+		t.Error("metric distance missing despite calibration")
+	}
+	if res.Report == nil || res.Report.Total != 7 {
+		t.Error("report missing under detected windows")
+	}
+}
+
+func TestAnalyzeBodyHeightPrior(t *testing.T) {
+	params := synth.DefaultJumpParams()
+	params.Frames = 8 // shorter clip for speed; scoring still runs
+	v, err := synth.Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 3)
+	cfg := fastConfig()
+	cfg.BodyHeightPrior = params.BodyHeight
+	an, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze(v.Frames, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dimensions.Height() < params.BodyHeight*0.6 ||
+		res.Dimensions.Height() > params.BodyHeight*1.4 {
+		t.Errorf("calibrated height %.1f implausible for body %v",
+			res.Dimensions.Height(), params.BodyHeight)
+	}
+}

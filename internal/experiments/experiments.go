@@ -1,0 +1,584 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (DESIGN.md §4): each experiment builds its workload on the
+// synthetic substrate, runs the pipeline under test, and reports
+// paper-vs-measured rows. The cmd/slj-bench binary prints these reports;
+// the repository-root benchmarks time their hot paths.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sljmotion/sljmotion/internal/background"
+	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/metrics"
+	"github.com/sljmotion/sljmotion/internal/pose"
+	"github.com/sljmotion/sljmotion/internal/scoring"
+	"github.com/sljmotion/sljmotion/internal/segmentation"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+	"github.com/sljmotion/sljmotion/internal/synth"
+	"github.com/sljmotion/sljmotion/internal/track"
+)
+
+// Row is one paper-vs-measured comparison line.
+type Row struct {
+	Name     string
+	Paper    string // what the paper reports (often qualitative)
+	Measured string // what this reproduction measures
+	OK       bool   // whether the measured value matches the paper's shape
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID    string // e.g. "F1", "T2", "A1"
+	Title string
+	Rows  []Row
+	// Figures holds optional ASCII artefacts keyed by caption.
+	Figures map[string]string
+	Notes   []string
+}
+
+// OK reports whether every row matched.
+func (r *Report) OK() bool {
+	for _, row := range r.Rows {
+		if !row.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report as a fixed-width block.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		status := "ok"
+		if !row.OK {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(&sb, "  %-34s paper: %-38s measured: %-30s [%s]\n",
+			row.Name, row.Paper, row.Measured, status)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// defaultVideo generates the canonical good-form clip.
+func defaultVideo(seed int64) (*synth.Video, error) {
+	p := synth.DefaultJumpParams()
+	p.Seed = seed
+	return synth.Generate(p)
+}
+
+// Figure1 — background estimation (Section 2 Step 1): the paper shows the
+// first frame and the estimated background side by side. We measure the
+// RMSE of the estimate against the true synthetic background.
+func Figure1(seed int64) (*Report, error) {
+	v, err := defaultVideo(seed)
+	if err != nil {
+		return nil, err
+	}
+	est := &background.ChangeDetection{}
+	bg, err := est.Estimate(v.Frames)
+	if err != nil {
+		return nil, err
+	}
+	rmse, err := background.RMSE(bg, v.Background)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:    "F1",
+		Title: "Figure 1 — first frame and estimated background",
+		Figures: map[string]string{
+			"(a) first frame (luma)":     imaging.ASCIIGray(v.Frames[0].Gray(), 64),
+			"(b) estimated background":   imaging.ASCIIGray(bg.Gray(), 64),
+			"reference: true background": imaging.ASCIIGray(v.Background.Gray(), 64),
+		},
+	}
+	rep.Rows = append(rep.Rows, Row{
+		Name:     "background recovered",
+		Paper:    "qualitative: jumper absent from estimate",
+		Measured: fmt.Sprintf("RMSE vs true background = %.2f levels", rmse),
+		OK:       rmse < 10,
+	})
+	return rep, nil
+}
+
+// Figure2 — the four foreground-extraction stages. The paper shows masks
+// after (a) subtraction, (b) noise removal, (c) spot removal, (d) hole
+// fill; the reproduction measures precision/IoU growth per stage.
+func Figure2(seed int64) (*Report, error) {
+	v, err := defaultVideo(seed)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := segmentation.New(segmentation.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	_, stages, _, err := pipe.RunDetailed(v.Frames)
+	if err != nil {
+		return nil, err
+	}
+
+	k := 8 // drive frame, the paper's canonical mid-action pose
+	st := stages[k]
+	truth := v.BodyMasks[k]
+	score := func(m *imaging.Mask) metrics.MaskScores {
+		s, _ := metrics.CompareMasks(m, truth)
+		return s
+	}
+	sub, den, spt, hol := score(st.Subtracted), score(st.Denoised), score(st.SpotsRemoved), score(st.HolesFilled)
+
+	rep := &Report{
+		ID:    "F2",
+		Title: "Figure 2 — foreground extraction stages (frame 8)",
+		Figures: map[string]string{
+			"(a) after subtraction":  imaging.ASCIIMask(st.Subtracted, 64),
+			"(b) after noise filter": imaging.ASCIIMask(st.Denoised, 64),
+			"(c) after spot removal": imaging.ASCIIMask(st.SpotsRemoved, 64),
+			"(d) after hole fill":    imaging.ASCIIMask(st.HolesFilled, 64),
+		},
+	}
+	rep.Rows = append(rep.Rows,
+		Row{
+			Name:     "(a) subtraction",
+			Paper:    "\"a lot of noise due to light changes\"",
+			Measured: fmt.Sprintf("precision %.3f IoU %.3f", sub.Precision, sub.IoU),
+			OK:       sub.Recall > 0.8,
+		},
+		Row{
+			Name:     "(b) noise removal",
+			Paper:    "isolated noise deleted",
+			Measured: fmt.Sprintf("precision %.3f (Δ%+.3f)", den.Precision, den.Precision-sub.Precision),
+			OK:       den.Precision >= sub.Precision,
+		},
+		Row{
+			Name:     "(c) spot removal",
+			Paper:    "smaller spots removed",
+			Measured: fmt.Sprintf("precision %.3f (Δ%+.3f)", spt.Precision, spt.Precision-den.Precision),
+			OK:       spt.Precision >= den.Precision,
+		},
+		Row{
+			Name:     "(d) hole fill",
+			Paper:    "small holes filled up",
+			Measured: fmt.Sprintf("recall %.3f (Δ%+.3f), IoU %.3f", hol.Recall, hol.Recall-spt.Recall, hol.IoU),
+			OK:       hol.Recall >= spt.Recall && hol.IoU >= spt.IoU-1e-9,
+		},
+	)
+	return rep, nil
+}
+
+// Figure3 — shadow removal. The paper shows the silhouette with shadows
+// removed; the reproduction measures shadow recall and body IoU before and
+// after Step 5.
+func Figure3(seed int64) (*Report, error) {
+	v, err := defaultVideo(seed)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := segmentation.New(segmentation.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	_, stages, sils, err := pipe.RunDetailed(v.Frames)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate over all frames: how much rendered shadow reached the
+	// pre-Step-5 mask, how much of that the detector removed, and the final
+	// body IoU.
+	var beforeIoU, afterIoU float64
+	var shadowInMask, shadowCaught int
+	for k := range v.Frames {
+		b, _ := metrics.CompareMasks(stages[k].HolesFilled, v.BodyMasks[k])
+		a, _ := metrics.CompareMasks(sils[k].Mask, v.BodyMasks[k])
+		beforeIoU += b.IoU
+		afterIoU += a.IoU
+		for i, s := range v.ShadowMasks[k].Bits {
+			if s && stages[k].HolesFilled.Bits[i] {
+				shadowInMask++
+				if stages[k].ShadowMask.Bits[i] {
+					shadowCaught++
+				}
+			}
+		}
+	}
+	n := float64(len(v.Frames))
+	beforeIoU /= n
+	afterIoU /= n
+	recall := 0.0
+	if shadowInMask > 0 {
+		recall = float64(shadowCaught) / float64(shadowInMask)
+	}
+
+	k := 14 // landing frame: largest cast shadow
+	rep := &Report{
+		ID:    "F3",
+		Title: "Figure 3 — shadow removal (HSV, Eq. 1-2)",
+		Figures: map[string]string{
+			"(a) silhouette after shadow removal (frame 14)": imaging.ASCIIMask(sils[k].Mask, 64),
+			"shadow mask SM_k (frame 14)":                    imaging.ASCIIMask(stages[k].ShadowMask, 64),
+		},
+	}
+	rep.Rows = append(rep.Rows,
+		Row{
+			Name:     "shadow detection",
+			Paper:    "\"quite successful\" (qualitative)",
+			Measured: fmt.Sprintf("recall of shadow pixels in mask = %.2f", recall),
+			OK:       recall > 0.5,
+		},
+		Row{
+			Name:     "object quality",
+			Paper:    "object isolated from shadow",
+			Measured: fmt.Sprintf("body IoU %.3f → %.3f after Step 5", beforeIoU, afterIoU),
+			OK:       afterIoU >= beforeIoU,
+		},
+	)
+	return rep, nil
+}
+
+// Figure4 — the stick model. The reproduction verifies the model's
+// topology and renders the reference pose.
+func Figure4() (*Report, error) {
+	d := stickmodel.ChildDimensions(66)
+	var p stickmodel.Pose
+	p.X, p.Y = 48, 60
+	p.Rho = [stickmodel.NumSticks]float64{5, 10, 185, 178, 8, 178, 182, 95}
+	m := p.Rasterize(d, 96, 128)
+	if m.Empty() {
+		return nil, fmt.Errorf("figure4: reference pose rasterised empty")
+	}
+	img := imaging.NewImageFilled(96, 128, imaging.White)
+	p.DrawSkeleton(img, d, imaging.Black, imaging.Red)
+
+	rep := &Report{
+		ID:    "F4",
+		Title: "Figure 4 — stick model for the standing long jump",
+		Figures: map[string]string{
+			"reference pose silhouette": imaging.ASCIIMask(m, 48),
+		},
+	}
+	names := []string{"S0 trunk", "S1 neck", "S2 upper arm", "S3 thigh", "S4 head", "S5 forearm", "S6 shank", "S7 foot"}
+	segs := p.Segments(d)
+	for l := 0; l < stickmodel.NumSticks; l++ {
+		rep.Rows = append(rep.Rows, Row{
+			Name:     names[l],
+			Paper:    "one stick, arms/legs merged (side view)",
+			Measured: fmt.Sprintf("len %.1f px, thick %.1f px", segs[l].Len(), d.Thick[l]),
+			OK:       segs[l].Len() > 0 && d.Thick[l] > 0,
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"joint topology: trunk centre (x0,y0); shoulder joins neck+upper arm; hip joins thigh; chains continue to head/wrist/toe")
+	return rep, nil
+}
+
+// Figure5 — the angle convention: ρ measured from the vertical (y) axis.
+// The reproduction sweeps ρ over the circle and verifies Dir/AngleOf
+// round-trips plus the cardinal directions.
+func Figure5() (*Report, error) {
+	maxErr := 0.0
+	for deg := 0.0; deg < 360; deg += 1 {
+		back := stickmodel.AngleOf(stickmodel.Dir(deg))
+		if d := absF(stickmodel.AngleDiff(deg, back)); d > maxErr {
+			maxErr = d
+		}
+	}
+	rep := &Report{
+		ID:    "F5",
+		Title: "Figure 5 — angle of a stick measured from the y axis",
+	}
+	rep.Rows = append(rep.Rows,
+		Row{
+			Name:     "cardinal directions",
+			Paper:    "ρ from vertical, 0°..360°",
+			Measured: "0°=up, 90°=forward, 180°=down, 270°=back",
+			OK: stickmodel.Dir(0).Y < 0 && stickmodel.Dir(90).X > 0 &&
+				stickmodel.Dir(180).Y > 0 && stickmodel.Dir(270).X < 0,
+		},
+		Row{
+			Name:     "angle recovery",
+			Paper:    "unique ρ per direction",
+			Measured: fmt.Sprintf("max round-trip error %.2e°", maxErr),
+			OK:       maxErr < 1e-9,
+		},
+	)
+	return rep, nil
+}
+
+// Figure6 — silhouettes and (manually drawn) stick models of consecutive
+// frames. The reproduction segments the clip, perturbs the ground truth as
+// the human annotation, and renders the overlay sequence.
+func Figure6(seed int64) (*Report, error) {
+	v, err := defaultVideo(seed)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := segmentation.New(segmentation.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	sils, err := pipe.Run(v.Frames)
+	if err != nil {
+		return nil, err
+	}
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), seed)
+
+	rep := &Report{
+		ID:      "F6",
+		Title:   "Figure 6 — silhouettes and manually drawn stick model",
+		Figures: map[string]string{},
+	}
+	var iouSum float64
+	for _, k := range []int{0, 3, 6, 9, 12, 15} {
+		sc, _ := metrics.CompareMasks(sils[k].Mask, v.BodyMasks[k])
+		iouSum += sc.IoU
+		rep.Figures[fmt.Sprintf("frame %02d silhouette", k)] = imaging.ASCIIMask(sils[k].Mask, 48)
+	}
+	pe := metrics.ComparePoses(manual, v.Truth[0], v.Dims)
+	rep.Rows = append(rep.Rows,
+		Row{
+			Name:     "silhouette sequence",
+			Paper:    "~20 frames per clip, clean silhouettes",
+			Measured: fmt.Sprintf("%d frames, mean IoU %.3f over 6 samples", len(sils), iouSum/6),
+			OK:       iouSum/6 > 0.85,
+		},
+		Row{
+			Name:     "manual first-frame stick model",
+			Paper:    "drawn by a trained person",
+			Measured: fmt.Sprintf("simulated annotation, %.1f° mean angle error", pe.MeanAngleErr),
+			OK:       pe.MeanAngleErr < 15,
+		},
+	)
+	return rep, nil
+}
+
+// Figure7Result carries the measured convergence quantities of Figure 7 so
+// benchmarks can assert on them.
+type Figure7Result struct {
+	BestFoundAtFrame2 int
+	BestFoundAtFrame3 int
+	AngleErrFrame2    float64
+	AngleErrFrame3    float64
+	ColdBestFoundAt   int
+	ColdGenerations   int
+}
+
+// Figure7 — computer-generated stick models for frames 2 and 3: the paper
+// reports the best model found at the *second generation* thanks to
+// temporal seeding, versus ~200 generations for the cold GA of [5].
+func Figure7(seed int64) (*Report, *Figure7Result, error) {
+	v, err := defaultVideo(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	pipe, err := segmentation.New(segmentation.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	sils, err := pipe.Run(v.Frames)
+	if err != nil {
+		return nil, nil, err
+	}
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), seed)
+	cfg := pose.DefaultConfig()
+	est, err := pose.NewEstimator(v.Dims, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := est.Calibrate(sils[0], manual); err != nil {
+		return nil, nil, err
+	}
+
+	e2, err := est.EstimateNext(sils[1], manual)
+	if err != nil {
+		return nil, nil, err
+	}
+	e3, err := est.EstimateNext(sils[2], e2.Pose)
+	if err != nil {
+		return nil, nil, err
+	}
+	cold, err := est.EstimateCold(sils[1])
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &Figure7Result{
+		BestFoundAtFrame2: e2.GA.NearBestFoundAt,
+		BestFoundAtFrame3: e3.GA.NearBestFoundAt,
+		AngleErrFrame2:    metrics.ComparePoses(e2.Pose, v.Truth[1], v.Dims).MeanAngleErr,
+		AngleErrFrame3:    metrics.ComparePoses(e3.Pose, v.Truth[2], v.Dims).MeanAngleErr,
+		ColdBestFoundAt:   cold.GA.NearBestFoundAt,
+		ColdGenerations:   cold.GA.Generations,
+	}
+
+	overlay2 := imaging.NewImageFilled(v.Params.W, v.Params.H, imaging.White)
+	for _, pt := range sils[1].Mask.Points() {
+		overlay2.Set(pt.X, pt.Y, imaging.Gray5)
+	}
+	e2.Pose.DrawSkeleton(overlay2, v.Dims, imaging.Black, imaging.Red)
+
+	rep := &Report{
+		ID:    "F7",
+		Title: "Figure 7 — GA-estimated stick models, frames 2-3",
+		Figures: map[string]string{
+			"frame 2 silhouette + estimated model": imaging.ASCIIGray(overlay2.Gray(), 72),
+		},
+	}
+	// The paper's "generated at the second generation" is a claim about how
+	// early temporal seeding produces its (visually) best model; the
+	// reproduction measures the first generation within 2% of the final
+	// fitness and contrasts the cold GA of [5].
+	rep.Rows = append(rep.Rows,
+		Row{
+			Name:     "frame 2 estimate",
+			Paper:    "best model at generation 2",
+			Measured: fmt.Sprintf("within 2%% of best at generation %d, %.1f° mean angle error", res.BestFoundAtFrame2, res.AngleErrFrame2),
+			OK:       res.AngleErrFrame2 < 15 && res.BestFoundAtFrame2 <= 15,
+		},
+		Row{
+			Name:     "frame 3 estimate",
+			Paper:    "best model at generation 2",
+			Measured: fmt.Sprintf("within 2%% of best at generation %d, %.1f° mean angle error", res.BestFoundAtFrame3, res.AngleErrFrame3),
+			OK:       res.AngleErrFrame3 < 15 && res.BestFoundAtFrame3 <= 15,
+		},
+		Row{
+			Name:     "cold baseline [5]",
+			Paper:    "~200 generations for high accuracy",
+			Measured: fmt.Sprintf("within 2%% of best at generation %d of %d budget", res.ColdBestFoundAt, res.ColdGenerations),
+			OK:       res.ColdBestFoundAt > res.BestFoundAtFrame2,
+		},
+	)
+	return rep, res, nil
+}
+
+// Table1 — the evaluation standards, verified against the encoded rules.
+func Table1() (*Report, error) {
+	std := scoring.Standards()
+	rules := scoring.Rules()
+	byStd := map[string]scoring.Rule{}
+	for _, r := range rules {
+		byStd[r.Standard] = r
+	}
+	rep := &Report{ID: "T1", Title: "Table 1 — standing long jump evaluation standards"}
+	for _, s := range std {
+		r, ok := byStd[s.ID]
+		rep.Rows = append(rep.Rows, Row{
+			Name:     fmt.Sprintf("%s (%s)", s.ID, s.Stage),
+			Paper:    s.Description,
+			Measured: fmt.Sprintf("rule %s: %s", r.ID, r.Formula),
+			OK:       ok && r.Stage == s.Stage,
+		})
+	}
+	return rep, nil
+}
+
+// Table2Result carries the rule-level confusion for benchmark assertions.
+type Table2Result struct {
+	TruthExact int // clips whose truth-level rule outcome matches exactly
+	EstExact   int // clips whose estimated-level outcome matches exactly
+	Clips      int
+}
+
+// Table2 — the scoring rules run on the planted-defect clips, both on
+// ground-truth poses (pure rule check) and on poses estimated end-to-end
+// from pixels.
+func Table2(seed int64, estimated bool) (*Report, *Table2Result, error) {
+	wantFail := map[string]string{
+		"good-form":        "",
+		"no-knee-bend":     "R1",
+		"no-neck-bend":     "R2",
+		"no-arm-backswing": "R3",
+		"straight-arms":    "R4",
+		"no-air-knee-bend": "R5",
+		"upright-trunk":    "R6",
+		"no-arm-forward":   "R7",
+	}
+	base := synth.DefaultJumpParams()
+	base.Seed = seed
+	clips := synth.DefectClips(base)
+	res := &Table2Result{Clips: len(clips)}
+	rep := &Report{ID: "T2", Title: "Table 2 — scoring rules on planted-defect jumps"}
+	if estimated {
+		rep.Title += " (poses estimated from pixels)"
+	} else {
+		rep.Title += " (ground-truth poses)"
+	}
+
+	for _, clip := range clips {
+		v, err := synth.Generate(clip.Params)
+		if err != nil {
+			return nil, nil, err
+		}
+		var poses []stickmodel.Pose
+		if estimated {
+			an, err := core.New(core.DefaultConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			out, err := an.Analyze(v.Frames, v.ManualAnnotation(synth.DefaultAnnotationError(), seed))
+			if err != nil {
+				return nil, nil, err
+			}
+			poses = out.Poses
+		} else {
+			poses = v.Truth
+		}
+		initW, airW := track.FixedWindows(clip.Params.Frames)
+		report, err := scoring.NewScorer().Score(poses, initW, airW)
+		if err != nil {
+			return nil, nil, err
+		}
+		var failed []string
+		failedSet := map[string]bool{}
+		for _, r := range report.Results {
+			if !r.Passed {
+				failed = append(failed, r.Rule.ID)
+				failedSet[r.Rule.ID] = true
+			}
+		}
+		got := strings.Join(failed, ",")
+		want := wantFail[clip.Name]
+		exact := got == want
+		if exact {
+			if estimated {
+				res.EstExact++
+			} else {
+				res.TruthExact++
+			}
+		}
+		// Ground truth is judged on exact match. Estimated poses are judged
+		// on whether the planted defect is detected (good-form: nothing
+		// spurious); extra spurious failures are visible in the measured
+		// column and summarised in the notes.
+		ok := exact
+		if estimated && want != "" {
+			ok = failedSet[want]
+		}
+		rep.Rows = append(rep.Rows, Row{
+			Name:     clip.Name,
+			Paper:    fmt.Sprintf("should fail {%s}", want),
+			Measured: fmt.Sprintf("failed {%s}, score %d/7", got, report.Passed),
+			OK:       ok,
+		})
+	}
+	if estimated {
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("exact rule-set matches: %d/%d clips; remaining gaps are spurious or missed R2/R3/R4 firings — neck and elbow angles are weakly observable in side-view silhouettes (see EXPERIMENTS.md)", res.EstExact, res.Clips))
+	}
+	return rep, res, nil
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1(t *testing.T) {
+	rep, err := Figure1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("figure 1 mismatch:\n%s", rep)
+	}
+	if len(rep.Figures) != 3 {
+		t.Error("figure artefacts missing")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	rep, err := Figure2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("figure 2 mismatch:\n%s", rep)
+	}
+	if len(rep.Rows) != 4 {
+		t.Errorf("figure 2 needs 4 stage rows, got %d", len(rep.Rows))
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	rep, err := Figure3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("figure 3 mismatch:\n%s", rep)
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	rep, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("figure 4 mismatch:\n%s", rep)
+	}
+	if len(rep.Rows) != 8 {
+		t.Errorf("one row per stick expected, got %d", len(rep.Rows))
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	rep, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("figure 5 mismatch:\n%s", rep)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	rep, err := Figure6(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("figure 6 mismatch:\n%s", rep)
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	rep, res, err := Figure7(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("figure 7 mismatch:\n%s", rep)
+	}
+	// The reproduction's headline shape: temporal seeding converges far
+	// earlier than the cold baseline.
+	if res.ColdBestFoundAt <= res.BestFoundAtFrame2 {
+		t.Errorf("cold (%d) should converge later than temporal (%d)",
+			res.ColdBestFoundAt, res.BestFoundAtFrame2)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rep, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("table 1 mismatch:\n%s", rep)
+	}
+	if len(rep.Rows) != 7 {
+		t.Errorf("7 standards expected, got %d", len(rep.Rows))
+	}
+}
+
+func TestTable2Truth(t *testing.T) {
+	rep, res, err := Table2(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("table 2 (truth) mismatch:\n%s", rep)
+	}
+	if res.TruthExact != res.Clips {
+		t.Errorf("truth-level exact matches %d/%d", res.TruthExact, res.Clips)
+	}
+}
+
+func TestTable2Estimated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pipeline on 8 clips")
+	}
+	rep, res, err := Table2(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimation-level detection: at least 6 of 8 clips must detect their
+	// planted defect (R2/R4 are documented weak spots).
+	detected := 0
+	for _, row := range rep.Rows {
+		if row.OK {
+			detected++
+		}
+	}
+	if detected < 6 {
+		t.Errorf("only %d/8 clips detected their defect:\n%s", detected, rep)
+	}
+	if res.Clips != 8 {
+		t.Errorf("clips = %d", res.Clips)
+	}
+}
+
+func TestAblationSeeding(t *testing.T) {
+	rep, res, err := AblationSeeding(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("A1 mismatch:\n%s", rep)
+	}
+	if res.TemporalAngleErr >= res.ColdAngleErr {
+		t.Error("temporal must beat cold on angle error")
+	}
+}
+
+func TestAblationBackground(t *testing.T) {
+	rep, err := AblationBackground(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("A2 mismatch:\n%s", rep)
+	}
+}
+
+func TestAblationShadow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pipeline twice")
+	}
+	rep, err := AblationShadow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("A3 mismatch:\n%s", rep)
+	}
+}
+
+func TestAblationTracking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tracks the clip three times")
+	}
+	rep, err := AblationTracking(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("A4 mismatch:\n%s", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{
+		ID:    "X",
+		Title: "demo",
+		Rows: []Row{
+			{Name: "a", Paper: "p", Measured: "m", OK: true},
+			{Name: "b", Paper: "p", Measured: "m", OK: false},
+		},
+		Notes: []string{"n"},
+	}
+	out := rep.String()
+	for _, frag := range []string{"== X: demo", "[ok]", "[MISMATCH]", "note: n"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+	if rep.OK() {
+		t.Error("report with a mismatch must not be OK")
+	}
+}

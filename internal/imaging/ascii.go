@@ -1,0 +1,126 @@
+package imaging
+
+import "strings"
+
+// asciiRamp orders characters from empty to dense; index scales with the
+// fraction of covered pixels in a character cell.
+const asciiRamp = " .:-=+*#%@"
+
+// ASCIIMask renders a mask as ASCII art at most maxW characters wide.
+// Character cells are 1:2 (height:width) corrected so shapes keep their
+// aspect ratio in a terminal. This is how the repository reproduces the
+// paper's silhouette figures without a display.
+func ASCIIMask(m *Mask, maxW int) string {
+	if maxW <= 0 {
+		maxW = 64
+	}
+	cellW := (m.W + maxW - 1) / maxW
+	if cellW < 1 {
+		cellW = 1
+	}
+	cellH := cellW * 2
+	rows := (m.H + cellH - 1) / cellH
+	cols := (m.W + cellW - 1) / cellW
+	var sb strings.Builder
+	sb.Grow(rows * (cols + 1))
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			set, total := 0, 0
+			for y := cy * cellH; y < (cy+1)*cellH && y < m.H; y++ {
+				for x := cx * cellW; x < (cx+1)*cellW && x < m.W; x++ {
+					total++
+					if m.Bits[y*m.W+x] {
+						set++
+					}
+				}
+			}
+			sb.WriteByte(rampChar(set, total))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ASCIIGray renders a grayscale plane as ASCII art at most maxW characters
+// wide, dark pixels dense.
+func ASCIIGray(g *Gray, maxW int) string {
+	if maxW <= 0 {
+		maxW = 64
+	}
+	cellW := (g.W + maxW - 1) / maxW
+	if cellW < 1 {
+		cellW = 1
+	}
+	cellH := cellW * 2
+	rows := (g.H + cellH - 1) / cellH
+	cols := (g.W + cellW - 1) / cellW
+	var sb strings.Builder
+	sb.Grow(rows * (cols + 1))
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			sum, total := 0, 0
+			for y := cy * cellH; y < (cy+1)*cellH && y < g.H; y++ {
+				for x := cx * cellW; x < (cx+1)*cellW && x < g.W; x++ {
+					total++
+					sum += int(g.Pix[y*g.W+x])
+				}
+			}
+			if total == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			mean := sum / total
+			idx := (255 - mean) * (len(asciiRamp) - 1) / 255
+			sb.WriteByte(asciiRamp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func rampChar(set, total int) byte {
+	if total == 0 || set == 0 {
+		return ' '
+	}
+	idx := set * (len(asciiRamp) - 1) / total
+	if idx == 0 {
+		idx = 1 // any coverage should be visible
+	}
+	return asciiRamp[idx]
+}
+
+// SideBySide joins multi-line blocks horizontally with a gutter, padding each
+// block to its own width. Used by the figure harness to mimic the paper's
+// (a)/(b) panel layout.
+func SideBySide(gutter string, blocks ...string) string {
+	split := make([][]string, len(blocks))
+	widths := make([]int, len(blocks))
+	rows := 0
+	for i, b := range blocks {
+		split[i] = strings.Split(strings.TrimRight(b, "\n"), "\n")
+		for _, line := range split[i] {
+			if len(line) > widths[i] {
+				widths[i] = len(line)
+			}
+		}
+		if len(split[i]) > rows {
+			rows = len(split[i])
+		}
+	}
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		for i := range split {
+			line := ""
+			if r < len(split[i]) {
+				line = split[i][r]
+			}
+			sb.WriteString(line)
+			if i < len(split)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(line)))
+				sb.WriteString(gutter)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,72 @@
+package imaging
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestASCIIMaskShowsShape(t *testing.T) {
+	m := NewMask(32, 32)
+	FillRectMask(m, Rect{X0: 8, Y0: 8, X1: 23, Y1: 23})
+	art := ASCIIMask(m, 32)
+	if !strings.Contains(art, "@") {
+		t.Errorf("dense block missing from art:\n%s", art)
+	}
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no output")
+	}
+	if strings.TrimSpace(lines[0]) != "" {
+		t.Errorf("top rows should be empty, got %q", lines[0])
+	}
+}
+
+func TestASCIIMaskEmptyIsBlank(t *testing.T) {
+	art := ASCIIMask(NewMask(16, 16), 16)
+	if strings.Trim(art, " \n") != "" {
+		t.Errorf("empty mask should render blank, got %q", art)
+	}
+}
+
+func TestASCIIMaskWidthBound(t *testing.T) {
+	m := NewMask(100, 50)
+	art := ASCIIMask(m, 40)
+	for _, line := range strings.Split(strings.TrimRight(art, "\n"), "\n") {
+		if len(line) > 50 {
+			t.Errorf("line wider than bound: %d", len(line))
+		}
+	}
+	// Zero maxW selects a sane default rather than panicking.
+	_ = ASCIIMask(m, 0)
+}
+
+func TestASCIIGrayDarkIsDense(t *testing.T) {
+	g := NewGray(8, 8) // all zero = dark
+	art := ASCIIGray(g, 8)
+	if !strings.Contains(art, "@") {
+		t.Errorf("dark plane should be dense:\n%q", art)
+	}
+	for i := range g.Pix {
+		g.Pix[i] = 255
+	}
+	art = ASCIIGray(g, 8)
+	if strings.ContainsAny(art, "@#%") {
+		t.Errorf("bright plane should be sparse:\n%q", art)
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := "ab\ncd\n"
+	b := "x\ny\nz\n"
+	out := SideBySide(" | ", a, b)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 rows, got %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "ab | x") {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "   | z") {
+		t.Errorf("row 2 = %q (short block should pad)", lines[2])
+	}
+}

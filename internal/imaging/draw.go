@@ -1,0 +1,229 @@
+package imaging
+
+import "math"
+
+// Vec2 is a 2-D point or vector in continuous image coordinates
+// (x right, y down unless a caller states otherwise).
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{v.X + o.X, v.Y + o.Y} }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{v.X - o.X, v.Y - o.Y} }
+
+// Mul returns v scaled by s.
+func (v Vec2) Mul(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product of v and o.
+func (v Vec2) Dot(o Vec2) float64 { return v.X*o.X + v.Y*o.Y }
+
+// Len returns the Euclidean length of v.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec2) Dist(o Vec2) float64 { return math.Hypot(v.X-o.X, v.Y-o.Y) }
+
+// Segment is a 2-D line segment between A and B.
+type Segment struct {
+	A, B Vec2
+}
+
+// Len returns the segment length.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Mid returns the segment midpoint.
+func (s Segment) Mid() Vec2 { return Vec2{(s.A.X + s.B.X) / 2, (s.A.Y + s.B.Y) / 2} }
+
+// PointDist returns the Euclidean distance from p to the closest point of the
+// segment. This is the geometric core of the pose-estimation fitness
+// function (Eq. 3 of the paper).
+func (s Segment) PointDist(p Vec2) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 == 0 {
+		return p.Dist(s.A)
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(s.A.Add(d.Mul(t)))
+}
+
+// At returns the point at parameter t in [0,1] along the segment.
+func (s Segment) At(t float64) Vec2 {
+	return Vec2{s.A.X + t*(s.B.X-s.A.X), s.A.Y + t*(s.B.Y-s.A.Y)}
+}
+
+// DrawLine draws a 1-pixel Bresenham line on img.
+func DrawLine(img *Image, x0, y0, x1, y1 int, c Color) {
+	dx := absInt(x1 - x0)
+	dy := -absInt(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		img.Set(x0, y0, c)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// DrawLineMask draws a 1-pixel Bresenham line on a mask.
+func DrawLineMask(m *Mask, x0, y0, x1, y1 int) {
+	dx := absInt(x1 - x0)
+	dy := -absInt(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		m.Set(x0, y0, true)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// FillCapsule fills every pixel within radius r of segment seg with c.
+// A capsule (thick line with round caps) is the rendering primitive for body
+// sticks in the synthetic jumper.
+func FillCapsule(img *Image, seg Segment, r float64, c Color) {
+	forEachCapsulePixel(img.W, img.H, seg, r, func(x, y int) { img.Pix[y*img.W+x] = c })
+}
+
+// FillCapsuleMask sets every mask pixel within radius r of segment seg.
+func FillCapsuleMask(m *Mask, seg Segment, r float64) {
+	forEachCapsulePixel(m.W, m.H, seg, r, func(x, y int) { m.Bits[y*m.W+x] = true })
+}
+
+func forEachCapsulePixel(w, h int, seg Segment, r float64, set func(x, y int)) {
+	if r < 0 {
+		return
+	}
+	minX := int(math.Floor(math.Min(seg.A.X, seg.B.X) - r))
+	maxX := int(math.Ceil(math.Max(seg.A.X, seg.B.X) + r))
+	minY := int(math.Floor(math.Min(seg.A.Y, seg.B.Y) - r))
+	maxY := int(math.Ceil(math.Max(seg.A.Y, seg.B.Y) + r))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX >= w {
+		maxX = w - 1
+	}
+	if maxY >= h {
+		maxY = h - 1
+	}
+	r2 := r * r
+	d := seg.B.Sub(seg.A)
+	l2 := d.Dot(d)
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			p := Vec2{float64(x), float64(y)}
+			var dist2 float64
+			if l2 == 0 {
+				dp := p.Sub(seg.A)
+				dist2 = dp.Dot(dp)
+			} else {
+				t := p.Sub(seg.A).Dot(d) / l2
+				if t < 0 {
+					t = 0
+				} else if t > 1 {
+					t = 1
+				}
+				dp := p.Sub(seg.A.Add(d.Mul(t)))
+				dist2 = dp.Dot(dp)
+			}
+			if dist2 <= r2 {
+				set(x, y)
+			}
+		}
+	}
+}
+
+// FillCircle fills a disc of radius r centred at (cx, cy).
+func FillCircle(img *Image, cx, cy, r float64, c Color) {
+	FillCapsule(img, Segment{A: Vec2{cx, cy}, B: Vec2{cx, cy}}, r, c)
+}
+
+// FillCircleMask sets a disc of radius r centred at (cx, cy).
+func FillCircleMask(m *Mask, cx, cy, r float64) {
+	FillCapsuleMask(m, Segment{A: Vec2{cx, cy}, B: Vec2{cx, cy}}, r)
+}
+
+// FillRect fills the inclusive rectangle with c, clipped to the image.
+func FillRect(img *Image, r Rect, c Color) {
+	for y := maxIntD(r.Y0, 0); y <= minIntD(r.Y1, img.H-1); y++ {
+		for x := maxIntD(r.X0, 0); x <= minIntD(r.X1, img.W-1); x++ {
+			img.Pix[y*img.W+x] = c
+		}
+	}
+}
+
+// FillRectMask sets the inclusive rectangle, clipped to the mask.
+func FillRectMask(m *Mask, r Rect) {
+	for y := maxIntD(r.Y0, 0); y <= minIntD(r.Y1, m.H-1); y++ {
+		for x := maxIntD(r.X0, 0); x <= minIntD(r.X1, m.W-1); x++ {
+			m.Bits[y*m.W+x] = true
+		}
+	}
+}
+
+func maxIntD(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minIntD(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DrawCross draws a small + marker, used when rendering stick-model joints
+// onto figures.
+func DrawCross(img *Image, x, y, arm int, c Color) {
+	for d := -arm; d <= arm; d++ {
+		img.Set(x+d, y, c)
+		img.Set(x, y+d, c)
+	}
+}

@@ -1,0 +1,199 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec2Basics(t *testing.T) {
+	a := Vec2{3, 4}
+	if a.Len() != 5 {
+		t.Errorf("Len = %v, want 5", a.Len())
+	}
+	if got := a.Add(Vec2{1, 1}); got != (Vec2{4, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(Vec2{1, 1}); got != (Vec2{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(2); got != (Vec2{6, 8}) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Dot(Vec2{2, 1}); got != 10 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Dist(Vec2{0, 0}); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestSegmentPointDist(t *testing.T) {
+	seg := Segment{A: Vec2{0, 0}, B: Vec2{10, 0}}
+	tests := []struct {
+		name string
+		p    Vec2
+		want float64
+	}{
+		{"on segment", Vec2{5, 0}, 0},
+		{"above middle", Vec2{5, 3}, 3},
+		{"beyond B", Vec2{13, 4}, 5},
+		{"before A", Vec2{-3, -4}, 5},
+		{"at endpoint", Vec2{10, 0}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := seg.PointDist(tt.p); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("PointDist(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentPointDistDegenerate(t *testing.T) {
+	seg := Segment{A: Vec2{2, 2}, B: Vec2{2, 2}}
+	if got := seg.PointDist(Vec2{5, 6}); got != 5 {
+		t.Errorf("degenerate PointDist = %v, want 5", got)
+	}
+}
+
+// Property: PointDist is bounded below by distance to the infinite line and
+// above by distance to either endpoint.
+func TestSegmentPointDistBoundsProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py int8) bool {
+		seg := Segment{
+			A: Vec2{float64(ax), float64(ay)},
+			B: Vec2{float64(bx), float64(by)},
+		}
+		p := Vec2{float64(px), float64(py)}
+		d := seg.PointDist(p)
+		dA := p.Dist(seg.A)
+		dB := p.Dist(seg.B)
+		return d <= dA+1e-9 && d <= dB+1e-9 && d >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentAtAndMid(t *testing.T) {
+	seg := Segment{A: Vec2{0, 0}, B: Vec2{4, 8}}
+	if got := seg.At(0.5); got != seg.Mid() {
+		t.Errorf("At(0.5) = %v, Mid = %v", got, seg.Mid())
+	}
+	if seg.At(0) != seg.A || seg.At(1) != seg.B {
+		t.Error("At endpoints wrong")
+	}
+	if seg.Len() != math.Hypot(4, 8) {
+		t.Errorf("Len = %v", seg.Len())
+	}
+}
+
+func TestDrawLineEndpoints(t *testing.T) {
+	img := NewImage(10, 10)
+	DrawLine(img, 1, 1, 8, 6, Red)
+	if img.At(1, 1) != Red || img.At(8, 6) != Red {
+		t.Error("line endpoints not drawn")
+	}
+}
+
+func TestDrawLineClipsSafely(t *testing.T) {
+	img := NewImage(5, 5)
+	// Must not panic even when the line leaves the canvas.
+	DrawLine(img, -3, -3, 8, 8, Red)
+	if img.At(2, 2) != Red {
+		t.Error("diagonal through centre missing")
+	}
+}
+
+func TestDrawLineMask(t *testing.T) {
+	m := NewMask(10, 10)
+	DrawLineMask(m, 0, 0, 9, 0)
+	for x := 0; x < 10; x++ {
+		if !m.At(x, 0) {
+			t.Errorf("horizontal line missing pixel %d", x)
+		}
+	}
+}
+
+func TestFillCapsuleMaskRadius(t *testing.T) {
+	m := NewMask(21, 21)
+	seg := Segment{A: Vec2{10, 10}, B: Vec2{10, 10}}
+	FillCapsuleMask(m, seg, 3)
+	if !m.At(10, 10) || !m.At(13, 10) || !m.At(10, 7) {
+		t.Error("disc pixels missing")
+	}
+	if m.At(14, 10) || m.At(10, 14) {
+		t.Error("disc exceeded radius")
+	}
+	// Every set pixel must be within the radius.
+	for _, p := range m.Points() {
+		d := math.Hypot(float64(p.X-10), float64(p.Y-10))
+		if d > 3 {
+			t.Errorf("pixel (%d,%d) at distance %v > 3", p.X, p.Y, d)
+		}
+	}
+}
+
+func TestFillCapsuleNegativeRadiusNoop(t *testing.T) {
+	m := NewMask(5, 5)
+	FillCapsuleMask(m, Segment{A: Vec2{2, 2}, B: Vec2{3, 3}}, -1)
+	if !m.Empty() {
+		t.Error("negative radius must draw nothing")
+	}
+}
+
+func TestFillCapsuleImageMatchesMask(t *testing.T) {
+	img := NewImage(20, 20)
+	m := NewMask(20, 20)
+	seg := Segment{A: Vec2{4, 4}, B: Vec2{15, 12}}
+	FillCapsule(img, seg, 2.5, Green)
+	FillCapsuleMask(m, seg, 2.5)
+	for y := 0; y < 20; y++ {
+		for x := 0; x < 20; x++ {
+			got := img.At(x, y) == Green
+			if got != m.At(x, y) {
+				t.Fatalf("capsule image/mask disagree at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestFillRectClips(t *testing.T) {
+	img := NewImage(4, 4)
+	FillRect(img, Rect{X0: -2, Y0: -2, X1: 1, Y1: 1}, Blue)
+	if img.At(0, 0) != Blue || img.At(1, 1) != Blue || img.At(2, 2) == Blue {
+		t.Error("FillRect clipping wrong")
+	}
+	m := NewMask(4, 4)
+	FillRectMask(m, Rect{X0: 2, Y0: 2, X1: 9, Y1: 9})
+	if !m.At(3, 3) || m.At(1, 1) {
+		t.Error("FillRectMask clipping wrong")
+	}
+}
+
+func TestDrawCross(t *testing.T) {
+	img := NewImage(9, 9)
+	DrawCross(img, 4, 4, 2, Red)
+	for d := -2; d <= 2; d++ {
+		if img.At(4+d, 4) != Red || img.At(4, 4+d) != Red {
+			t.Fatal("cross arms missing")
+		}
+	}
+	if img.At(3, 3) == Red {
+		t.Error("cross filled diagonal")
+	}
+}
+
+func TestFillCircle(t *testing.T) {
+	img := NewImage(11, 11)
+	FillCircle(img, 5, 5, 2, Red)
+	if img.At(5, 5) != Red || img.At(7, 5) != Red || img.At(8, 5) == Red {
+		t.Error("circle fill wrong")
+	}
+	m := NewMask(11, 11)
+	FillCircleMask(m, 5, 5, 2)
+	if !m.At(5, 5) || m.At(8, 5) {
+		t.Error("circle mask wrong")
+	}
+}

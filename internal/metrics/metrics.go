@@ -1,0 +1,179 @@
+// Package metrics provides the quantitative evaluation measures used by the
+// experiment harness: mask overlap scores (IoU, precision, recall, F1),
+// pose errors (mean joint position error, mean absolute angle error, PCK)
+// and convergence statistics. The paper's evaluation is qualitative
+// (figures); these metrics are the quantitative equivalents enabled by the
+// synthetic ground truth.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// MaskScores aggregates overlap measures of a predicted mask against truth.
+type MaskScores struct {
+	IoU       float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	// TP, FP, FN are the raw pixel counts behind the ratios.
+	TP, FP, FN int
+}
+
+// CompareMasks scores pred against truth. Empty-vs-empty scores 1.0 across
+// the board (a correct "nothing there" prediction).
+func CompareMasks(pred, truth *imaging.Mask) (MaskScores, error) {
+	if !pred.SameSize(truth) {
+		return MaskScores{}, fmt.Errorf("compare masks: %w", imaging.ErrSizeMismatch)
+	}
+	var s MaskScores
+	for i := range pred.Bits {
+		switch {
+		case pred.Bits[i] && truth.Bits[i]:
+			s.TP++
+		case pred.Bits[i] && !truth.Bits[i]:
+			s.FP++
+		case !pred.Bits[i] && truth.Bits[i]:
+			s.FN++
+		}
+	}
+	if s.TP+s.FP+s.FN == 0 {
+		return MaskScores{IoU: 1, Precision: 1, Recall: 1, F1: 1}, nil
+	}
+	union := s.TP + s.FP + s.FN
+	s.IoU = float64(s.TP) / float64(union)
+	if s.TP+s.FP > 0 {
+		s.Precision = float64(s.TP) / float64(s.TP+s.FP)
+	}
+	if s.TP+s.FN > 0 {
+		s.Recall = float64(s.TP) / float64(s.TP+s.FN)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s, nil
+}
+
+// PoseError aggregates the error of an estimated pose against ground truth.
+type PoseError struct {
+	// MeanJointErr is the mean Euclidean joint position error in pixels
+	// (an MPJPE analogue over the nine named joints).
+	MeanJointErr float64
+	// MaxJointErr is the worst joint position error in pixels.
+	MaxJointErr float64
+	// MeanAngleErr is the mean absolute angular error over the 8 sticks,
+	// in degrees, shortest-arc.
+	MeanAngleErr float64
+	// MaxAngleErr is the worst per-stick angular error in degrees.
+	MaxAngleErr float64
+	// CentreErr is the trunk-centre position error in pixels.
+	CentreErr float64
+}
+
+// ComparePoses computes pose errors under shared dimensions.
+func ComparePoses(est, truth stickmodel.Pose, dims stickmodel.Dimensions) PoseError {
+	var pe PoseError
+	ej := est.Joints(dims)
+	tj := truth.Joints(dims)
+	n := 0
+	for id, tp := range tj {
+		d := ej[id].Dist(tp)
+		pe.MeanJointErr += d
+		if d > pe.MaxJointErr {
+			pe.MaxJointErr = d
+		}
+		n++
+	}
+	if n > 0 {
+		pe.MeanJointErr /= float64(n)
+	}
+	for l := 0; l < stickmodel.NumSticks; l++ {
+		d := math.Abs(stickmodel.AngleDiff(truth.Rho[l], est.Rho[l]))
+		pe.MeanAngleErr += d
+		if d > pe.MaxAngleErr {
+			pe.MaxAngleErr = d
+		}
+	}
+	pe.MeanAngleErr /= stickmodel.NumSticks
+	pe.CentreErr = math.Hypot(est.X-truth.X, est.Y-truth.Y)
+	return pe
+}
+
+// PCK returns the fraction of joints whose position error is within
+// tol × torso-length (Percentage of Correct Keypoints, PCK@tol).
+func PCK(est, truth stickmodel.Pose, dims stickmodel.Dimensions, tol float64) float64 {
+	ej := est.Joints(dims)
+	tj := truth.Joints(dims)
+	thr := tol * dims.Length[stickmodel.Trunk]
+	ok, n := 0, 0
+	for id, tp := range tj {
+		if ej[id].Dist(tp) <= thr {
+			ok++
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(ok) / float64(n)
+}
+
+// SequenceErrors summarises pose errors over a clip.
+type SequenceErrors struct {
+	PerFrame  []PoseError
+	MeanAngle float64
+	MeanJoint float64
+	WorstMean float64 // worst per-frame MeanAngleErr
+}
+
+// CompareSequences scores estimated poses frame by frame.
+func CompareSequences(est, truth []stickmodel.Pose, dims stickmodel.Dimensions) (SequenceErrors, error) {
+	if len(est) != len(truth) {
+		return SequenceErrors{}, fmt.Errorf("metrics: %d estimates vs %d truths", len(est), len(truth))
+	}
+	out := SequenceErrors{PerFrame: make([]PoseError, len(est))}
+	for i := range est {
+		pe := ComparePoses(est[i], truth[i], dims)
+		out.PerFrame[i] = pe
+		out.MeanAngle += pe.MeanAngleErr
+		out.MeanJoint += pe.MeanJointErr
+		if pe.MeanAngleErr > out.WorstMean {
+			out.WorstMean = pe.MeanAngleErr
+		}
+	}
+	if len(est) > 0 {
+		out.MeanAngle /= float64(len(est))
+		out.MeanJoint /= float64(len(est))
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+func rectMask(w, h int, r imaging.Rect) *imaging.Mask {
+	m := imaging.NewMask(w, h)
+	imaging.FillRectMask(m, r)
+	return m
+}
+
+func TestCompareMasksIdentical(t *testing.T) {
+	m := rectMask(10, 10, imaging.Rect{X0: 2, Y0: 2, X1: 5, Y1: 5})
+	s, err := CompareMasks(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IoU != 1 || s.Precision != 1 || s.Recall != 1 || s.F1 != 1 {
+		t.Errorf("identical masks: %+v", s)
+	}
+	if s.FP != 0 || s.FN != 0 || s.TP != 16 {
+		t.Errorf("counts: %+v", s)
+	}
+}
+
+func TestCompareMasksDisjoint(t *testing.T) {
+	a := rectMask(10, 10, imaging.Rect{X0: 0, Y0: 0, X1: 2, Y1: 2})
+	b := rectMask(10, 10, imaging.Rect{X0: 6, Y0: 6, X1: 8, Y1: 8})
+	s, err := CompareMasks(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IoU != 0 || s.Precision != 0 || s.Recall != 0 || s.F1 != 0 {
+		t.Errorf("disjoint masks: %+v", s)
+	}
+}
+
+func TestCompareMasksHalfOverlap(t *testing.T) {
+	a := rectMask(10, 10, imaging.Rect{X0: 0, Y0: 0, X1: 3, Y1: 0}) // 4 px
+	b := rectMask(10, 10, imaging.Rect{X0: 2, Y0: 0, X1: 5, Y1: 0}) // 4 px, overlap 2
+	s, err := CompareMasks(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.IoU-2.0/6.0) > 1e-12 {
+		t.Errorf("IoU = %v, want 1/3", s.IoU)
+	}
+	if math.Abs(s.Precision-0.5) > 1e-12 || math.Abs(s.Recall-0.5) > 1e-12 {
+		t.Errorf("P/R = %v/%v", s.Precision, s.Recall)
+	}
+}
+
+func TestCompareMasksBothEmpty(t *testing.T) {
+	s, err := CompareMasks(imaging.NewMask(5, 5), imaging.NewMask(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IoU != 1 {
+		t.Error("empty-vs-empty must score 1")
+	}
+}
+
+func TestCompareMasksSizeMismatch(t *testing.T) {
+	if _, err := CompareMasks(imaging.NewMask(5, 5), imaging.NewMask(6, 5)); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// Property: IoU is symmetric and within [0,1]; IoU <= precision and recall.
+func TestCompareMasksProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		a, b := imaging.NewMask(12, 12), imaging.NewMask(12, 12)
+		for i := range a.Bits {
+			a.Bits[i] = rng.Float64() < 0.4
+			b.Bits[i] = rng.Float64() < 0.4
+		}
+		ab, err := CompareMasks(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := CompareMasks(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ab.IoU-ba.IoU) > 1e-12 {
+			t.Fatal("IoU not symmetric")
+		}
+		if ab.IoU < 0 || ab.IoU > 1 {
+			t.Fatal("IoU out of range")
+		}
+		if ab.IoU > ab.Precision+1e-12 || ab.IoU > ab.Recall+1e-12 {
+			t.Fatal("IoU must not exceed precision or recall")
+		}
+	}
+}
+
+func testPose() stickmodel.Pose {
+	p := stickmodel.Pose{X: 50, Y: 50}
+	p.Rho = [stickmodel.NumSticks]float64{10, 20, 200, 170, 15, 190, 185, 95}
+	return p
+}
+
+func TestComparePosesIdentical(t *testing.T) {
+	d := stickmodel.ChildDimensions(60)
+	pe := ComparePoses(testPose(), testPose(), d)
+	if pe.MeanJointErr != 0 || pe.MeanAngleErr != 0 || pe.CentreErr != 0 {
+		t.Errorf("identical poses: %+v", pe)
+	}
+}
+
+func TestComparePosesKnownOffsets(t *testing.T) {
+	d := stickmodel.ChildDimensions(60)
+	a := testPose()
+	b := a
+	b.X += 3
+	b.Y += 4
+	pe := ComparePoses(b, a, d)
+	if math.Abs(pe.CentreErr-5) > 1e-9 {
+		t.Errorf("centre err = %v, want 5", pe.CentreErr)
+	}
+	// Pure translation moves every joint by exactly 5.
+	if math.Abs(pe.MeanJointErr-5) > 1e-9 || math.Abs(pe.MaxJointErr-5) > 1e-9 {
+		t.Errorf("joint err = %v/%v, want 5", pe.MeanJointErr, pe.MaxJointErr)
+	}
+	if pe.MeanAngleErr != 0 {
+		t.Errorf("angle err = %v, want 0", pe.MeanAngleErr)
+	}
+}
+
+func TestComparePosesAngleWrap(t *testing.T) {
+	d := stickmodel.ChildDimensions(60)
+	a := testPose()
+	b := a
+	a.Rho[stickmodel.UpperArm] = 350
+	b.Rho[stickmodel.UpperArm] = 10
+	pe := ComparePoses(b, a, d)
+	if math.Abs(pe.MaxAngleErr-20) > 1e-9 {
+		t.Errorf("wrapped angle err = %v, want 20", pe.MaxAngleErr)
+	}
+}
+
+func TestPCK(t *testing.T) {
+	d := stickmodel.ChildDimensions(60)
+	p := testPose()
+	if got := PCK(p, p, d, 0.1); got != 1 {
+		t.Errorf("identical PCK = %v, want 1", got)
+	}
+	far := p.Translate(100, 100)
+	if got := PCK(far, p, d, 0.1); got != 0 {
+		t.Errorf("far PCK = %v, want 0", got)
+	}
+}
+
+func TestCompareSequences(t *testing.T) {
+	d := stickmodel.ChildDimensions(60)
+	a := []stickmodel.Pose{testPose(), testPose().Translate(1, 0)}
+	b := []stickmodel.Pose{testPose(), testPose()}
+	se, err := CompareSequences(a, b, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(se.PerFrame) != 2 {
+		t.Fatal("per-frame length wrong")
+	}
+	if se.PerFrame[0].MeanJointErr != 0 || se.PerFrame[1].MeanJointErr != 1 {
+		t.Errorf("per-frame errs: %v, %v", se.PerFrame[0].MeanJointErr, se.PerFrame[1].MeanJointErr)
+	}
+	if math.Abs(se.MeanJoint-0.5) > 1e-9 {
+		t.Errorf("mean joint = %v, want 0.5", se.MeanJoint)
+	}
+	if _, err := CompareSequences(a, b[:1], d); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if Stddev([]float64{5}) != 0 {
+		t.Error("Stddev single = 0")
+	}
+	if got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+}

@@ -1,0 +1,184 @@
+// Package morphology implements the binary-mask cleanup operators of the
+// paper's segmentation pipeline: the 8-neighbour noise filter (Step 3), the
+// 4-neighbour hole fill (Step 4), connected-component labelling and
+// small-spot removal (Step 3), plus standard dilation/erosion used by
+// extensions and tests.
+package morphology
+
+import (
+	"github.com/sljmotion/sljmotion/internal/imaging"
+)
+
+// neigh8 enumerates the 8-connected neighbourhood offsets.
+var neigh8 = [8][2]int{
+	{-1, -1}, {0, -1}, {1, -1},
+	{-1, 0}, {1, 0},
+	{-1, 1}, {0, 1}, {1, 1},
+}
+
+// neigh4 enumerates the 4-connected neighbourhood offsets.
+var neigh4 = [4][2]int{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
+
+// RemoveNoise implements the paper's Step 3 filter: a set pixel is kept only
+// when at least minNeighbors of its 8 neighbours are set ("if the number of
+// neighbors that are not 0 is greater than the threshold, the pixel is
+// kept"). It returns a new mask.
+func RemoveNoise(m *imaging.Mask, minNeighbors int) *imaging.Mask {
+	out := imaging.NewMask(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if !m.Bits[y*m.W+x] {
+				continue
+			}
+			n := 0
+			for _, d := range neigh8 {
+				if m.At(x+d[0], y+d[1]) {
+					n++
+				}
+			}
+			if n >= minNeighbors {
+				out.Bits[y*m.W+x] = true
+			}
+		}
+	}
+	return out
+}
+
+// FillHoles implements the paper's Step 4 rule: a clear pixel whose four
+// 4-neighbours are all set becomes set. One call performs a single pass, as
+// in the paper; use FillHolesN for repeated passes.
+func FillHoles(m *imaging.Mask) *imaging.Mask {
+	out := m.Clone()
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.Bits[y*m.W+x] {
+				continue
+			}
+			all := true
+			for _, d := range neigh4 {
+				if !m.At(x+d[0], y+d[1]) {
+					all = false
+					break
+				}
+			}
+			if all {
+				out.Bits[y*m.W+x] = true
+			}
+		}
+	}
+	return out
+}
+
+// FillHolesN applies FillHoles up to n passes, stopping early once a pass
+// changes nothing.
+func FillHolesN(m *imaging.Mask, n int) *imaging.Mask {
+	cur := m
+	for i := 0; i < n; i++ {
+		next := FillHoles(cur)
+		if masksEqual(cur, next) {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}
+
+// FillEnclosed fills every background region not connected to the mask
+// border (a flood fill from the border; everything unreachable is a hole).
+// This is the stronger alternative to the paper's single-pass rule and is
+// used by the extension pipeline configuration.
+func FillEnclosed(m *imaging.Mask) *imaging.Mask {
+	outside := imaging.NewMask(m.W, m.H)
+	stack := make([]imaging.Point, 0, 2*(m.W+m.H))
+	push := func(x, y int) {
+		if x < 0 || x >= m.W || y < 0 || y >= m.H {
+			return
+		}
+		idx := y*m.W + x
+		if m.Bits[idx] || outside.Bits[idx] {
+			return
+		}
+		outside.Bits[idx] = true
+		stack = append(stack, imaging.Point{X: x, Y: y})
+	}
+	for x := 0; x < m.W; x++ {
+		push(x, 0)
+		push(x, m.H-1)
+	}
+	for y := 0; y < m.H; y++ {
+		push(0, y)
+		push(m.W-1, y)
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range neigh4 {
+			push(p.X+d[0], p.Y+d[1])
+		}
+	}
+	out := m.Clone()
+	for i := range out.Bits {
+		if !out.Bits[i] && !outside.Bits[i] {
+			out.Bits[i] = true
+		}
+	}
+	return out
+}
+
+// Dilate grows the mask by a square structuring element of the given radius.
+func Dilate(m *imaging.Mask, radius int) *imaging.Mask {
+	if radius <= 0 {
+		return m.Clone()
+	}
+	out := imaging.NewMask(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if !m.Bits[y*m.W+x] {
+				continue
+			}
+			for dy := -radius; dy <= radius; dy++ {
+				for dx := -radius; dx <= radius; dx++ {
+					out.Set(x+dx, y+dy, true)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Erode shrinks the mask by a square structuring element of the given radius.
+func Erode(m *imaging.Mask, radius int) *imaging.Mask {
+	if radius <= 0 {
+		return m.Clone()
+	}
+	out := imaging.NewMask(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+	pixels:
+		for x := 0; x < m.W; x++ {
+			if !m.Bits[y*m.W+x] {
+				continue
+			}
+			for dy := -radius; dy <= radius; dy++ {
+				for dx := -radius; dx <= radius; dx++ {
+					if !m.At(x+dx, y+dy) {
+						continue pixels
+					}
+				}
+			}
+			out.Bits[y*m.W+x] = true
+		}
+	}
+	return out
+}
+
+func masksEqual(a, b *imaging.Mask) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for i := range a.Bits {
+		if a.Bits[i] != b.Bits[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,217 @@
+package morphology
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+)
+
+func block(w, h int, r imaging.Rect) *imaging.Mask {
+	m := imaging.NewMask(w, h)
+	imaging.FillRectMask(m, r)
+	return m
+}
+
+func TestRemoveNoiseKillsIsolatedPixels(t *testing.T) {
+	m := block(12, 12, imaging.Rect{X0: 3, Y0: 3, X1: 8, Y1: 8})
+	m.Set(0, 0, true)  // isolated corner speck
+	m.Set(11, 5, true) // isolated edge speck
+	out := RemoveNoise(m, 3)
+	if out.At(0, 0) || out.At(11, 5) {
+		t.Error("isolated pixels survived")
+	}
+	if !out.At(5, 5) {
+		t.Error("interior pixel removed")
+	}
+}
+
+func TestRemoveNoiseThresholdZeroKeepsAll(t *testing.T) {
+	m := imaging.NewMask(5, 5)
+	m.Set(2, 2, true)
+	out := RemoveNoise(m, 0)
+	if !out.At(2, 2) {
+		t.Error("threshold 0 must keep everything")
+	}
+}
+
+// Property: noise removal is anti-extensive (never adds pixels) and
+// monotone in the threshold.
+func TestRemoveNoiseProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		m := imaging.NewMask(16, 16)
+		for i := range m.Bits {
+			m.Bits[i] = rng.Float64() < 0.4
+		}
+		prevCount := m.Count()
+		for thr := 0; thr <= 8; thr++ {
+			out := RemoveNoise(m, thr)
+			for i := range out.Bits {
+				if out.Bits[i] && !m.Bits[i] {
+					t.Fatal("noise removal added a pixel")
+				}
+			}
+			c := out.Count()
+			if c > prevCount {
+				t.Fatalf("count increased from %d to %d at threshold %d", prevCount, c, thr)
+			}
+			prevCount = c
+		}
+	}
+}
+
+func TestFillHolesSinglePixelHole(t *testing.T) {
+	m := block(10, 10, imaging.Rect{X0: 2, Y0: 2, X1: 7, Y1: 7})
+	m.Set(4, 4, false)
+	out := FillHoles(m)
+	if !out.At(4, 4) {
+		t.Error("single-pixel hole not filled")
+	}
+}
+
+func TestFillHolesLeavesConcavitiesAlone(t *testing.T) {
+	// A pixel with only three set 4-neighbours must stay clear.
+	m := imaging.NewMask(5, 5)
+	m.Set(2, 1, true)
+	m.Set(1, 2, true)
+	m.Set(3, 2, true)
+	out := FillHoles(m)
+	if out.At(2, 2) {
+		t.Error("pixel with 3 set neighbours was filled")
+	}
+}
+
+// Property: hole filling is extensive (never removes pixels).
+func TestFillHolesExtensive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		m := imaging.NewMask(12, 12)
+		for i := range m.Bits {
+			m.Bits[i] = rng.Float64() < 0.6
+		}
+		out := FillHoles(m)
+		for i := range m.Bits {
+			if m.Bits[i] && !out.Bits[i] {
+				t.Fatal("hole filling removed a pixel")
+			}
+		}
+	}
+}
+
+func TestFillHolesCannotFillMultiPixelHoles(t *testing.T) {
+	// The paper's strict all-4-neighbours rule only fills isolated
+	// single-pixel holes: every pixel of a 4-connected hole component of
+	// size ≥ 2 always has a clear neighbour, so the component never fills
+	// no matter how many passes run. FillEnclosed is the stronger
+	// alternative for such holes.
+	m := block(12, 12, imaging.Rect{X0: 1, Y0: 1, X1: 10, Y1: 10})
+	for _, p := range []imaging.Point{{X: 5, Y: 5}, {X: 6, Y: 5}, {X: 5, Y: 6}, {X: 6, Y: 6}} {
+		m.Set(p.X, p.Y, false)
+	}
+	out := FillHolesN(m, 10)
+	if out.At(5, 5) || out.At(6, 6) {
+		t.Error("strict 4-neighbour rule must not fill a 2x2 hole")
+	}
+	enc := FillEnclosed(m)
+	if !enc.At(5, 5) || !enc.At(6, 6) {
+		t.Error("FillEnclosed must fill the 2x2 hole")
+	}
+	if FillHolesN(m, 0).Count() != m.Count() {
+		t.Error("0 passes must be identity")
+	}
+}
+
+// Property: diagonal hole pairs fill in one pass (each has all four
+// 4-neighbours set), and one pass is idempotent on masks whose single-pixel
+// holes are gone.
+func TestFillHolesIdempotentAfterOnePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		m := imaging.NewMask(14, 14)
+		for i := range m.Bits {
+			m.Bits[i] = rng.Float64() < 0.7
+		}
+		once := FillHoles(m)
+		twice := FillHoles(once)
+		for i := range once.Bits {
+			if once.Bits[i] != twice.Bits[i] {
+				t.Fatal("FillHoles not idempotent after one pass")
+			}
+		}
+	}
+}
+
+func TestFillEnclosed(t *testing.T) {
+	// Ring with a big enclosed hole: single-pass FillHoles cannot fill it,
+	// FillEnclosed must.
+	m := block(16, 16, imaging.Rect{X0: 2, Y0: 2, X1: 13, Y1: 13})
+	imaging.FillRectMask(m, imaging.Rect{X0: 5, Y0: 5, X1: 10, Y1: 10})
+	for y := 5; y <= 10; y++ {
+		for x := 5; x <= 10; x++ {
+			m.Set(x, y, false)
+		}
+	}
+	out := FillEnclosed(m)
+	if !out.At(7, 7) {
+		t.Error("enclosed hole not filled")
+	}
+	if out.At(0, 0) {
+		t.Error("border background was filled")
+	}
+}
+
+func TestFillEnclosedOpenRegionUntouched(t *testing.T) {
+	// A C-shape: the cavity connects to the border and must stay clear.
+	m := imaging.NewMask(10, 10)
+	imaging.FillRectMask(m, imaging.Rect{X0: 2, Y0: 2, X1: 7, Y1: 3})
+	imaging.FillRectMask(m, imaging.Rect{X0: 2, Y0: 6, X1: 7, Y1: 7})
+	imaging.FillRectMask(m, imaging.Rect{X0: 2, Y0: 2, X1: 3, Y1: 7})
+	out := FillEnclosed(m)
+	if out.At(6, 5) {
+		t.Error("open cavity was filled")
+	}
+}
+
+func TestDilateErode(t *testing.T) {
+	m := block(12, 12, imaging.Rect{X0: 5, Y0: 5, X1: 6, Y1: 6})
+	d := Dilate(m, 1)
+	if !d.At(4, 4) || !d.At(7, 7) {
+		t.Error("dilation missing pixels")
+	}
+	if d.At(3, 3) {
+		t.Error("dilation too large")
+	}
+	e := Erode(d, 1)
+	// Erosion of the dilation recovers at least the original (closing).
+	for i := range m.Bits {
+		if m.Bits[i] && !e.Bits[i] {
+			t.Error("closing lost an original pixel")
+			break
+		}
+	}
+	if Dilate(m, 0).Count() != m.Count() || Erode(m, 0).Count() != m.Count() {
+		t.Error("radius 0 must be identity")
+	}
+}
+
+// Property: erosion ⊆ original ⊆ dilation.
+func TestErodeDilateOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		m := imaging.NewMask(14, 14)
+		for i := range m.Bits {
+			m.Bits[i] = rng.Float64() < 0.5
+		}
+		d := Dilate(m, 1)
+		e := Erode(m, 1)
+		for i := range m.Bits {
+			if e.Bits[i] && !m.Bits[i] {
+				t.Fatal("erosion added a pixel")
+			}
+			if m.Bits[i] && !d.Bits[i] {
+				t.Fatal("dilation lost a pixel")
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package pose
+
+import (
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// refinePose runs group-coordinate refinement: each kinematic group is
+// scanned over a discrete candidate set while the rest of the pose is held
+// fixed, keeping the best valid candidate; the process repeats for the
+// configured number of rounds. Groups interact only weakly through Eq. (3)
+// (they cover different silhouette regions), so coordinate descent with
+// full-circle scans reliably escapes the coordinated local optima that
+// grouped crossover alone cannot assemble (e.g. trunk-lean + arm-flip).
+func refinePose(start stickmodel.Pose, fit func(stickmodel.Pose) float64,
+	valid func(stickmodel.Pose) bool, rounds int) stickmodel.Pose {
+
+	best := start
+	bestFit := fit(best)
+
+	apply := func(p stickmodel.Pose) {
+		if f := fit(p); f < bestFit && valid(p) {
+			best, bestFit = p, f
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		prevFit := bestFit
+
+		// Trunk centre: small grid around the current centre.
+		for _, dx := range []float64{-3, -1.5, 1.5, 3} {
+			for _, dy := range []float64{-3, -1.5, 0, 1.5, 3} {
+				p := best
+				p.X += dx
+				p.Y += dy
+				apply(p)
+			}
+		}
+
+		// Trunk angle: full-circle scan, 5° steps.
+		scan1(&best, &bestFit, fit, valid, stickmodel.Trunk, 360, 5)
+
+		// Neck and head: anatomically bounded joint scan around current.
+		scan2(&best, &bestFit, fit, valid, stickmodel.Neck, stickmodel.Head, 45, 9)
+
+		// Arm chain: full-circle joint scan (the chain most prone to
+		// flipping when it crosses the trunk).
+		scan2(&best, &bestFit, fit, valid, stickmodel.UpperArm, stickmodel.Forearm, 180, 12)
+
+		// Leg chain: full-circle thigh × shank, then foot alone.
+		scan2(&best, &bestFit, fit, valid, stickmodel.Thigh, stickmodel.Shank, 180, 12)
+		scan1(&best, &bestFit, fit, valid, stickmodel.Foot, 90, 6)
+
+		if prevFit-bestFit < 1e-6 {
+			break // converged
+		}
+	}
+	return best
+}
+
+// scan1 scans a single stick's angle within ±span of its current value at
+// the given step, keeping the best valid improvement.
+func scan1(best *stickmodel.Pose, bestFit *float64, fit func(stickmodel.Pose) float64,
+	valid func(stickmodel.Pose) bool, id stickmodel.StickID, span, step float64) {
+
+	base := *best
+	for d := -span; d <= span; d += step {
+		if d == 0 {
+			continue
+		}
+		p := base
+		p.Rho[id] = stickmodel.NormalizeAngle(base.Rho[id] + d)
+		if f := fit(p); f < *bestFit && valid(p) {
+			*best, *bestFit = p, f
+		}
+	}
+}
+
+// scan2 jointly scans two sticks within ±span of their current values.
+func scan2(best *stickmodel.Pose, bestFit *float64, fit func(stickmodel.Pose) float64,
+	valid func(stickmodel.Pose) bool, a, b stickmodel.StickID, span, step float64) {
+
+	base := *best
+	for da := -span; da <= span; da += step {
+		for db := -span; db <= span; db += step {
+			if da == 0 && db == 0 {
+				continue
+			}
+			p := base
+			p.Rho[a] = stickmodel.NormalizeAngle(base.Rho[a] + da)
+			p.Rho[b] = stickmodel.NormalizeAngle(base.Rho[b] + db)
+			if f := fit(p); f < *bestFit && valid(p) {
+				*best, *bestFit = p, f
+			}
+		}
+	}
+}

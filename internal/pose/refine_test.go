@@ -1,0 +1,106 @@
+package pose
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+func TestRefineEscapesArmFlip(t *testing.T) {
+	// Plant the coordinated local optimum seen in tracking: the arm flipped
+	// ~170° with the rest of the pose correct. Group-coordinate refinement
+	// must recover the generating pose.
+	d := stickmodel.ChildDimensions(60)
+	truth := crouchPose(70, 70)
+	sil := cleanSilhouette(t, truth, d, 140, 140)
+
+	est, err := NewEstimator(d, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := est.silhouettePoints(sil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := fitnessOver(pts, d)
+	valid := func(p stickmodel.Pose) bool {
+		return p.ContainmentFraction(d, sil.Mask) >= 0.6
+	}
+
+	stuck := truth
+	stuck.Rho[stickmodel.UpperArm] = stickmodel.NormalizeAngle(truth.Rho[stickmodel.UpperArm] + 170)
+	stuck.Rho[stickmodel.Forearm] = stickmodel.NormalizeAngle(truth.Rho[stickmodel.Forearm] + 150)
+
+	refined := refinePose(stuck, fit, valid, 3)
+	armErr := math.Abs(stickmodel.AngleDiff(truth.Rho[stickmodel.UpperArm], refined.Rho[stickmodel.UpperArm]))
+	if armErr > 30 {
+		t.Errorf("refinement left arm error %.1f°", armErr)
+	}
+	if fit(refined) >= fit(stuck) {
+		t.Error("refinement did not improve fitness")
+	}
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	d := stickmodel.ChildDimensions(60)
+	truth := crouchPose(70, 70)
+	sil := cleanSilhouette(t, truth, d, 140, 140)
+	est, err := NewEstimator(d, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := est.silhouettePoints(sil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := fitnessOver(pts, d)
+	valid := func(p stickmodel.Pose) bool { return true }
+
+	for _, start := range []stickmodel.Pose{truth, truth.Translate(2, 2)} {
+		refined := refinePose(start, fit, valid, 2)
+		if fit(refined) > fit(start) {
+			t.Error("refine increased fitness")
+		}
+	}
+}
+
+func TestRefineZeroRoundsIdentity(t *testing.T) {
+	d := stickmodel.ChildDimensions(60)
+	truth := crouchPose(70, 70)
+	sil := cleanSilhouette(t, truth, d, 140, 140)
+	est, err := NewEstimator(d, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := est.silhouettePoints(sil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := fitnessOver(pts, d)
+	got := refinePose(truth, fit, func(stickmodel.Pose) bool { return true }, 0)
+	if got != truth {
+		t.Error("0 rounds must return the input pose")
+	}
+}
+
+func TestRefineRespectsValidity(t *testing.T) {
+	// With a validity predicate that rejects everything but the start, the
+	// start must be returned unchanged.
+	d := stickmodel.ChildDimensions(60)
+	truth := crouchPose(70, 70)
+	sil := cleanSilhouette(t, truth, d, 140, 140)
+	est, err := NewEstimator(d, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := est.silhouettePoints(sil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := fitnessOver(pts, d)
+	got := refinePose(truth, fit, func(stickmodel.Pose) bool { return false }, 2)
+	if got != truth {
+		t.Error("all-invalid predicate must freeze the pose")
+	}
+}

@@ -1,0 +1,294 @@
+// Package scoring implements Section 4 of the paper: the evaluation
+// standards of Table 1 (E1-E7), their translation into stick-model scoring
+// rules of Table 2 (R1-R7), window-based rule evaluation ("examine the
+// angles for a few consecutive frames ... the maximum of all the angle
+// differences is then used"), and the advice generation the system promises
+// ("detect improper movements and give advices to the jumper").
+package scoring
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+	"github.com/sljmotion/sljmotion/internal/track"
+)
+
+// Stage identifies the movement stage a standard or rule belongs to.
+type Stage int
+
+// Stages of Table 1. Enum starts at one so the zero value is invalid.
+const (
+	StageInitiation Stage = iota + 1
+	StageAirLanding
+)
+
+// String names the stage as in Table 1.
+func (s Stage) String() string {
+	switch s {
+	case StageInitiation:
+		return "Initiation Stage"
+	case StageAirLanding:
+		return "On the Air/Landing"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Standard is one row of Table 1.
+type Standard struct {
+	ID          string
+	Stage       Stage
+	Description string
+}
+
+// Standards returns Table 1 verbatim.
+func Standards() []Standard {
+	return []Standard{
+		{ID: "E1", Stage: StageInitiation, Description: "Knees bended"},
+		{ID: "E2", Stage: StageInitiation, Description: "Neck bended forward"},
+		{ID: "E3", Stage: StageInitiation, Description: "Arms swung back"},
+		{ID: "E4", Stage: StageInitiation, Description: "Arms bended"},
+		{ID: "E5", Stage: StageAirLanding, Description: "Knees bended"},
+		{ID: "E6", Stage: StageAirLanding, Description: "Trunk bended forward"},
+		{ID: "E7", Stage: StageAirLanding, Description: "Arms swung forward after landing"},
+	}
+}
+
+// Aggregate selects how a rule combines per-frame values over its window.
+type Aggregate int
+
+// Aggregation modes. The paper uses the maximum for R1-R6; R7's "ρ2 < 160°"
+// is satisfied when the arm comes forward at least once, i.e. the minimum.
+const (
+	AggregateMax Aggregate = iota + 1
+	AggregateMin
+)
+
+// Comparison is the pass predicate direction.
+type Comparison int
+
+// Comparison directions for rule thresholds.
+const (
+	GreaterThan Comparison = iota + 1
+	LessThan
+)
+
+// Rule is one row of Table 2: a measurable predicate over the stick-model
+// angle sequence.
+type Rule struct {
+	ID       string
+	Standard string // the Table 1 standard this rule implements
+	Stage    Stage
+	// Formula is the human-readable form, e.g. "ρ6 - ρ3 > 60°".
+	Formula string
+	// Advice is emitted when the rule fails.
+	Advice string
+	// Measure extracts the per-frame quantity in degrees.
+	Measure func(p stickmodel.Pose) float64
+	// Agg combines per-frame values over the window.
+	Agg Aggregate
+	// Cmp and Threshold define the pass predicate on the aggregate.
+	Cmp       Comparison
+	Threshold float64
+}
+
+// kneeFlexion is ρ6-ρ3 as a shortest-arc signed difference, positive when
+// the shank folds back under the thigh.
+func kneeFlexion(p stickmodel.Pose) float64 {
+	return stickmodel.AngleDiff(p.Rho[stickmodel.Thigh], p.Rho[stickmodel.Shank])
+}
+
+// elbowFlexion is ρ2-ρ5 as a shortest-arc signed difference.
+func elbowFlexion(p stickmodel.Pose) float64 {
+	return stickmodel.AngleDiff(p.Rho[stickmodel.Forearm], p.Rho[stickmodel.UpperArm])
+}
+
+// Rules returns Table 2 verbatim, with measures expressed in the
+// stick-model angle convention of DESIGN.md §3.
+func Rules() []Rule {
+	return []Rule{
+		{
+			ID: "R1", Standard: "E1", Stage: StageInitiation,
+			Formula: "ρ6 - ρ3 > 60°",
+			Advice:  "Bend your knees more before taking off.",
+			Measure: kneeFlexion,
+			Agg:     AggregateMax, Cmp: GreaterThan, Threshold: 60,
+		},
+		{
+			ID: "R2", Standard: "E2", Stage: StageInitiation,
+			Formula: "ρ1 > 30°",
+			Advice:  "Lean your head and neck forward as you prepare.",
+			Measure: func(p stickmodel.Pose) float64 { return p.Rho[stickmodel.Neck] },
+			Agg:     AggregateMax, Cmp: GreaterThan, Threshold: 30,
+		},
+		{
+			ID: "R3", Standard: "E3", Stage: StageInitiation,
+			Formula: "ρ2 > 270°",
+			Advice:  "Swing your arms further back before the jump.",
+			Measure: func(p stickmodel.Pose) float64 { return p.Rho[stickmodel.UpperArm] },
+			Agg:     AggregateMax, Cmp: GreaterThan, Threshold: 270,
+		},
+		{
+			ID: "R4", Standard: "E4", Stage: StageInitiation,
+			Formula: "ρ2 - ρ5 > 45°",
+			Advice:  "Keep your elbows bent during the arm swing.",
+			Measure: elbowFlexion,
+			Agg:     AggregateMax, Cmp: GreaterThan, Threshold: 45,
+		},
+		{
+			ID: "R5", Standard: "E5", Stage: StageAirLanding,
+			Formula: "ρ6 - ρ3 > 60°",
+			Advice:  "Tuck your knees during flight and bend them on landing.",
+			Measure: kneeFlexion,
+			Agg:     AggregateMax, Cmp: GreaterThan, Threshold: 60,
+		},
+		{
+			ID: "R6", Standard: "E6", Stage: StageAirLanding,
+			Formula: "ρ0 > 45°",
+			Advice:  "Bend your trunk forward when landing.",
+			Measure: func(p stickmodel.Pose) float64 { return p.Rho[stickmodel.Trunk] },
+			Agg:     AggregateMax, Cmp: GreaterThan, Threshold: 45,
+		},
+		{
+			ID: "R7", Standard: "E7", Stage: StageAirLanding,
+			Formula: "ρ2 < 160°",
+			Advice:  "Swing your arms forward after landing to keep balance.",
+			Measure: func(p stickmodel.Pose) float64 { return p.Rho[stickmodel.UpperArm] },
+			Agg:     AggregateMin, Cmp: LessThan, Threshold: 160,
+		},
+	}
+}
+
+// RuleResult is the outcome of one rule over its stage window.
+type RuleResult struct {
+	Rule   Rule
+	Window track.Window
+	// Value is the aggregated measurement in degrees.
+	Value  float64
+	Passed bool
+	// AtFrame is the frame index where the aggregate value occurred.
+	AtFrame int
+}
+
+// Report is the full scoring outcome for one jump.
+type Report struct {
+	Results []RuleResult
+	Passed  int
+	Total   int
+	// Score is Passed/Total in [0,1].
+	Score float64
+	// Advice lists the advice strings of all failed rules.
+	Advice []string
+}
+
+// String renders the report as a fixed-width table plus advice lines.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "score %d/%d (%.0f%%)\n", r.Passed, r.Total, 100*r.Score)
+	for _, res := range r.Results {
+		status := "PASS"
+		if !res.Passed {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&sb, "  %-3s %-22s %-10s measured %7.1f°  (frames %d-%d, at %d)\n",
+			res.Rule.ID, res.Rule.Formula, status, res.Value,
+			res.Window.From, res.Window.To, res.AtFrame)
+	}
+	for _, a := range r.Advice {
+		fmt.Fprintf(&sb, "  advice: %s\n", a)
+	}
+	return sb.String()
+}
+
+// Scorer evaluates Table 2 rules over pose sequences.
+type Scorer struct {
+	rules []Rule
+}
+
+// NewScorer returns a scorer with the paper's rule set.
+func NewScorer() *Scorer { return &Scorer{rules: Rules()} }
+
+// NewScorerWithRules returns a scorer with a custom rule set (extensions).
+func NewScorerWithRules(rules []Rule) (*Scorer, error) {
+	if len(rules) == 0 {
+		return nil, errors.New("scoring: empty rule set")
+	}
+	return &Scorer{rules: rules}, nil
+}
+
+// Rules returns the scorer's rule set.
+func (s *Scorer) Rules() []Rule { return append([]Rule(nil), s.rules...) }
+
+// ErrEmptyWindow is returned when a stage window contains no frames.
+var ErrEmptyWindow = errors.New("scoring: empty stage window")
+
+// Score evaluates every rule over the pose sequence using the given stage
+// windows (from track.FixedWindows for the paper's behaviour, or from a
+// track.Analysis for detected phases).
+func (s *Scorer) Score(poses []stickmodel.Pose, initiation, airLanding track.Window) (*Report, error) {
+	if len(poses) == 0 {
+		return nil, errors.New("scoring: no poses")
+	}
+	rep := &Report{Total: len(s.rules)}
+	for _, rule := range s.rules {
+		w := initiation
+		if rule.Stage == StageAirLanding {
+			w = airLanding
+		}
+		res, err := evalRule(rule, poses, w)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", rule.ID, err)
+		}
+		rep.Results = append(rep.Results, res)
+		if res.Passed {
+			rep.Passed++
+		} else {
+			rep.Advice = append(rep.Advice, res.Rule.Advice)
+		}
+	}
+	rep.Score = float64(rep.Passed) / float64(rep.Total)
+	return rep, nil
+}
+
+func evalRule(rule Rule, poses []stickmodel.Pose, w track.Window) (RuleResult, error) {
+	from, to := w.From, w.To
+	if from < 0 {
+		from = 0
+	}
+	if to >= len(poses) {
+		to = len(poses) - 1
+	}
+	if from > to {
+		return RuleResult{}, ErrEmptyWindow
+	}
+	res := RuleResult{Rule: rule, Window: track.Window{From: from, To: to}, AtFrame: from}
+	first := true
+	for k := from; k <= to; k++ {
+		v := rule.Measure(poses[k])
+		better := false
+		switch rule.Agg {
+		case AggregateMax:
+			better = first || v > res.Value
+		case AggregateMin:
+			better = first || v < res.Value
+		default:
+			return RuleResult{}, fmt.Errorf("unknown aggregate %d", rule.Agg)
+		}
+		if better {
+			res.Value = v
+			res.AtFrame = k
+		}
+		first = false
+	}
+	switch rule.Cmp {
+	case GreaterThan:
+		res.Passed = res.Value > rule.Threshold
+	case LessThan:
+		res.Passed = res.Value < rule.Threshold
+	default:
+		return RuleResult{}, fmt.Errorf("unknown comparison %d", rule.Cmp)
+	}
+	return res, nil
+}

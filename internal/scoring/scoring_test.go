@@ -1,0 +1,323 @@
+package scoring
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+	"github.com/sljmotion/sljmotion/internal/synth"
+	"github.com/sljmotion/sljmotion/internal/track"
+)
+
+func TestStandardsTableVerbatim(t *testing.T) {
+	std := Standards()
+	if len(std) != 7 {
+		t.Fatalf("Table 1 has 7 standards, got %d", len(std))
+	}
+	wantStage := map[string]Stage{
+		"E1": StageInitiation, "E2": StageInitiation, "E3": StageInitiation,
+		"E4": StageInitiation, "E5": StageAirLanding, "E6": StageAirLanding,
+		"E7": StageAirLanding,
+	}
+	for _, s := range std {
+		if wantStage[s.ID] != s.Stage {
+			t.Errorf("%s stage = %v", s.ID, s.Stage)
+		}
+		if s.Description == "" {
+			t.Errorf("%s missing description", s.ID)
+		}
+	}
+}
+
+func TestRulesTableVerbatim(t *testing.T) {
+	rules := Rules()
+	if len(rules) != 7 {
+		t.Fatalf("Table 2 has 7 rules, got %d", len(rules))
+	}
+	type want struct {
+		standard  string
+		stage     Stage
+		threshold float64
+		cmp       Comparison
+	}
+	wants := map[string]want{
+		"R1": {"E1", StageInitiation, 60, GreaterThan},
+		"R2": {"E2", StageInitiation, 30, GreaterThan},
+		"R3": {"E3", StageInitiation, 270, GreaterThan},
+		"R4": {"E4", StageInitiation, 45, GreaterThan},
+		"R5": {"E5", StageAirLanding, 60, GreaterThan},
+		"R6": {"E6", StageAirLanding, 45, GreaterThan},
+		"R7": {"E7", StageAirLanding, 160, LessThan},
+	}
+	seen := map[string]bool{}
+	for _, r := range rules {
+		w, ok := wants[r.ID]
+		if !ok {
+			t.Errorf("unexpected rule %s", r.ID)
+			continue
+		}
+		seen[r.ID] = true
+		if r.Standard != w.standard || r.Stage != w.stage ||
+			r.Threshold != w.threshold || r.Cmp != w.cmp {
+			t.Errorf("%s = {std %s, stage %v, thr %v, cmp %v}, want %+v",
+				r.ID, r.Standard, r.Stage, r.Threshold, r.Cmp, w)
+		}
+		if r.Advice == "" || r.Formula == "" {
+			t.Errorf("%s missing advice/formula", r.ID)
+		}
+	}
+	if len(seen) != 7 {
+		t.Errorf("rules missing: %v", seen)
+	}
+}
+
+// posesWith builds a 20-frame sequence from a base pose with one frame in
+// each window replaced by a modified pose.
+func posesWith(initMod, airMod func(*stickmodel.Pose)) []stickmodel.Pose {
+	base := stickmodel.Pose{X: 50, Y: 50}
+	base.Rho = [stickmodel.NumSticks]float64{10, 15, 185, 175, 10, 178, 180, 95}
+	poses := make([]stickmodel.Pose, 20)
+	for i := range poses {
+		poses[i] = base
+	}
+	if initMod != nil {
+		initMod(&poses[5])
+	}
+	if airMod != nil {
+		airMod(&poses[15])
+	}
+	return poses
+}
+
+func fixedW() (track.Window, track.Window) {
+	return track.FixedWindows(20)
+}
+
+func TestScoreAllFailOnNeutralPose(t *testing.T) {
+	// A stiff upright "jump" satisfies none of the seven standards.
+	initW, airW := fixedW()
+	rep, err := NewScorer().Score(posesWith(nil, nil), initW, airW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed != 0 {
+		t.Errorf("neutral pose passed %d rules", rep.Passed)
+	}
+	if len(rep.Advice) != 7 {
+		t.Errorf("want 7 advice lines, got %d", len(rep.Advice))
+	}
+	if rep.Score != 0 {
+		t.Errorf("score = %v", rep.Score)
+	}
+}
+
+func TestEachRuleFiresOnItsPose(t *testing.T) {
+	initW, airW := fixedW()
+	tests := []struct {
+		rule string
+		init func(*stickmodel.Pose)
+		air  func(*stickmodel.Pose)
+	}{
+		{"R1", func(p *stickmodel.Pose) {
+			p.Rho[stickmodel.Thigh] = 140
+			p.Rho[stickmodel.Shank] = 210
+		}, nil},
+		{"R2", func(p *stickmodel.Pose) { p.Rho[stickmodel.Neck] = 40 }, nil},
+		{"R3", func(p *stickmodel.Pose) { p.Rho[stickmodel.UpperArm] = 285 }, nil},
+		{"R4", func(p *stickmodel.Pose) {
+			p.Rho[stickmodel.UpperArm] = 280
+			p.Rho[stickmodel.Forearm] = 220
+		}, nil},
+		{"R5", nil, func(p *stickmodel.Pose) {
+			p.Rho[stickmodel.Thigh] = 120
+			p.Rho[stickmodel.Shank] = 200
+		}},
+		{"R6", nil, func(p *stickmodel.Pose) { p.Rho[stickmodel.Trunk] = 55 }},
+		{"R7", nil, func(p *stickmodel.Pose) { p.Rho[stickmodel.UpperArm] = 100 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.rule, func(t *testing.T) {
+			rep, err := NewScorer().Score(posesWith(tt.init, tt.air), initW, airW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, res := range rep.Results {
+				if res.Rule.ID == tt.rule && !res.Passed {
+					t.Errorf("%s did not fire on its pose: value %.1f", tt.rule, res.Value)
+				}
+			}
+		})
+	}
+}
+
+func TestRuleWindowsAreRespected(t *testing.T) {
+	initW, airW := fixedW()
+	// A deep knee bend placed ONLY in the air window must not satisfy the
+	// initiation rule R1 (and vice versa for R5).
+	poses := posesWith(nil, func(p *stickmodel.Pose) {
+		p.Rho[stickmodel.Thigh] = 140
+		p.Rho[stickmodel.Shank] = 210
+	})
+	rep, err := NewScorer().Score(poses, initW, airW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]RuleResult{}
+	for _, r := range rep.Results {
+		byID[r.Rule.ID] = r
+	}
+	if byID["R1"].Passed {
+		t.Error("R1 fired on air-window knee bend")
+	}
+	if !byID["R5"].Passed {
+		t.Error("R5 ignored air-window knee bend")
+	}
+	if byID["R5"].AtFrame != 15 {
+		t.Errorf("R5 AtFrame = %d, want 15", byID["R5"].AtFrame)
+	}
+}
+
+func TestR7UsesMinimum(t *testing.T) {
+	initW, airW := fixedW()
+	// The arm comes forward only once; R7 must still pass because it takes
+	// the window minimum.
+	poses := posesWith(nil, func(p *stickmodel.Pose) { p.Rho[stickmodel.UpperArm] = 100 })
+	rep, err := NewScorer().Score(poses, initW, airW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Rule.ID == "R7" {
+			if !r.Passed {
+				t.Error("R7 must pass via minimum aggregation")
+			}
+			if r.Value != 100 {
+				t.Errorf("R7 value = %v, want 100", r.Value)
+			}
+		}
+	}
+}
+
+func TestScoreOnTruthClipsMatchesDefects(t *testing.T) {
+	// Experiment T2 at ground-truth level: each planted defect must fail
+	// exactly its designated rule.
+	wantFail := map[string][]string{
+		"good-form":        {},
+		"no-knee-bend":     {"R1"},
+		"no-neck-bend":     {"R2"},
+		"no-arm-backswing": {"R3"},
+		"straight-arms":    {"R4"},
+		"no-air-knee-bend": {"R5"},
+		"upright-trunk":    {"R6"},
+		"no-arm-forward":   {"R7"},
+	}
+	for _, clip := range synth.DefectClips(synth.DefaultJumpParams()) {
+		v, err := synth.Generate(clip.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initW, airW := track.FixedWindows(clip.Params.Frames)
+		rep, err := NewScorer().Score(v.Truth, initW, airW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var failed []string
+		for _, r := range rep.Results {
+			if !r.Passed {
+				failed = append(failed, r.Rule.ID)
+			}
+		}
+		want := wantFail[clip.Name]
+		if len(failed) != len(want) {
+			t.Errorf("%s failed %v, want %v", clip.Name, failed, want)
+			continue
+		}
+		for i := range want {
+			if failed[i] != want[i] {
+				t.Errorf("%s failed %v, want %v", clip.Name, failed, want)
+			}
+		}
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	initW, airW := fixedW()
+	if _, err := NewScorer().Score(nil, initW, airW); err == nil {
+		t.Error("empty poses must error")
+	}
+	poses := posesWith(nil, nil)
+	if _, err := NewScorer().Score(poses, track.Window{From: 30, To: 40}, airW); err == nil {
+		t.Error("out-of-range window must error")
+	}
+}
+
+func TestScoreWindowClamping(t *testing.T) {
+	// Windows larger than the sequence are clamped, not fatal.
+	poses := posesWith(nil, nil)
+	rep, err := NewScorer().Score(poses, track.Window{From: -5, To: 9}, track.Window{From: 10, To: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Window.From < 0 || r.Window.To > 19 {
+			t.Errorf("window not clamped: %+v", r.Window)
+		}
+	}
+}
+
+func TestNewScorerWithRules(t *testing.T) {
+	if _, err := NewScorerWithRules(nil); err == nil {
+		t.Error("empty rule set must error")
+	}
+	custom := []Rule{{
+		ID: "X1", Standard: "E1", Stage: StageInitiation, Formula: "ρ0 > 5°",
+		Advice:  "lean forward",
+		Measure: func(p stickmodel.Pose) float64 { return p.Rho[stickmodel.Trunk] },
+		Agg:     AggregateMax, Cmp: GreaterThan, Threshold: 5,
+	}}
+	s, err := NewScorerWithRules(custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initW, airW := fixedW()
+	rep, err := s.Score(posesWith(nil, nil), initW, airW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 1 || !rep.Results[0].Passed {
+		t.Errorf("custom rule result: %+v", rep.Results[0])
+	}
+}
+
+func TestReportString(t *testing.T) {
+	initW, airW := fixedW()
+	rep, err := NewScorer().Score(posesWith(nil, nil), initW, airW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, frag := range []string{"score 0/7", "R1", "FAIL", "advice:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageInitiation.String() != "Initiation Stage" ||
+		StageAirLanding.String() != "On the Air/Landing" {
+		t.Error("stage names must match Table 1")
+	}
+	if Stage(0).String() == "" {
+		t.Error("invalid stage must render")
+	}
+}
+
+func TestScorerRulesCopy(t *testing.T) {
+	s := NewScorer()
+	rules := s.Rules()
+	rules[0].ID = "mutated"
+	if s.Rules()[0].ID == "mutated" {
+		t.Error("Rules() must return a copy")
+	}
+}

@@ -1,0 +1,255 @@
+// Package segmentation composes the paper's five-step human-object
+// segmentation pipeline (Section 2):
+//
+//  1. estimate the background of the video sequence (change detection);
+//  2. subtract the background from each frame;
+//  3. remove noise (8-neighbour filter) and small spots (connected
+//     components);
+//  4. fill small holes (4-neighbour rule);
+//  5. remove shadows (HSV detector, Eq. 1-2).
+//
+// The result per frame is a Silhouette: the binary mask of the human object
+// plus derived statistics consumed by pose estimation.
+package segmentation
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sljmotion/sljmotion/internal/background"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/morphology"
+	"github.com/sljmotion/sljmotion/internal/shadow"
+)
+
+// Config parameterises the pipeline. The zero value is NOT valid; use
+// DefaultConfig and override fields as needed.
+type Config struct {
+	// StabilityThreshold is Step 1's "very small change" bound.
+	StabilityThreshold int
+	// SubtractThreshold is Step 2's foreground threshold.
+	SubtractThreshold int
+	// NoiseMinNeighbors is Step 3's 8-neighbour keep threshold.
+	NoiseMinNeighbors int
+	// SpotFraction and SpotFloor set the adaptive small-spot area bound:
+	// max(SpotFraction × largest-component-area, SpotFloor).
+	SpotFraction float64
+	SpotFloor    int
+	// HoleFillPasses is the number of Step 4 passes (paper uses one).
+	HoleFillPasses int
+	// FillEnclosed switches Step 4 to full enclosed-region filling
+	// (extension; off reproduces the paper).
+	FillEnclosed bool
+	// Shadow holds the Eq. (1) constants.
+	Shadow shadow.Params
+	// DisableShadowRemoval skips Step 5 entirely (ablation A3).
+	DisableShadowRemoval bool
+	// KeepLargestOnly reduces the final mask to its largest component,
+	// appropriate when exactly one jumper is in frame.
+	KeepLargestOnly bool
+}
+
+// DefaultConfig returns the calibrated configuration of DESIGN.md §7.
+func DefaultConfig() Config {
+	return Config{
+		StabilityThreshold: background.DefaultStabilityThreshold,
+		SubtractThreshold:  background.DefaultSubtractThreshold,
+		NoiseMinNeighbors:  3,
+		SpotFraction:       0.2,
+		SpotFloor:          40,
+		HoleFillPasses:     1,
+		Shadow:             shadow.DefaultParams(),
+		KeepLargestOnly:    true,
+	}
+}
+
+// Validate checks the configuration for usable values.
+func (c Config) Validate() error {
+	if c.NoiseMinNeighbors < 0 || c.NoiseMinNeighbors > 8 {
+		return fmt.Errorf("segmentation: NoiseMinNeighbors must be in [0,8], got %d", c.NoiseMinNeighbors)
+	}
+	if c.SpotFraction < 0 || c.SpotFraction > 1 {
+		return fmt.Errorf("segmentation: SpotFraction must be in [0,1], got %v", c.SpotFraction)
+	}
+	if c.HoleFillPasses < 0 {
+		return fmt.Errorf("segmentation: HoleFillPasses must be >= 0, got %d", c.HoleFillPasses)
+	}
+	if !c.DisableShadowRemoval {
+		if err := c.Shadow.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Silhouette is the segmented human object in one frame.
+type Silhouette struct {
+	Frame    int
+	Mask     *imaging.Mask
+	Area     int
+	Centroid imaging.Vec2
+	BBox     imaging.Rect
+}
+
+// NewSilhouette derives statistics from a mask.
+func NewSilhouette(frame int, m *imaging.Mask) Silhouette {
+	s := Silhouette{Frame: frame, Mask: m, Area: m.Count()}
+	if cx, cy, ok := m.Centroid(); ok {
+		s.Centroid = imaging.Vec2{X: cx, Y: cy}
+	}
+	if bb, ok := m.BBox(); ok {
+		s.BBox = bb
+	}
+	return s
+}
+
+// StageMasks captures every intermediate mask of one frame, mirroring the
+// panels of the paper's Figure 2 and Figure 3.
+type StageMasks struct {
+	Subtracted   *imaging.Mask // Figure 2 (a)
+	Denoised     *imaging.Mask // Figure 2 (b)
+	SpotsRemoved *imaging.Mask // Figure 2 (c)
+	HolesFilled  *imaging.Mask // Figure 2 (d)
+	ShadowMask   *imaging.Mask // the SM_k pixels of Eq. (1)
+	Object       *imaging.Mask // Figure 3 (a): final silhouette
+}
+
+// Pipeline runs the five-step segmentation.
+type Pipeline struct {
+	cfg      Config
+	detector *shadow.Detector
+	bgEst    background.Estimator
+}
+
+// ErrNoFrames is returned when Run receives an empty sequence.
+var ErrNoFrames = errors.New("segmentation: no frames")
+
+// New returns a pipeline for the given configuration.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:   cfg,
+		bgEst: &background.ChangeDetection{StabilityThreshold: cfg.StabilityThreshold},
+	}
+	if !cfg.DisableShadowRemoval {
+		det, err := shadow.NewDetector(cfg.Shadow)
+		if err != nil {
+			return nil, err
+		}
+		p.detector = det
+	}
+	return p, nil
+}
+
+// WithEstimator overrides the Step 1 background estimator (ablation A2).
+func (p *Pipeline) WithEstimator(est background.Estimator) *Pipeline {
+	p.bgEst = est
+	return p
+}
+
+// Config returns the pipeline configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// EstimateBackground runs only Step 1.
+func (p *Pipeline) EstimateBackground(frames []*imaging.Image) (*imaging.Image, error) {
+	if len(frames) == 0 {
+		return nil, ErrNoFrames
+	}
+	return p.bgEst.Estimate(frames)
+}
+
+// SegmentFrame runs Steps 2-5 on a single frame against a known background,
+// returning all intermediate masks.
+func (p *Pipeline) SegmentFrame(frame, bg *imaging.Image) (*StageMasks, error) {
+	sub, err := background.Subtract(frame, bg, p.cfg.SubtractThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("step 2: %w", err)
+	}
+
+	den := morphology.RemoveNoise(sub, p.cfg.NoiseMinNeighbors)
+
+	minArea := morphology.AdaptiveSpotThreshold(den, p.cfg.SpotFraction, p.cfg.SpotFloor, morphology.Conn8)
+	spots := morphology.RemoveSmallSpots(den, minArea, morphology.Conn8)
+
+	var holes *imaging.Mask
+	if p.cfg.FillEnclosed {
+		holes = morphology.FillEnclosed(spots)
+	} else {
+		holes = morphology.FillHolesN(spots, maxInt(p.cfg.HoleFillPasses, 0))
+	}
+
+	stages := &StageMasks{
+		Subtracted:   sub,
+		Denoised:     den,
+		SpotsRemoved: spots,
+		HolesFilled:  holes,
+	}
+
+	object := holes.Clone()
+	if p.detector != nil {
+		obj, sm, err := p.detector.Remove(frame, bg, holes)
+		if err != nil {
+			return nil, fmt.Errorf("step 5: %w", err)
+		}
+		object = obj
+		stages.ShadowMask = sm
+	} else {
+		stages.ShadowMask = imaging.NewMask(frame.W, frame.H)
+	}
+
+	// Shadow removal can fragment the object or expose small residues;
+	// re-run hole filling and keep the dominant component when configured.
+	object = morphology.FillHolesN(object, 1)
+	if p.cfg.KeepLargestOnly {
+		object = morphology.KeepLargest(object, morphology.Conn8)
+	}
+	stages.Object = object
+	return stages, nil
+}
+
+// Run executes the full pipeline on a sequence: Step 1 once, Steps 2-5 per
+// frame. It returns one silhouette per input frame.
+func (p *Pipeline) Run(frames []*imaging.Image) ([]Silhouette, error) {
+	bg, err := p.EstimateBackground(frames)
+	if err != nil {
+		return nil, err
+	}
+	sils := make([]Silhouette, len(frames))
+	for i, f := range frames {
+		stages, err := p.SegmentFrame(f, bg)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", i, err)
+		}
+		sils[i] = NewSilhouette(i, stages.Object)
+	}
+	return sils, nil
+}
+
+// RunDetailed is Run but also returns the background and every frame's
+// intermediate stages; the figure harness uses it.
+func (p *Pipeline) RunDetailed(frames []*imaging.Image) (*imaging.Image, []StageMasks, []Silhouette, error) {
+	bg, err := p.EstimateBackground(frames)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stages := make([]StageMasks, len(frames))
+	sils := make([]Silhouette, len(frames))
+	for i, f := range frames {
+		st, err := p.SegmentFrame(f, bg)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("frame %d: %w", i, err)
+		}
+		stages[i] = *st
+		sils[i] = NewSilhouette(i, st.Object)
+	}
+	return bg, stages, sils, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

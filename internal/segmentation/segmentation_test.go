@@ -1,0 +1,240 @@
+package segmentation
+
+import (
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/background"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/metrics"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NoiseMinNeighbors = 9 },
+		func(c *Config) { c.NoiseMinNeighbors = -1 },
+		func(c *Config) { c.SpotFraction = 1.5 },
+		func(c *Config) { c.HoleFillPasses = -1 },
+		func(c *Config) { c.Shadow.Alpha = 2; c.Shadow.Beta = 1 },
+	}
+	for i, mod := range bad {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	// Disabling shadow removal skips shadow param validation.
+	cfg := DefaultConfig()
+	cfg.Shadow.Alpha = 2
+	cfg.DisableShadowRemoval = true
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("shadow params must be ignored when disabled: %v", err)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpotFraction = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(nil); err == nil {
+		t.Error("expected error for empty sequence")
+	}
+}
+
+// testVideo generates one small synthetic clip shared by the pipeline tests.
+func testVideo(t *testing.T) *synth.Video {
+	t.Helper()
+	params := synth.DefaultJumpParams()
+	v, err := synth.Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPipelineSilhouetteQuality(t *testing.T) {
+	v := testVideo(t)
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sils, err := p.Run(v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sils) != len(v.Frames) {
+		t.Fatalf("%d silhouettes for %d frames", len(sils), len(v.Frames))
+	}
+	for k, s := range sils {
+		sc, err := metrics.CompareMasks(s.Mask, v.BodyMasks[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.IoU < 0.80 {
+			t.Errorf("frame %d IoU = %.3f, want >= 0.80", k, sc.IoU)
+		}
+		if s.Frame != k {
+			t.Errorf("silhouette %d has frame %d", k, s.Frame)
+		}
+		if s.Area == 0 {
+			t.Errorf("frame %d empty silhouette", k)
+		}
+	}
+}
+
+func TestPipelineStagesImprovePrecision(t *testing.T) {
+	// Figure 2's narrative: each cleanup stage raises precision against the
+	// true body mask (noise → spots → holes).
+	v := testVideo(t)
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stages, _, err := p.RunDetailed(v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 8, 15} {
+		st := stages[k]
+		truth := v.BodyMasks[k]
+		sub, _ := metrics.CompareMasks(st.Subtracted, truth)
+		den, _ := metrics.CompareMasks(st.Denoised, truth)
+		spt, _ := metrics.CompareMasks(st.SpotsRemoved, truth)
+		obj, _ := metrics.CompareMasks(st.Object, truth)
+		if den.Precision < sub.Precision {
+			t.Errorf("frame %d: denoise lowered precision %.3f -> %.3f", k, sub.Precision, den.Precision)
+		}
+		if spt.Precision < den.Precision {
+			t.Errorf("frame %d: spot removal lowered precision %.3f -> %.3f", k, den.Precision, spt.Precision)
+		}
+		if obj.IoU < spt.IoU {
+			t.Errorf("frame %d: final object IoU %.3f below spot stage %.3f", k, obj.IoU, spt.IoU)
+		}
+	}
+}
+
+func TestPipelineShadowRemovalReducesShadowPixels(t *testing.T) {
+	v := testVideo(t)
+	withShadow, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgOff := DefaultConfig()
+	cfgOff.DisableShadowRemoval = true
+	withoutShadow, err := New(cfgOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stOn, silsOn, err := withShadow.RunDetailed(v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, silsOff, err := withoutShadow.RunDetailed(v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over the clip, the shadow detector must fire on a meaningful number
+	// of pixels and the resulting objects must not be larger than the
+	// shadow-blind ones on average.
+	totalShadow, onArea, offArea := 0, 0, 0
+	for k := range v.Frames {
+		totalShadow += stOn[k].ShadowMask.Count()
+		onArea += silsOn[k].Area
+		offArea += silsOff[k].Area
+	}
+	if totalShadow == 0 {
+		t.Error("shadow detector never fired on a clip with rendered shadows")
+	}
+	if onArea > offArea {
+		t.Errorf("shadow removal grew the object: %d > %d", onArea, offArea)
+	}
+}
+
+func TestPipelineCustomEstimator(t *testing.T) {
+	v := testVideo(t)
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WithEstimator(background.Median{})
+	bg, err := p.EstimateBackground(v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := background.RMSE(bg, v.Background)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 12 {
+		t.Errorf("median-estimated background RMSE %.2f too high", rmse)
+	}
+}
+
+func TestSegmentFrameAgainstKnownBackground(t *testing.T) {
+	v := testVideo(t)
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Using the *true* background isolates Steps 2-5 from Step 1.
+	st, err := p.SegmentFrame(v.Frames[10], v.Background)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := metrics.CompareMasks(st.Object, v.BodyMasks[10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.IoU < 0.85 {
+		t.Errorf("IoU vs true background = %.3f, want >= 0.85", sc.IoU)
+	}
+}
+
+func TestNewSilhouetteStats(t *testing.T) {
+	m := imaging.NewMask(10, 10)
+	imaging.FillRectMask(m, imaging.Rect{X0: 2, Y0: 3, X1: 4, Y1: 5})
+	s := NewSilhouette(7, m)
+	if s.Frame != 7 || s.Area != 9 {
+		t.Errorf("frame/area = %d/%d", s.Frame, s.Area)
+	}
+	if s.Centroid.X != 3 || s.Centroid.Y != 4 {
+		t.Errorf("centroid = %+v", s.Centroid)
+	}
+	if s.BBox.W() != 3 || s.BBox.H() != 3 {
+		t.Errorf("bbox = %+v", s.BBox)
+	}
+	empty := NewSilhouette(0, imaging.NewMask(4, 4))
+	if empty.Area != 0 {
+		t.Error("empty silhouette area wrong")
+	}
+}
+
+func TestFillEnclosedOption(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FillEnclosed = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := testVideo(t)
+	sils, err := p.Run(v.Frames[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sils) != 4 {
+		t.Fatalf("got %d silhouettes", len(sils))
+	}
+}

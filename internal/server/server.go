@@ -1,0 +1,310 @@
+// Package server implements the paper's stated future work (Section 6):
+// "a web-based system on the Internet — the user will be able to upload a
+// video sequence of a standing long jump ... the system will be able to
+// respond with advices to the user."
+//
+// The service accepts a clip as a multipart upload of PPM frames (plus a
+// truth.txt carrying the manual first-frame stick figure), runs the full
+// analysis pipeline, and responds with a JSON report: per-rule outcomes,
+// advice strings, jump phases and distance.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"mime/multipart"
+	"net/http"
+	"sort"
+	"sync"
+
+	"github.com/sljmotion/sljmotion/internal/clipio"
+	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/scoring"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// MaxUploadBytes bounds one upload (frames are small PPMs; 64 MiB is ample).
+const MaxUploadBytes = 64 << 20
+
+// AnalysisResponse is the JSON document returned for one analysed clip.
+type AnalysisResponse struct {
+	Frames       int       `json:"frames"`
+	TakeoffFrame int       `json:"takeoff_frame"`
+	LandingFrame int       `json:"landing_frame"`
+	DistancePx   float64   `json:"distance_px"`
+	DistanceM    float64   `json:"distance_m,omitempty"`
+	Score        string    `json:"score"` // e.g. "7/7"
+	Passed       int       `json:"passed"`
+	Total        int       `json:"total"`
+	Rules        []RuleOut `json:"rules"`
+	Advice       []string  `json:"advice"`
+	Poses        []PoseOut `json:"poses,omitempty"`
+	Phases       []string  `json:"phases"`
+}
+
+// RuleOut is one scored rule in the response.
+type RuleOut struct {
+	ID       string  `json:"id"`
+	Standard string  `json:"standard"`
+	Formula  string  `json:"formula"`
+	Stage    string  `json:"stage"`
+	Value    float64 `json:"value_deg"`
+	Passed   bool    `json:"passed"`
+	AtFrame  int     `json:"at_frame"`
+}
+
+// PoseOut is one estimated stick model in the response.
+type PoseOut struct {
+	Frame int        `json:"frame"`
+	X     float64    `json:"x"`
+	Y     float64    `json:"y"`
+	Rho   [8]float64 `json:"rho"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server is the HTTP front end over the analyzer.
+type Server struct {
+	cfg    core.Config
+	logger *log.Logger
+
+	mu       sync.Mutex
+	analyzed int // clips analysed since start, served by /healthz
+}
+
+// New builds a server; logger may be nil for silent operation.
+func New(cfg core.Config, logger *log.Logger) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{cfg: cfg, logger: logger}, nil
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/rules", s.handleRules)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// indexHTML is the minimal upload form served at /, so the paper's
+// envisioned workflow — a user uploads a clip and reads the advice — works
+// from a plain browser.
+const indexHTML = `<!doctype html>
+<title>Standing Long Jump Motion Analysis</title>
+<h1>Standing Long Jump Motion Analysis</h1>
+<p>Upload the frames of a side-view jump clip (PPM, named frame_NN.ppm)
+and a truth.txt whose first line is the manually drawn first-frame stick
+model: <code>0 x0 y0 rho0..rho7</code>.</p>
+<form action="/analyze" method="post" enctype="multipart/form-data">
+  <p>Frames: <input type="file" name="frames" multiple required></p>
+  <p>First-frame stick model: <input type="file" name="truth" required></p>
+  <p><label><input type="checkbox" name="poses" value="1"> include per-frame poses</label></p>
+  <p><button type="submit">Analyze</button></p>
+</form>
+<p>See <a href="/rules">/rules</a> for the scoring rules (Tables 1-2 of the
+paper) and <a href="/healthz">/healthz</a> for service status.</p>
+`
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		writeError(w, http.StatusNotFound, "not found")
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = io.WriteString(w, indexHTML)
+}
+
+// handleAnalyze accepts a multipart POST with fields:
+//
+//	frames — one or more PPM files named frame_NN.ppm (order by name);
+//	truth  — a truth.txt whose first line is the manual first-frame pose;
+//	poses  — optional flag ("1") to include estimated poses in the reply.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a multipart clip upload")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxUploadBytes)
+	if err := r.ParseMultipartForm(MaxUploadBytes); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse upload: %v", err))
+		return
+	}
+	defer func() {
+		if r.MultipartForm != nil {
+			_ = r.MultipartForm.RemoveAll()
+		}
+	}()
+
+	frames, err := framesFromUpload(r.MultipartForm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	manual, err := manualFromUpload(r.MultipartForm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	analyzer, err := core.New(s.cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	result, err := analyzer.Analyze(frames, manual)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("analysis failed: %v", err))
+		return
+	}
+
+	s.mu.Lock()
+	s.analyzed++
+	s.mu.Unlock()
+
+	resp := buildResponse(result, len(frames), r.FormValue("poses") == "1")
+	writeJSON(w, http.StatusOK, resp)
+	s.logger.Printf("analyzed %d-frame clip: score %s", len(frames), resp.Score)
+}
+
+// handleRules lists Table 1 and Table 2 so clients can render them.
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type ruleDoc struct {
+		ID       string `json:"id"`
+		Standard string `json:"standard"`
+		Stage    string `json:"stage"`
+		Formula  string `json:"formula"`
+		Text     string `json:"text"`
+	}
+	std := map[string]string{}
+	for _, s := range scoring.Standards() {
+		std[s.ID] = s.Description
+	}
+	var docs []ruleDoc
+	for _, rl := range scoring.Rules() {
+		docs = append(docs, ruleDoc{
+			ID: rl.ID, Standard: rl.Standard, Stage: rl.Stage.String(),
+			Formula: rl.Formula, Text: std[rl.Standard],
+		})
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := s.analyzed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "clips_analyzed": n})
+}
+
+// framesFromUpload decodes the uploaded PPM frames ordered by file name.
+func framesFromUpload(form *multipart.Form) ([]*imaging.Image, error) {
+	files := form.File["frames"]
+	if len(files) == 0 {
+		return nil, errors.New("no 'frames' files in upload")
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Filename < files[j].Filename })
+	frames := make([]*imaging.Image, 0, len(files))
+	for _, fh := range files {
+		f, err := fh.Open()
+		if err != nil {
+			return nil, fmt.Errorf("open %s: %w", fh.Filename, err)
+		}
+		img, err := imaging.DecodePPM(f)
+		closeErr := f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("decode %s: %w", fh.Filename, err)
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+		frames = append(frames, img)
+	}
+	return frames, nil
+}
+
+// manualFromUpload parses the truth file's first pose.
+func manualFromUpload(form *multipart.Form) (stickmodel.Pose, error) {
+	files := form.File["truth"]
+	if len(files) == 0 {
+		return stickmodel.Pose{}, errors.New("no 'truth' file in upload (manual first-frame stick figure required)")
+	}
+	f, err := files[0].Open()
+	if err != nil {
+		return stickmodel.Pose{}, err
+	}
+	defer f.Close()
+	poses, err := clipio.ReadPoses(f)
+	if err != nil {
+		return stickmodel.Pose{}, fmt.Errorf("truth file: %w", err)
+	}
+	return poses[0], nil
+}
+
+// buildResponse converts an analysis result to the wire document.
+func buildResponse(result *core.Result, nFrames int, includePoses bool) *AnalysisResponse {
+	resp := &AnalysisResponse{
+		Frames:       nFrames,
+		TakeoffFrame: result.Track.TakeoffFrame,
+		LandingFrame: result.Track.LandingFrame,
+		DistancePx:   result.Track.JumpDistancePx,
+		DistanceM:    result.Track.JumpDistanceM,
+		Passed:       result.Report.Passed,
+		Total:        result.Report.Total,
+		Score:        fmt.Sprintf("%d/%d", result.Report.Passed, result.Report.Total),
+		Advice:       append([]string(nil), result.Report.Advice...),
+	}
+	for _, rr := range result.Report.Results {
+		resp.Rules = append(resp.Rules, RuleOut{
+			ID:       rr.Rule.ID,
+			Standard: rr.Rule.Standard,
+			Formula:  rr.Rule.Formula,
+			Stage:    rr.Rule.Stage.String(),
+			Value:    rr.Value,
+			Passed:   rr.Passed,
+			AtFrame:  rr.AtFrame,
+		})
+	}
+	for _, ph := range result.Track.Phases {
+		resp.Phases = append(resp.Phases, ph.String())
+	}
+	if includePoses {
+		for k, p := range result.Poses {
+			resp.Poses = append(resp.Poses, PoseOut{Frame: k, X: p.X, Y: p.Y, Rho: p.Rho})
+		}
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/clipio"
+	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+// fastServer builds a server with a trimmed GA budget.
+func fastServer(t *testing.T) *Server {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Pose.Population = 40
+	cfg.Pose.Generations = 40
+	cfg.Pose.Patience = 10
+	cfg.Pose.RefineRounds = 1
+	s, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "/analyze") {
+		t.Error("index page missing upload form")
+	}
+
+	// Unknown paths 404.
+	nf, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status %d", nf.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["status"] != "ok" {
+		t.Errorf("health doc: %v", doc)
+	}
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var docs []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 7 {
+		t.Fatalf("got %d rules, want 7", len(docs))
+	}
+	if docs[0]["id"] != "R1" {
+		t.Errorf("first rule: %v", docs[0])
+	}
+}
+
+func TestRulesMethodNotAllowed(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/rules", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestAnalyzeRejectsGet(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestAnalyzeRejectsMissingParts(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+
+	// Multipart body with no files at all.
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	if err := mw.WriteField("poses", "1"); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+	resp, err := http.Post(srv.URL+"/analyze", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "frames") {
+		t.Errorf("error should mention frames: %s", raw)
+	}
+}
+
+func TestAnalyzeFullClip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline over HTTP")
+	}
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 1)
+
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for k, f := range v.Frames {
+		fw, err := mw.CreateFormFile("frames", clipio.FrameName(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := imaging.EncodePPM(fw, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw, err := mw.CreateFormFile("truth", "truth.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(fw, "0 %.2f %.2f", manual.X, manual.Y)
+	for l := 0; l < 8; l++ {
+		fmt.Fprintf(fw, " %.2f", manual.Rho[l])
+	}
+	fmt.Fprintln(fw)
+	if err := mw.WriteField("poses", "1"); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/analyze", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var doc AnalysisResponse
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Frames != len(v.Frames) || doc.Total != 7 {
+		t.Errorf("doc frames/total = %d/%d", doc.Frames, doc.Total)
+	}
+	if doc.Passed < 6 {
+		t.Errorf("good-form clip scored %s over HTTP", doc.Score)
+	}
+	if len(doc.Poses) != len(v.Frames) {
+		t.Errorf("poses missing: %d", len(doc.Poses))
+	}
+	if len(doc.Phases) != len(v.Frames) {
+		t.Errorf("phases missing: %d", len(doc.Phases))
+	}
+
+	// Health counter advanced.
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["clips_analyzed"].(float64) != 1 {
+		t.Errorf("clips_analyzed = %v", h["clips_analyzed"])
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Pose.Population = 0
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("expected error")
+	}
+}

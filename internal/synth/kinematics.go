@@ -1,0 +1,313 @@
+// Package synth is the data substrate that replaces the paper's CCD video
+// footage (DESIGN.md §1): a kinematic standing-long-jump script produces
+// ground-truth stick-model poses, and a renderer turns them into RGB frames
+// with a textured background, cast shadows consistent with the HSV shadow
+// model of Eq. (1), illumination flicker and sensor noise.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// FormDefects disables individual elements of good jump form. Each flag is
+// designed to violate exactly one scoring rule of Table 2, so rule-level
+// detection can be evaluated one defect at a time (experiment T2).
+type FormDefects struct {
+	// NoKneeBend keeps the legs nearly straight during initiation (→ R1).
+	NoKneeBend bool
+	// NoNeckBend keeps the neck upright during initiation (→ R2).
+	NoNeckBend bool
+	// NoArmBackswing keeps the arms low instead of swinging past 270° (→ R3).
+	NoArmBackswing bool
+	// StraightArms keeps the elbows extended during initiation (→ R4).
+	StraightArms bool
+	// NoAirKneeBend keeps the legs straight in flight and landing (→ R5).
+	NoAirKneeBend bool
+	// UprightTrunk keeps the trunk below 45° in flight/landing (→ R6).
+	UprightTrunk bool
+	// NoArmForward keeps the arms behind 160° after landing (→ R7).
+	NoArmForward bool
+}
+
+// Any reports whether at least one defect is enabled.
+func (f FormDefects) Any() bool {
+	return f.NoKneeBend || f.NoNeckBend || f.NoArmBackswing || f.StraightArms ||
+		f.NoAirKneeBend || f.UprightTrunk || f.NoArmForward
+}
+
+// JumpParams configures one synthetic jump clip.
+type JumpParams struct {
+	// W, H are the frame dimensions in pixels.
+	W, H int
+	// Frames is the clip length; the paper's clips are "20 frames or so".
+	Frames int
+	// BodyHeight is the jumper's standing height in pixels.
+	BodyHeight float64
+	// StartX is the ankle x position at the start, in pixels.
+	StartX float64
+	// JumpPx is the horizontal ankle displacement of the jump, in pixels.
+	JumpPx float64
+	// ApexRise is the additional trunk-centre rise at flight apex, px.
+	ApexRise float64
+	// FloorY is the image row of the floor line.
+	FloorY int
+	// SubjectHeightM is the real-world subject height used for pixel↔meter
+	// calibration (primary-school child by default).
+	SubjectHeightM float64
+	// Defects plants form errors for scoring experiments.
+	Defects FormDefects
+	// Seed drives all stochastic rendering (noise, speckle).
+	Seed int64
+}
+
+// DefaultJumpParams returns a 192×144, 20-frame clip of a well-formed jump.
+func DefaultJumpParams() JumpParams {
+	return JumpParams{
+		W:              192,
+		H:              144,
+		Frames:         20,
+		BodyHeight:     66,
+		StartX:         46,
+		JumpPx:         58,
+		ApexRise:       16,
+		FloorY:         124,
+		SubjectHeightM: 1.30,
+		Seed:           1,
+	}
+}
+
+// Validate rejects unusable parameters.
+func (p JumpParams) Validate() error {
+	if p.W < 32 || p.H < 32 {
+		return fmt.Errorf("synth: frame size %dx%d too small", p.W, p.H)
+	}
+	if p.Frames < 4 {
+		return fmt.Errorf("synth: need at least 4 frames, got %d", p.Frames)
+	}
+	if p.BodyHeight < 16 {
+		return fmt.Errorf("synth: body height %v too small", p.BodyHeight)
+	}
+	if p.FloorY <= 0 || p.FloorY >= p.H {
+		return fmt.Errorf("synth: floor row %d outside frame height %d", p.FloorY, p.H)
+	}
+	if p.StartX < 0 || p.StartX+p.JumpPx >= float64(p.W) {
+		return fmt.Errorf("synth: jump from %v by %v leaves frame width %d", p.StartX, p.JumpPx, p.W)
+	}
+	if p.SubjectHeightM <= 0 {
+		return fmt.Errorf("synth: subject height must be positive, got %v", p.SubjectHeightM)
+	}
+	return nil
+}
+
+// PxPerMeter returns the pixel↔meter calibration factor.
+func (p JumpParams) PxPerMeter() float64 { return p.BodyHeight / p.SubjectHeightM }
+
+// jointAngles is a pure angle tuple; the trunk centre is solved separately
+// from anchoring constraints.
+type jointAngles [stickmodel.NumSticks]float64
+
+// controlPoint is a keyframe of the jump script on the normalised timeline
+// t ∈ [0,1].
+type controlPoint struct {
+	t float64
+	a jointAngles
+}
+
+// Phase timeline constants on the normalised clip timeline: the last ground
+// contact is at tTakeoff and the first ground contact after flight is at
+// tLand. With 20 frames these map to the paper's windows (initiation =
+// frames 1-10, air/landing = frames 11-20).
+const (
+	tTakeoff = 0.44
+	tLand    = 0.72
+)
+
+// angles builds the keyframe table for the requested form.
+func jumpScript(d FormDefects) []controlPoint {
+	ang := func(trunk, neck, uarm, thigh, head, farm, shank, foot float64) jointAngles {
+		var a jointAngles
+		a[stickmodel.Trunk] = trunk
+		a[stickmodel.Neck] = neck
+		a[stickmodel.UpperArm] = uarm
+		a[stickmodel.Thigh] = thigh
+		a[stickmodel.Head] = head
+		a[stickmodel.Forearm] = farm
+		a[stickmodel.Shank] = shank
+		a[stickmodel.Foot] = foot
+		return a
+	}
+
+	// Well-formed jump. Angles per the convention of stickmodel: clockwise
+	// from vertical-up toward the jump direction.
+	stand := ang(6, 12, 182, 178, 8, 174, 182, 95)
+	settle := ang(10, 16, 196, 172, 12, 182, 188, 95)
+	crouch := ang(42, 44, 292, 138, 34, 228, 212, 95)
+	drive := ang(38, 36, 248, 152, 28, 200, 200, 112)
+	takeoff := ang(32, 26, 196, 166, 22, 172, 190, 128)
+	flight1 := ang(30, 24, 150, 132, 20, 130, 198, 120)
+	apex := ang(28, 22, 106, 116, 18, 92, 206, 118)
+	descend := ang(34, 26, 88, 126, 22, 78, 188, 108)
+	touch := ang(48, 32, 94, 134, 26, 84, 202, 96)
+	absorb := ang(56, 36, 102, 140, 30, 92, 212, 95)
+	recover := ang(44, 30, 118, 152, 26, 108, 198, 95)
+	stand2 := ang(26, 20, 152, 166, 18, 146, 188, 95)
+
+	if d.NoKneeBend {
+		crouch[stickmodel.Thigh], crouch[stickmodel.Shank] = 168, 186
+		drive[stickmodel.Thigh], drive[stickmodel.Shank] = 172, 186
+		settle[stickmodel.Thigh], settle[stickmodel.Shank] = 176, 184
+	}
+	if d.NoNeckBend {
+		for _, cp := range []*jointAngles{&settle, &crouch, &drive, &takeoff} {
+			cp[stickmodel.Neck] = 8
+			cp[stickmodel.Head] = 6
+		}
+	}
+	if d.NoArmBackswing {
+		// Arms stay low; elbows still flex so R4 is unaffected.
+		settle[stickmodel.UpperArm], settle[stickmodel.Forearm] = 192, 158
+		crouch[stickmodel.UpperArm], crouch[stickmodel.Forearm] = 214, 152
+		drive[stickmodel.UpperArm], drive[stickmodel.Forearm] = 200, 148
+	}
+	if d.StraightArms {
+		for _, cp := range []*jointAngles{&stand, &settle, &crouch, &drive, &takeoff} {
+			cp[stickmodel.Forearm] = cp[stickmodel.UpperArm] - 6
+		}
+	}
+	if d.NoAirKneeBend {
+		flight1[stickmodel.Thigh], flight1[stickmodel.Shank] = 158, 178
+		apex[stickmodel.Thigh], apex[stickmodel.Shank] = 154, 180
+		descend[stickmodel.Thigh], descend[stickmodel.Shank] = 158, 176
+		touch[stickmodel.Thigh], touch[stickmodel.Shank] = 162, 182
+		absorb[stickmodel.Thigh], absorb[stickmodel.Shank] = 164, 184
+		recover[stickmodel.Thigh], recover[stickmodel.Shank] = 168, 184
+	}
+	if d.UprightTrunk {
+		for _, cp := range []*jointAngles{&flight1, &apex, &descend, &touch, &absorb, &recover} {
+			cp[stickmodel.Trunk] = math.Min(cp[stickmodel.Trunk], 28)
+		}
+	}
+	if d.NoArmForward {
+		for _, cp := range []*jointAngles{&takeoff, &flight1, &apex, &descend, &touch, &absorb, &recover, &stand2} {
+			if cp[stickmodel.UpperArm] < 188 {
+				cp[stickmodel.UpperArm] = 188
+			}
+			if cp[stickmodel.Forearm] < 180 {
+				cp[stickmodel.Forearm] = 180
+			}
+		}
+	}
+
+	return []controlPoint{
+		{0.00, stand},
+		{0.08, settle},
+		{0.30, crouch},
+		{0.38, drive},
+		{tTakeoff, takeoff},
+		{0.52, flight1},
+		{0.60, apex},
+		{0.66, descend},
+		{tLand, touch},
+		{0.78, absorb},
+		{0.86, recover},
+		{1.00, stand2},
+	}
+}
+
+// anglesAt interpolates the keyframe table at normalised time t using
+// shortest-arc angular interpolation.
+func anglesAt(script []controlPoint, t float64) jointAngles {
+	if t <= script[0].t {
+		return script[0].a
+	}
+	if t >= script[len(script)-1].t {
+		return script[len(script)-1].a
+	}
+	for i := 0; i+1 < len(script); i++ {
+		a, b := script[i], script[i+1]
+		if t > b.t {
+			continue
+		}
+		u := (t - a.t) / (b.t - a.t)
+		u = smoothstep(u)
+		var out jointAngles
+		for l := 0; l < stickmodel.NumSticks; l++ {
+			out[l] = stickmodel.AngleLerp(a.a[l], b.a[l], u)
+		}
+		return out
+	}
+	return script[len(script)-1].a
+}
+
+func smoothstep(u float64) float64 { return u * u * (3 - 2*u) }
+
+// TruePoses generates the ground-truth pose sequence for the parameters:
+// angles from the jump script, trunk centre solved so the ankle is planted
+// on the floor during stance and follows a ballistic arc during flight.
+func TruePoses(p JumpParams, dims stickmodel.Dimensions) []stickmodel.Pose {
+	script := jumpScript(p.Defects)
+	n := p.Frames
+	poses := make([]stickmodel.Pose, n)
+
+	floor := float64(p.FloorY)
+	ankleY := floor - dims.Thick[stickmodel.Foot]/2 - 1
+
+	// centreFor solves the trunk centre from an ankle anchor.
+	centreFor := func(a jointAngles, ankle imaging.Vec2) imaging.Vec2 {
+		trunkHalf := stickmodel.Dir(a[stickmodel.Trunk]).Mul(dims.Length[stickmodel.Trunk] / 2)
+		thigh := stickmodel.Dir(a[stickmodel.Thigh]).Mul(dims.Length[stickmodel.Thigh])
+		shank := stickmodel.Dir(a[stickmodel.Shank]).Mul(dims.Length[stickmodel.Shank])
+		// ankle = centre - trunkHalf + thigh + shank  ⇒  centre = ankle + trunkHalf - thigh - shank
+		return ankle.Add(trunkHalf).Sub(thigh).Sub(shank)
+	}
+
+	startAnkle := imaging.Vec2{X: p.StartX, Y: ankleY}
+	landAnkle := imaging.Vec2{X: p.StartX + p.JumpPx, Y: ankleY}
+
+	tOf := func(k int) float64 { return float64(k) / float64(n-1) }
+
+	// Ballistic boundary centres from the anchored takeoff/landing poses.
+	c0 := centreFor(anglesAt(script, tTakeoff), startAnkle)
+	c1 := centreFor(anglesAt(script, tLand), landAnkle)
+
+	for k := 0; k < n; k++ {
+		t := tOf(k)
+		a := anglesAt(script, t)
+		var centre imaging.Vec2
+		switch {
+		case t <= tTakeoff:
+			centre = centreFor(a, startAnkle)
+		case t >= tLand:
+			centre = centreFor(a, landAnkle)
+		default:
+			s := (t - tTakeoff) / (tLand - tTakeoff)
+			centre = imaging.Vec2{
+				X: c0.X + (c1.X-c0.X)*s,
+				Y: c0.Y + (c1.Y-c0.Y)*s - 4*p.ApexRise*s*(1-s),
+			}
+		}
+		pose := stickmodel.Pose{X: centre.X, Y: centre.Y}
+		for l := 0; l < stickmodel.NumSticks; l++ {
+			pose.Rho[l] = stickmodel.NormalizeAngle(a[l])
+		}
+		poses[k] = pose
+	}
+	return poses
+}
+
+// GroundWindows returns the frame index windows matching the paper's fixed
+// scoring stages for an n-frame clip: initiation = first half up to
+// takeoff-inclusive scaling, air/landing = the rest. For the default
+// 20-frame clip this is [0,9] and [10,19], exactly the paper's
+// "first frame to the 10th" and "11th to the 20th".
+func GroundWindows(n int) (initEnd, landEnd int) {
+	if n < 2 {
+		return 0, n - 1
+	}
+	initEnd = int(math.Round(float64(n)/2)) - 1
+	return initEnd, n - 1
+}

@@ -1,0 +1,175 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// Shadow projection constants: the light is high on the upper-left behind
+// the jumper, casting a slanted, flattened shadow to the right on the floor.
+const (
+	shadowShearX = 0.45 // horizontal displacement per pixel of height
+	shadowFlatY  = 0.16 // vertical (into-floor) displacement per height px
+	shadowDarken = 0.62 // multiplicative value attenuation inside shadow
+)
+
+// Sensor / illumination noise constants.
+const (
+	flickerAmp    = 0.015  // global illumination flicker amplitude
+	sensorSigma   = 2.2    // Gaussian noise sigma, intensity levels
+	saltDensity   = 0.0015 // isolated salt-and-pepper pixel density
+	shirtSpeckleP = 0.02   // probability a shirt pixel matches the wall
+)
+
+// stickColors maps each stick to its clothing colour.
+func stickColors() [stickmodel.NumSticks]imaging.Color {
+	var c [stickmodel.NumSticks]imaging.Color
+	c[stickmodel.Trunk] = shirtColor
+	c[stickmodel.Neck] = skinColor
+	c[stickmodel.UpperArm] = shirtColor
+	c[stickmodel.Thigh] = pantsColor
+	c[stickmodel.Head] = skinColor
+	c[stickmodel.Forearm] = skinColor
+	c[stickmodel.Shank] = pantsColor
+	c[stickmodel.Foot] = shoeColor
+	return c
+}
+
+// drawOrder renders far limbs first so near body parts overdraw them,
+// giving silhouettes the merged-limb topology the paper describes.
+var drawOrder = [stickmodel.NumSticks]stickmodel.StickID{
+	stickmodel.UpperArm, stickmodel.Forearm, // arm behind trunk when swung back
+	stickmodel.Thigh, stickmodel.Shank, stickmodel.Foot,
+	stickmodel.Trunk, stickmodel.Neck, stickmodel.Head,
+}
+
+// BodyMask rasterises the ground-truth silhouette for a pose.
+func BodyMask(pose stickmodel.Pose, dims stickmodel.Dimensions, w, h int) *imaging.Mask {
+	return pose.Rasterize(dims, w, h)
+}
+
+// ShadowMaskFor projects the body mask onto the floor plane. Every body
+// pixel above the floor casts to (x + shearX·h, floorY + flatY·h) where h is
+// its height above the floor line.
+func ShadowMaskFor(body *imaging.Mask, floorY int) *imaging.Mask {
+	sm := imaging.NewMask(body.W, body.H)
+	for y := 0; y < body.H && y <= floorY; y++ {
+		for x := 0; x < body.W; x++ {
+			if !body.Bits[y*body.W+x] {
+				continue
+			}
+			hgt := float64(floorY - y)
+			sx := x + int(shadowShearX*hgt+0.5)
+			sy := floorY + int(shadowFlatY*hgt+0.5)
+			if sx >= 0 && sx < sm.W && sy >= floorY && sy < sm.H {
+				sm.Bits[sy*sm.W+sx] = true
+				// Thicken horizontally to avoid aliasing gaps.
+				if sx+1 < sm.W {
+					sm.Bits[sy*sm.W+sx+1] = true
+				}
+			}
+		}
+	}
+	// Remove shadow pixels hidden behind the body itself.
+	for i := range sm.Bits {
+		if body.Bits[i] {
+			sm.Bits[i] = false
+		}
+	}
+	return sm
+}
+
+// renderFrame composes one frame: background, cast shadow, body, then
+// illumination flicker and sensor noise.
+func renderFrame(bg *imaging.Image, pose stickmodel.Pose, dims stickmodel.Dimensions,
+	p JumpParams, frame int, patches []flickerPatch, rng *rand.Rand) (*imaging.Image, *imaging.Mask, *imaging.Mask) {
+
+	img := bg.Clone()
+
+	// Window-reflection flicker patches (part of the *observed* frame, not
+	// of the true background).
+	for _, fp := range patches {
+		d := int(fp.amp * math.Sin(fp.freq*float64(frame)+fp.phase))
+		for y := fp.rect.Y0; y <= fp.rect.Y1 && y < img.H; y++ {
+			for x := fp.rect.X0; x <= fp.rect.X1 && x < img.W; x++ {
+				if x < 0 || y < 0 {
+					continue
+				}
+				c := img.Pix[y*img.W+x]
+				img.Pix[y*img.W+x] = imaging.Color{
+					R: clampAdd(c.R, d), G: clampAdd(c.G, d), B: clampAdd(c.B, d),
+				}
+			}
+		}
+	}
+
+	body := BodyMask(pose, dims, p.W, p.H)
+	shadowM := ShadowMaskFor(body, p.FloorY)
+
+	// Cast shadow: attenuate the background value uniformly (hue and
+	// saturation preserved), exactly the photometric model of Eq. (1).
+	for i, s := range shadowM.Bits {
+		if s {
+			f := shadowDarken + 0.05*float64(hash2(i%p.W, i/p.W)%100)/100
+			img.Pix[i] = img.Pix[i].Scale(f)
+		}
+	}
+
+	// Body: capsules in draw order with simple shading along each stick.
+	colors := stickColors()
+	segs := pose.Segments(dims)
+	for _, id := range drawOrder {
+		col := colors[id]
+		imaging.FillCapsule(img, segs[id], dims.Thick[id]/2, col)
+	}
+	// Hair cap on the top half of the head stick.
+	headSeg := segs[stickmodel.Head]
+	hairSeg := imaging.Segment{A: headSeg.At(0.55), B: headSeg.B}
+	imaging.FillCapsule(img, hairSeg, dims.Thick[stickmodel.Head]/2, hairColor)
+
+	// Shirt speckle: a few trunk pixels match the wall colour, producing
+	// holes after background subtraction (exercises Step 4).
+	trunkSeg := segs[stickmodel.Trunk]
+	tr := dims.Thick[stickmodel.Trunk] / 2
+	x0 := int(math.Min(trunkSeg.A.X, trunkSeg.B.X) - tr)
+	x1 := int(math.Max(trunkSeg.A.X, trunkSeg.B.X) + tr)
+	y0 := int(math.Min(trunkSeg.A.Y, trunkSeg.B.Y) - tr)
+	y1 := int(math.Max(trunkSeg.A.Y, trunkSeg.B.Y) + tr)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			if !img.In(x, y) || !body.At(x, y) {
+				continue
+			}
+			if trunkSeg.PointDist(imaging.Vec2{X: float64(x), Y: float64(y)}) <= tr &&
+				rng.Float64() < shirtSpeckleP {
+				img.Set(x, y, bg.At(x, y))
+			}
+		}
+	}
+
+	// Global illumination flicker.
+	flicker := 1 + flickerAmp*math.Sin(0.8*float64(frame)+0.3) + rng.NormFloat64()*0.003
+	for i := range img.Pix {
+		img.Pix[i] = img.Pix[i].Scale(flicker)
+	}
+
+	// Sensor noise: Gaussian on every pixel plus sparse salt-and-pepper.
+	for i := range img.Pix {
+		n := rng.NormFloat64() * sensorSigma
+		c := img.Pix[i]
+		img.Pix[i] = imaging.Color{
+			R: clampAdd(c.R, int(n)), G: clampAdd(c.G, int(n)), B: clampAdd(c.B, int(n)),
+		}
+	}
+	nSalt := int(saltDensity * float64(len(img.Pix)))
+	for s := 0; s < nSalt; s++ {
+		i := rng.Intn(len(img.Pix))
+		v := uint8(rng.Intn(256))
+		img.Pix[i] = imaging.Color{R: v, G: 255 - v, B: uint8(rng.Intn(256))}
+	}
+
+	return img, body, shadowM
+}

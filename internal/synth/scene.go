@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"github.com/sljmotion/sljmotion/internal/imaging"
+)
+
+// Scene colours for the synthetic gym: a light wall, a tan floor, a skirting
+// line and a bench so the background has structure for the estimator to
+// recover.
+var (
+	wallTop    = imaging.Color{R: 176, G: 186, B: 196}
+	wallBottom = imaging.Color{R: 158, G: 168, B: 178}
+	floorNear  = imaging.Color{R: 186, G: 152, B: 110}
+	floorFar   = imaging.Color{R: 172, G: 140, B: 100}
+	skirting   = imaging.Color{R: 120, G: 96, B: 72}
+	courtLine  = imaging.Color{R: 140, G: 60, B: 50}
+	benchWood  = imaging.Color{R: 136, G: 104, B: 70}
+	benchLeg   = imaging.Color{R: 70, G: 62, B: 54}
+)
+
+// Jumper clothing colours. Chosen to contrast with the scene so background
+// subtraction has signal, while the shirt speckle (renderer) deliberately
+// matches the wall to produce holes for Step 4.
+var (
+	skinColor  = imaging.Color{R: 228, G: 188, B: 156}
+	shirtColor = imaging.Color{R: 188, G: 46, B: 52}
+	pantsColor = imaging.Color{R: 44, G: 62, B: 142}
+	shoeColor  = imaging.Color{R: 40, G: 34, B: 32}
+	hairColor  = imaging.Color{R: 52, G: 38, B: 28}
+)
+
+// hash2 is a deterministic integer hash of a pixel coordinate, used for
+// static background texture so the true background is exactly reproducible.
+func hash2(x, y int) uint32 {
+	h := uint32(x)*0x9E3779B1 ^ uint32(y)*0x85EBCA77
+	h ^= h >> 13
+	h *= 0xC2B2AE35
+	h ^= h >> 16
+	return h
+}
+
+// textureJitter returns a small deterministic offset in [-amp, amp].
+func textureJitter(x, y, amp int) int {
+	if amp == 0 {
+		return 0
+	}
+	return int(hash2(x, y)%(uint32(2*amp+1))) - amp
+}
+
+// BuildBackground renders the static gym scene for the given parameters.
+// It is the ground-truth background of experiment F1.
+func BuildBackground(p JumpParams) *imaging.Image {
+	img := imaging.NewImage(p.W, p.H)
+	floorY := p.FloorY
+	for y := 0; y < p.H; y++ {
+		var base imaging.Color
+		if y < floorY {
+			t := float64(y) / float64(floorY)
+			base = wallTop.Lerp(wallBottom, t)
+		} else {
+			t := float64(y-floorY) / float64(p.H-floorY)
+			base = floorFar.Lerp(floorNear, t)
+		}
+		for x := 0; x < p.W; x++ {
+			j := textureJitter(x, y, 4)
+			c := imaging.Color{
+				R: clampAdd(base.R, j),
+				G: clampAdd(base.G, j),
+				B: clampAdd(base.B, j),
+			}
+			img.Pix[y*p.W+x] = c
+		}
+	}
+
+	// Skirting board along the wall-floor junction.
+	imaging.FillRect(img, imaging.Rect{X0: 0, Y0: floorY - 3, X1: p.W - 1, Y1: floorY - 1}, skirting)
+
+	// Court lines on the floor: a takeoff line at StartX and distance marks.
+	lineX := int(p.StartX) + 4
+	imaging.FillRect(img, imaging.Rect{X0: lineX, Y0: floorY, X1: lineX + 1, Y1: p.H - 1}, courtLine)
+	for m := 1; m <= 3; m++ {
+		mx := lineX + int(float64(m)*0.5*p.PxPerMeter())
+		if mx >= p.W-1 {
+			break
+		}
+		imaging.FillRect(img, imaging.Rect{X0: mx, Y0: floorY, X1: mx, Y1: p.H - 1}, courtLine)
+	}
+
+	// A bench against the far wall, well away from the jump corridor.
+	bx := p.W - p.W/6
+	if bx < p.W-24 {
+		bx = p.W - 24
+	}
+	benchTop := floorY - 14
+	imaging.FillRect(img, imaging.Rect{X0: bx, Y0: benchTop, X1: p.W - 4, Y1: benchTop + 3}, benchWood)
+	imaging.FillRect(img, imaging.Rect{X0: bx + 2, Y0: benchTop + 4, X1: bx + 3, Y1: floorY - 1}, benchLeg)
+	imaging.FillRect(img, imaging.Rect{X0: p.W - 7, Y0: benchTop + 4, X1: p.W - 6, Y1: floorY - 1}, benchLeg)
+
+	return img
+}
+
+// flickerPatch is a wall region whose brightness oscillates frame to frame
+// (a window reflection), producing the light-change blobs the paper's Step 3
+// removes as "small spots".
+type flickerPatch struct {
+	rect  imaging.Rect
+	amp   float64
+	freq  float64
+	phase float64
+}
+
+func defaultFlickerPatches(p JumpParams) []flickerPatch {
+	return []flickerPatch{
+		{
+			rect: imaging.Rect{X0: p.W / 8, Y0: p.H / 8, X1: p.W/8 + 9, Y1: p.H/8 + 6},
+			amp:  34, freq: 0.9, phase: 0.4,
+		},
+		{
+			rect: imaging.Rect{X0: p.W - p.W/5, Y0: p.H / 6, X1: p.W - p.W/5 + 7, Y1: p.H/6 + 5},
+			amp:  30, freq: 1.15, phase: 2.1,
+		},
+	}
+}
+
+func clampAdd(v uint8, d int) uint8 {
+	n := int(v) + d
+	if n < 0 {
+		return 0
+	}
+	if n > 255 {
+		return 255
+	}
+	return uint8(n)
+}

@@ -1,0 +1,331 @@
+package synth
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+func TestJumpParamsValidate(t *testing.T) {
+	if err := DefaultJumpParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []func(*JumpParams){
+		func(p *JumpParams) { p.W = 10 },
+		func(p *JumpParams) { p.Frames = 2 },
+		func(p *JumpParams) { p.BodyHeight = 5 },
+		func(p *JumpParams) { p.FloorY = 0 },
+		func(p *JumpParams) { p.FloorY = p.H },
+		func(p *JumpParams) { p.StartX = -1 },
+		func(p *JumpParams) { p.JumpPx = 1e6 },
+		func(p *JumpParams) { p.SubjectHeightM = 0 },
+	}
+	for i, mod := range bad {
+		p := DefaultJumpParams()
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d should be invalid", i)
+		}
+	}
+}
+
+func TestPxPerMeter(t *testing.T) {
+	p := DefaultJumpParams()
+	p.BodyHeight = 65
+	p.SubjectHeightM = 1.3
+	if got := p.PxPerMeter(); got != 50 {
+		t.Errorf("PxPerMeter = %v, want 50", got)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	p := DefaultJumpParams()
+	v, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Frames) != p.Frames || len(v.Truth) != p.Frames ||
+		len(v.BodyMasks) != p.Frames || len(v.ShadowMasks) != p.Frames {
+		t.Fatal("per-frame slices have wrong lengths")
+	}
+	for k, f := range v.Frames {
+		if f.W != p.W || f.H != p.H {
+			t.Fatalf("frame %d is %dx%d", k, f.W, f.H)
+		}
+	}
+	if v.Background.W != p.W || v.Background.H != p.H {
+		t.Fatal("background size wrong")
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	p := DefaultJumpParams()
+	p.Frames = 1
+	if _, err := Generate(p); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultJumpParams()
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Frames {
+		for i := range a.Frames[k].Pix {
+			if a.Frames[k].Pix[i] != b.Frames[k].Pix[i] {
+				t.Fatalf("frame %d pixel %d differs between runs with same seed", k, i)
+			}
+		}
+	}
+	p.Seed = 999
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Frames[0].Pix {
+		if a.Frames[0].Pix[i] != c.Frames[0].Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestBodyMaskMatchesTruthPose(t *testing.T) {
+	p := DefaultJumpParams()
+	v, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 7, 13, 19} {
+		want := v.Truth[k].Rasterize(v.Dims, p.W, p.H)
+		got := v.BodyMasks[k]
+		for i := range want.Bits {
+			if want.Bits[i] != got.Bits[i] {
+				t.Fatalf("frame %d body mask deviates from rasterised truth", k)
+			}
+		}
+	}
+}
+
+func TestTruePosesGroundedDuringStance(t *testing.T) {
+	p := DefaultJumpParams()
+	dims := stickmodel.ChildDimensions(p.BodyHeight)
+	poses := TruePoses(p, dims)
+	// During the first frames the ankle must sit at floor level and at the
+	// start position.
+	j := poses[0].Joints(dims)
+	ankle := j[stickmodel.JointAnkle]
+	if math.Abs(ankle.X-p.StartX) > 1.5 {
+		t.Errorf("stance ankle x = %v, want %v", ankle.X, p.StartX)
+	}
+	if math.Abs(ankle.Y-(float64(p.FloorY)-dims.Thick[stickmodel.Foot]/2-1)) > 1.5 {
+		t.Errorf("stance ankle y = %v off floor", ankle.Y)
+	}
+	// The final frames land JumpPx ahead.
+	jEnd := poses[len(poses)-1].Joints(dims)
+	if math.Abs(jEnd[stickmodel.JointAnkle].X-(p.StartX+p.JumpPx)) > 1.5 {
+		t.Errorf("landing ankle x = %v, want %v", jEnd[stickmodel.JointAnkle].X, p.StartX+p.JumpPx)
+	}
+}
+
+func TestTruePosesFlightRises(t *testing.T) {
+	p := DefaultJumpParams()
+	dims := stickmodel.ChildDimensions(p.BodyHeight)
+	poses := TruePoses(p, dims)
+	minY := poses[0].Y
+	for _, q := range poses {
+		if q.Y < minY {
+			minY = q.Y
+		}
+	}
+	if poses[0].Y-minY < p.ApexRise*0.5 {
+		t.Errorf("flight apex rise %.1f px too small (want >= %.1f)",
+			poses[0].Y-minY, p.ApexRise*0.5)
+	}
+}
+
+// Property: consecutive ground-truth poses stay within the tracker's
+// per-joint mobility windows — the clips must be trackable by design.
+func TestTruePosesVelocityBounds(t *testing.T) {
+	limits := map[stickmodel.StickID]float64{
+		stickmodel.Trunk:    20,
+		stickmodel.Neck:     20,
+		stickmodel.UpperArm: 55,
+		stickmodel.Thigh:    30,
+		stickmodel.Head:     20,
+		stickmodel.Forearm:  55,
+		stickmodel.Shank:    30,
+		stickmodel.Foot:     25,
+	}
+	for _, clip := range DefectClips(DefaultJumpParams()) {
+		dims := stickmodel.ChildDimensions(clip.Params.BodyHeight)
+		poses := TruePoses(clip.Params, dims)
+		for k := 1; k < len(poses); k++ {
+			for l := 0; l < stickmodel.NumSticks; l++ {
+				d := math.Abs(stickmodel.AngleDiff(poses[k-1].Rho[l], poses[k].Rho[l]))
+				if d > limits[stickmodel.StickID(l)] {
+					t.Errorf("%s: frame %d stick %v moved %.1f°/frame (limit %v)",
+						clip.Name, k, stickmodel.StickID(l), d, limits[stickmodel.StickID(l)])
+				}
+			}
+		}
+	}
+}
+
+func TestShadowMaskOnFloorOnly(t *testing.T) {
+	p := DefaultJumpParams()
+	v, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, sm := range v.ShadowMasks {
+		for _, pt := range sm.Points() {
+			if pt.Y < p.FloorY {
+				t.Fatalf("frame %d shadow pixel above floor at %v", k, pt)
+			}
+		}
+		// Shadow and body must not overlap.
+		for i := range sm.Bits {
+			if sm.Bits[i] && v.BodyMasks[k].Bits[i] {
+				t.Fatalf("frame %d shadow under body pixel %d", k, i)
+			}
+		}
+	}
+}
+
+func TestShadowIsPhotometricallyConsistent(t *testing.T) {
+	// Rendered shadows must darken the background's value while roughly
+	// preserving hue — the signal Eq. (1) expects. Verified on the raw
+	// composite (before sensor noise): regenerate one frame without noise
+	// by comparing frame to background in shadow regions, allowing noise
+	// tolerance.
+	p := DefaultJumpParams()
+	v, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	darker, total := 0, 0
+	for _, pt := range v.ShadowMasks[k].Points() {
+		fg := v.Frames[k].At(pt.X, pt.Y)
+		bg := v.Background.At(pt.X, pt.Y)
+		total++
+		if fg.Luma() < bg.Luma() {
+			darker++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no shadow pixels in flight frame")
+	}
+	if float64(darker)/float64(total) < 0.95 {
+		t.Errorf("only %d/%d shadow pixels darker than background", darker, total)
+	}
+}
+
+func TestManualAnnotationErrorScale(t *testing.T) {
+	p := DefaultJumpParams()
+	v, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := DefaultAnnotationError()
+	a := v.ManualAnnotation(e, 1)
+	b := v.ManualAnnotation(e, 1)
+	if a != b {
+		t.Error("same seed must reproduce the annotation")
+	}
+	c := v.ManualAnnotation(e, 2)
+	if a == c {
+		t.Error("different seeds must differ")
+	}
+	// The perturbation stays within a few sigma of the truth.
+	for l := 0; l < stickmodel.NumSticks; l++ {
+		d := math.Abs(stickmodel.AngleDiff(v.Truth[0].Rho[l], a.Rho[l]))
+		if d > 5*e.AngleSigma {
+			t.Errorf("stick %d annotation error %.1f° implausibly large", l, d)
+		}
+	}
+}
+
+func TestDefectClipsEnumeration(t *testing.T) {
+	clips := DefectClips(DefaultJumpParams())
+	if len(clips) != 8 {
+		t.Fatalf("want 8 clips (good + 7 defects), got %d", len(clips))
+	}
+	if clips[0].Defects.Any() {
+		t.Error("clip 0 must be the good-form clip")
+	}
+	seen := map[string]bool{}
+	for _, c := range clips[1:] {
+		if !c.Defects.Any() {
+			t.Errorf("%s has no defect", c.Name)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate clip %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestGroundWindows(t *testing.T) {
+	initEnd, landEnd := GroundWindows(20)
+	if initEnd != 9 || landEnd != 19 {
+		t.Errorf("GroundWindows(20) = %d,%d, want 9,19 (the paper's frames 1-10/11-20)", initEnd, landEnd)
+	}
+	if i, l := GroundWindows(1); i != 0 || l != 0 {
+		t.Errorf("GroundWindows(1) = %d,%d", i, l)
+	}
+}
+
+func TestWriteFrames(t *testing.T) {
+	p := DefaultJumpParams()
+	p.Frames = 4
+	v, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := v.WriteFrames(dir); err != nil {
+		t.Fatal(err)
+	}
+	img, err := imaging.ReadPPMFile(filepath.Join(dir, "frame_02.ppm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != p.W {
+		t.Error("written frame has wrong size")
+	}
+}
+
+func TestBuildBackgroundDeterministic(t *testing.T) {
+	p := DefaultJumpParams()
+	a := BuildBackground(p)
+	b := BuildBackground(p)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("background not deterministic")
+		}
+	}
+}
+
+func TestFormDefectsAny(t *testing.T) {
+	if (FormDefects{}).Any() {
+		t.Error("zero defects must report false")
+	}
+	if !(FormDefects{UprightTrunk: true}).Any() {
+		t.Error("set defect must report true")
+	}
+}

@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// Video is a synthetic standing-long-jump clip with full ground truth. It
+// substitutes for the paper's CCD footage while retaining everything the
+// evaluation needs: true poses, true background, and per-frame body and
+// shadow masks.
+type Video struct {
+	Params JumpParams
+	Dims   stickmodel.Dimensions
+	// Frames are the observed RGB frames (with noise, flicker, shadows).
+	Frames []*imaging.Image
+	// Truth holds the ground-truth pose per frame.
+	Truth []stickmodel.Pose
+	// Background is the true static scene, before any noise.
+	Background *imaging.Image
+	// BodyMasks are the exact body silhouettes per frame.
+	BodyMasks []*imaging.Mask
+	// ShadowMasks are the exact cast-shadow regions per frame.
+	ShadowMasks []*imaging.Mask
+}
+
+// Generate renders a full clip for the given parameters.
+func Generate(p JumpParams) (*Video, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	dims := stickmodel.ChildDimensions(p.BodyHeight)
+	poses := TruePoses(p, dims)
+	bg := BuildBackground(p)
+	patches := defaultFlickerPatches(p)
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	v := &Video{
+		Params:      p,
+		Dims:        dims,
+		Truth:       poses,
+		Background:  bg,
+		Frames:      make([]*imaging.Image, p.Frames),
+		BodyMasks:   make([]*imaging.Mask, p.Frames),
+		ShadowMasks: make([]*imaging.Mask, p.Frames),
+	}
+	for k := 0; k < p.Frames; k++ {
+		frame, body, shadowM := renderFrame(bg, poses[k], dims, p, k, patches, rng)
+		v.Frames[k] = frame
+		v.BodyMasks[k] = body
+		v.ShadowMasks[k] = shadowM
+	}
+	return v, nil
+}
+
+// ManualAnnotationError models the imprecision of the "trained person" who
+// draws the first-frame stick figure.
+type ManualAnnotationError struct {
+	// PosSigma is the standard deviation of the centre offset in pixels.
+	PosSigma float64
+	// AngleSigma is the standard deviation of each joint angle in degrees.
+	AngleSigma float64
+}
+
+// DefaultAnnotationError returns a plausible human annotation error.
+func DefaultAnnotationError() ManualAnnotationError {
+	return ManualAnnotationError{PosSigma: 1.5, AngleSigma: 4}
+}
+
+// ManualAnnotation perturbs the true first-frame pose with the error model,
+// simulating the hand-drawn stick figure the paper requires for frame 1.
+func (v *Video) ManualAnnotation(e ManualAnnotationError, seed int64) stickmodel.Pose {
+	rng := rand.New(rand.NewSource(seed))
+	p := v.Truth[0]
+	p.X += rng.NormFloat64() * e.PosSigma
+	p.Y += rng.NormFloat64() * e.PosSigma
+	for l := 0; l < stickmodel.NumSticks; l++ {
+		p.Rho[l] = stickmodel.NormalizeAngle(p.Rho[l] + rng.NormFloat64()*e.AngleSigma)
+	}
+	return p
+}
+
+// WriteFrames writes every frame as PPM files named frame_00.ppm… in dir.
+func (v *Video) WriteFrames(dir string) error {
+	for k, f := range v.Frames {
+		path := fmt.Sprintf("%s/frame_%02d.ppm", dir, k)
+		if err := imaging.WritePPMFile(path, f); err != nil {
+			return fmt.Errorf("frame %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// DefectClips enumerates the seven single-defect clips used by experiment
+// T2 (one per scoring rule) plus labels. The good-form clip is index 0.
+func DefectClips(base JumpParams) []struct {
+	Name    string
+	Params  JumpParams
+	Defects FormDefects
+} {
+	mk := func(name string, d FormDefects) struct {
+		Name    string
+		Params  JumpParams
+		Defects FormDefects
+	} {
+		p := base
+		p.Defects = d
+		return struct {
+			Name    string
+			Params  JumpParams
+			Defects FormDefects
+		}{Name: name, Params: p, Defects: d}
+	}
+	return []struct {
+		Name    string
+		Params  JumpParams
+		Defects FormDefects
+	}{
+		mk("good-form", FormDefects{}),
+		mk("no-knee-bend", FormDefects{NoKneeBend: true}),
+		mk("no-neck-bend", FormDefects{NoNeckBend: true}),
+		mk("no-arm-backswing", FormDefects{NoArmBackswing: true}),
+		mk("straight-arms", FormDefects{StraightArms: true}),
+		mk("no-air-knee-bend", FormDefects{NoAirKneeBend: true}),
+		mk("upright-trunk", FormDefects{UprightTrunk: true}),
+		mk("no-arm-forward", FormDefects{NoArmForward: true}),
+	}
+}

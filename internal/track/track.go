@@ -1,0 +1,217 @@
+// Package track analyses an estimated pose sequence over time: centroid and
+// joint trajectories, takeoff and landing detection, phase segmentation
+// (initiation / flight / landing), and jump-distance measurement. It backs
+// Section 5's "track the movement of the jumper" and supplies the stage
+// windows that the scoring rules of Section 4 are evaluated over.
+package track
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// Phase labels one frame of the jump.
+type Phase int
+
+// Phases of a standing long jump. Enum starts at one so the zero value is
+// invalid.
+const (
+	PhaseInitiation Phase = iota + 1
+	PhaseFlight
+	PhaseLanding
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInitiation:
+		return "initiation"
+	case PhaseFlight:
+		return "flight"
+	case PhaseLanding:
+		return "landing"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Window is an inclusive frame index range.
+type Window struct {
+	From, To int
+}
+
+// Len returns the number of frames in the window.
+func (w Window) Len() int { return w.To - w.From + 1 }
+
+// Contains reports whether frame k falls inside the window.
+func (w Window) Contains(k int) bool { return k >= w.From && k <= w.To }
+
+// Analysis is the result of tracking a pose sequence.
+type Analysis struct {
+	// Phases labels every frame.
+	Phases []Phase
+	// TakeoffFrame is the first airborne frame; LandingFrame the first
+	// frame of renewed ground contact.
+	TakeoffFrame, LandingFrame int
+	// Initiation and AirLanding are the scoring windows derived from the
+	// phases (paper Section 4 uses fixed windows; see FixedWindows).
+	Initiation, AirLanding Window
+	// JumpDistancePx is the ankle displacement from takeoff stance to
+	// landing stance in pixels; JumpDistanceM its metric conversion.
+	JumpDistancePx float64
+	JumpDistanceM  float64
+	// ApexRisePx is the maximum trunk-centre rise above standing height
+	// during flight.
+	ApexRisePx float64
+	// AnkleTrajectory and CentreTrajectory are per-frame positions.
+	AnkleTrajectory  []imaging.Vec2
+	CentreTrajectory []imaging.Vec2
+}
+
+// Tracker derives jump analyses from pose sequences.
+type Tracker struct {
+	dims stickmodel.Dimensions
+	// pxPerMeter calibrates distance; ≤0 leaves metric fields zero.
+	pxPerMeter float64
+	// groundTol is the height in pixels above the stance ankle level at
+	// which a foot still counts as grounded.
+	groundTol float64
+}
+
+// NewTracker builds a tracker for the given body dimensions.
+// pxPerMeter ≤ 0 disables metric conversion.
+func NewTracker(dims stickmodel.Dimensions, pxPerMeter float64) *Tracker {
+	return &Tracker{dims: dims, pxPerMeter: pxPerMeter, groundTol: 3}
+}
+
+// ErrTooShort is returned for sequences with fewer than four frames.
+var ErrTooShort = errors.New("track: sequence too short")
+
+// Analyze tracks the sequence and segments the jump phases. It detects
+// takeoff as the first frame where the ankle rises more than groundTol
+// above its stance level and landing as the first subsequent frame where it
+// returns within groundTol.
+func (t *Tracker) Analyze(poses []stickmodel.Pose) (*Analysis, error) {
+	n := len(poses)
+	if n < 4 {
+		return nil, ErrTooShort
+	}
+	a := &Analysis{
+		Phases:           make([]Phase, n),
+		AnkleTrajectory:  make([]imaging.Vec2, n),
+		CentreTrajectory: make([]imaging.Vec2, n),
+	}
+	for k, p := range poses {
+		j := p.Joints(t.dims)
+		a.AnkleTrajectory[k] = j[stickmodel.JointAnkle]
+		a.CentreTrajectory[k] = imaging.Vec2{X: p.X, Y: p.Y}
+	}
+
+	// Stance ankle level: median of the first quarter of the clip (the
+	// jumper is standing or crouching with planted feet).
+	q := n / 4
+	if q < 2 {
+		q = 2
+	}
+	levels := make([]float64, 0, q)
+	for k := 0; k < q; k++ {
+		levels = append(levels, a.AnkleTrajectory[k].Y)
+	}
+	ground := medianF(levels)
+
+	takeoff, landing := -1, -1
+	for k := 1; k < n; k++ {
+		airborne := a.AnkleTrajectory[k].Y < ground-t.groundTol
+		if takeoff < 0 {
+			if airborne {
+				takeoff = k
+			}
+			continue
+		}
+		if landing < 0 && !airborne {
+			landing = k
+			break
+		}
+	}
+	// Degenerate clips (no flight detected): fall back to fixed windows.
+	if takeoff < 0 {
+		takeoff = n / 2
+	}
+	if landing < 0 || landing <= takeoff {
+		landing = min(takeoff+max(n/5, 1), n-1)
+	}
+	a.TakeoffFrame, a.LandingFrame = takeoff, landing
+
+	for k := 0; k < n; k++ {
+		switch {
+		case k < takeoff:
+			a.Phases[k] = PhaseInitiation
+		case k < landing:
+			a.Phases[k] = PhaseFlight
+		default:
+			a.Phases[k] = PhaseLanding
+		}
+	}
+	a.Initiation = Window{From: 0, To: takeoff - 1}
+	a.AirLanding = Window{From: takeoff, To: n - 1}
+
+	// Jump distance: ankle x displacement between stance and landing rest.
+	start := a.AnkleTrajectory[0].X
+	end := a.AnkleTrajectory[n-1].X
+	a.JumpDistancePx = math.Abs(end - start)
+	if t.pxPerMeter > 0 {
+		a.JumpDistanceM = a.JumpDistancePx / t.pxPerMeter
+	}
+
+	// Apex rise: centre height gain relative to the first frame.
+	base := a.CentreTrajectory[0].Y
+	for k := takeoff; k < landing && k < n; k++ {
+		rise := base - a.CentreTrajectory[k].Y
+		if rise > a.ApexRisePx {
+			a.ApexRisePx = rise
+		}
+	}
+	return a, nil
+}
+
+// FixedWindows returns the paper's stage windows for an n-frame clip:
+// initiation = frames 1..10 and air/landing = 11..20 in the paper's 1-based
+// numbering, scaled proportionally for other clip lengths.
+func FixedWindows(n int) (initiation, airLanding Window) {
+	if n <= 1 {
+		return Window{0, 0}, Window{0, 0}
+	}
+	half := n / 2
+	return Window{From: 0, To: half - 1}, Window{From: half, To: n - 1}
+}
+
+func medianF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package track
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+func truthClip(t *testing.T) (*synth.Video, []stickmodel.Pose) {
+	t.Helper()
+	p := synth.DefaultJumpParams()
+	v, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, v.Truth
+}
+
+func TestAnalyzeDetectsFlightWindow(t *testing.T) {
+	v, poses := truthClip(t)
+	tr := NewTracker(v.Dims, v.Params.PxPerMeter())
+	a, err := tr.Analyze(poses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The kinematic script leaves the ground around 44% and lands around
+	// 72% of the clip (synth timeline constants).
+	n := len(poses)
+	wantTakeoff := float64(n) * 0.44
+	wantLanding := float64(n) * 0.72
+	if math.Abs(float64(a.TakeoffFrame)-wantTakeoff) > 2.5 {
+		t.Errorf("takeoff frame %d, want ~%.0f", a.TakeoffFrame, wantTakeoff)
+	}
+	if math.Abs(float64(a.LandingFrame)-wantLanding) > 2.5 {
+		t.Errorf("landing frame %d, want ~%.0f", a.LandingFrame, wantLanding)
+	}
+	if a.TakeoffFrame >= a.LandingFrame {
+		t.Error("takeoff must precede landing")
+	}
+}
+
+func TestAnalyzeJumpDistance(t *testing.T) {
+	v, poses := truthClip(t)
+	tr := NewTracker(v.Dims, v.Params.PxPerMeter())
+	a, err := tr.Analyze(poses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.JumpDistancePx-v.Params.JumpPx) > 3 {
+		t.Errorf("distance %.1f px, want ~%.1f", a.JumpDistancePx, v.Params.JumpPx)
+	}
+	wantM := v.Params.JumpPx / v.Params.PxPerMeter()
+	if math.Abs(a.JumpDistanceM-wantM) > 0.1 {
+		t.Errorf("distance %.2f m, want ~%.2f", a.JumpDistanceM, wantM)
+	}
+}
+
+func TestAnalyzeNoMetricWithoutCalibration(t *testing.T) {
+	v, poses := truthClip(t)
+	tr := NewTracker(v.Dims, 0)
+	a, err := tr.Analyze(poses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.JumpDistanceM != 0 {
+		t.Error("metric distance must stay zero without calibration")
+	}
+	if a.JumpDistancePx == 0 {
+		t.Error("pixel distance must still be measured")
+	}
+}
+
+func TestAnalyzeApexRise(t *testing.T) {
+	v, poses := truthClip(t)
+	tr := NewTracker(v.Dims, 0)
+	a, err := tr.Analyze(poses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ApexRisePx < v.Params.ApexRise*0.4 {
+		t.Errorf("apex rise %.1f px too small (param %.1f)", a.ApexRisePx, v.Params.ApexRise)
+	}
+}
+
+func TestAnalyzePhasesPartitionFrames(t *testing.T) {
+	v, poses := truthClip(t)
+	tr := NewTracker(v.Dims, 0)
+	a, err := tr.Analyze(poses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Phases) != len(poses) {
+		t.Fatal("phase per frame missing")
+	}
+	// Phases must be monotone: initiation* flight* landing*.
+	stage := 0
+	order := map[Phase]int{PhaseInitiation: 0, PhaseFlight: 1, PhaseLanding: 2}
+	for k, ph := range a.Phases {
+		o, ok := order[ph]
+		if !ok {
+			t.Fatalf("frame %d has invalid phase %v", k, ph)
+		}
+		if o < stage {
+			t.Fatalf("phase regressed at frame %d", k)
+		}
+		stage = o
+	}
+	if a.Initiation.Len() <= 0 || a.AirLanding.Len() <= 0 {
+		t.Error("windows must be non-empty")
+	}
+	if a.AirLanding.To != len(poses)-1 {
+		t.Error("air/landing window must extend to the last frame")
+	}
+}
+
+func TestAnalyzeTooShort(t *testing.T) {
+	v, _ := truthClip(t)
+	tr := NewTracker(v.Dims, 0)
+	if _, err := tr.Analyze(v.Truth[:3]); err == nil {
+		t.Error("expected ErrTooShort")
+	}
+}
+
+func TestAnalyzeNoFlightFallback(t *testing.T) {
+	// A static standing pose has no flight; detection must fall back to
+	// sane windows rather than fail.
+	v, _ := truthClip(t)
+	static := make([]stickmodel.Pose, 12)
+	for i := range static {
+		static[i] = v.Truth[0]
+	}
+	tr := NewTracker(v.Dims, 0)
+	a, err := tr.Analyze(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TakeoffFrame <= 0 || a.LandingFrame <= a.TakeoffFrame {
+		t.Errorf("fallback windows broken: takeoff %d landing %d", a.TakeoffFrame, a.LandingFrame)
+	}
+}
+
+func TestFixedWindows(t *testing.T) {
+	init, air := FixedWindows(20)
+	if init != (Window{From: 0, To: 9}) || air != (Window{From: 10, To: 19}) {
+		t.Errorf("FixedWindows(20) = %+v, %+v", init, air)
+	}
+	init, air = FixedWindows(21)
+	if init.To+1 != air.From || air.To != 20 {
+		t.Errorf("odd-length windows wrong: %+v %+v", init, air)
+	}
+	if i, a := FixedWindows(1); i.Len() < 1 || a.Len() < 1 {
+		t.Errorf("degenerate windows: %+v %+v", i, a)
+	}
+}
+
+func TestWindowHelpers(t *testing.T) {
+	w := Window{From: 3, To: 7}
+	if w.Len() != 5 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	if !w.Contains(3) || !w.Contains(7) || w.Contains(8) || w.Contains(2) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseInitiation.String() != "initiation" || PhaseFlight.String() != "flight" ||
+		PhaseLanding.String() != "landing" {
+		t.Error("phase names wrong")
+	}
+	if Phase(0).String() == "" {
+		t.Error("invalid phase must still render")
+	}
+}

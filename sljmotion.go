@@ -1,0 +1,203 @@
+// Package sljmotion is the public API of the standing-long-jump motion
+// analysis system — a from-scratch Go implementation of "Motion Analysis for
+// the Standing Long Jump" (Hsu et al., ICDCSW 2006).
+//
+// The system takes a side-view video clip of a standing long jump and
+// produces:
+//
+//   - the segmented silhouette of the jumper in every frame (Section 2 of
+//     the paper: background estimation, background subtraction, noise/spot
+//     removal, hole filling, HSV shadow removal);
+//   - a stick-model pose (x0, y0, ρ0..ρ7) per frame, fitted by a genetic
+//     algorithm with temporal seeding (Section 3);
+//   - jump-phase tracking (initiation / flight / landing), jump distance;
+//   - a score report over the seven rules of Table 2 with advice for the
+//     jumper (Section 4).
+//
+// # Quick start
+//
+//	video, _ := sljmotion.GenerateSyntheticJump(sljmotion.DefaultJumpParams())
+//	manual := video.ManualAnnotation(sljmotion.DefaultAnnotationError(), 1)
+//	analyzer, _ := sljmotion.NewAnalyzer(sljmotion.DefaultConfig())
+//	result, _ := analyzer.Analyze(video.Frames, manual)
+//	fmt.Print(result.Report)
+//
+// Real footage can be supplied as a slice of *sljmotion.Image decoded from
+// PPM files (ReadPPMFile); the synthetic generator exists because the
+// original CCD footage is unavailable (see DESIGN.md §1).
+package sljmotion
+
+import (
+	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/metrics"
+	"github.com/sljmotion/sljmotion/internal/pose"
+	"github.com/sljmotion/sljmotion/internal/scoring"
+	"github.com/sljmotion/sljmotion/internal/segmentation"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+	"github.com/sljmotion/sljmotion/internal/synth"
+	"github.com/sljmotion/sljmotion/internal/track"
+)
+
+// Re-exported raster types (internal/imaging).
+type (
+	// Image is an RGB video frame.
+	Image = imaging.Image
+	// Color is a 24-bit RGB pixel.
+	Color = imaging.Color
+	// Mask is a binary raster (silhouettes, shadow masks).
+	Mask = imaging.Mask
+	// Gray is an 8-bit grayscale raster.
+	Gray = imaging.Gray
+	// Vec2 is a 2-D point in image coordinates.
+	Vec2 = imaging.Vec2
+)
+
+// Re-exported stick-model types (internal/stickmodel).
+type (
+	// Pose is the stick-model state (x0, y0, ρ0..ρ7) of Section 3.
+	Pose = stickmodel.Pose
+	// Dimensions holds per-stick lengths and thicknesses in pixels.
+	Dimensions = stickmodel.Dimensions
+	// StickID identifies one of the eight sticks S0-S7 (Figure 4).
+	StickID = stickmodel.StickID
+	// JointID identifies a named joint of the kinematic tree.
+	JointID = stickmodel.JointID
+)
+
+// Stick identifiers, in the paper's numbering (Figure 4).
+const (
+	Trunk    = stickmodel.Trunk
+	Neck     = stickmodel.Neck
+	UpperArm = stickmodel.UpperArm
+	Thigh    = stickmodel.Thigh
+	Head     = stickmodel.Head
+	Forearm  = stickmodel.Forearm
+	Shank    = stickmodel.Shank
+	Foot     = stickmodel.Foot
+	// NumSticks is the stick count of the model.
+	NumSticks = stickmodel.NumSticks
+)
+
+// Re-exported pipeline types.
+type (
+	// Config assembles all stage configurations of the analyzer.
+	Config = core.Config
+	// Result is the complete analysis of one clip.
+	Result = core.Result
+	// Silhouette is the segmented human object in one frame.
+	Silhouette = segmentation.Silhouette
+	// SegmentationConfig parameterises the five-step pipeline of Section 2.
+	SegmentationConfig = segmentation.Config
+	// PoseConfig parameterises the GA pose estimation of Section 3.
+	PoseConfig = pose.Config
+	// Estimate is a per-frame pose estimation outcome.
+	Estimate = pose.Estimate
+	// Report is the Table 2 scoring outcome with advice.
+	Report = scoring.Report
+	// RuleResult is the outcome of a single scoring rule.
+	RuleResult = scoring.RuleResult
+	// Rule is one row of Table 2.
+	Rule = scoring.Rule
+	// Standard is one row of Table 1.
+	Standard = scoring.Standard
+	// TrackAnalysis carries phases, trajectories and jump distance.
+	TrackAnalysis = track.Analysis
+	// Window is an inclusive frame range used by scoring stages.
+	Window = track.Window
+	// PoseError aggregates pose-vs-truth error measures.
+	PoseError = metrics.PoseError
+	// MaskScores aggregates mask overlap measures (IoU, precision, recall).
+	MaskScores = metrics.MaskScores
+)
+
+// Window modes for scoring stages.
+const (
+	// WindowsFixed reproduces the paper's fixed frame windows.
+	WindowsFixed = core.WindowsFixed
+	// WindowsDetected derives the windows from takeoff/landing detection.
+	WindowsDetected = core.WindowsDetected
+)
+
+// Re-exported synthetic-data types (the data substrate replacing the
+// paper's CCD footage; see DESIGN.md §1).
+type (
+	// Video is a synthetic jump clip with ground truth.
+	Video = synth.Video
+	// JumpParams configures the synthetic jump generator.
+	JumpParams = synth.JumpParams
+	// FormDefects plants form errors for scoring experiments.
+	FormDefects = synth.FormDefects
+	// ManualAnnotationError models the first-frame annotation imprecision.
+	ManualAnnotationError = synth.ManualAnnotationError
+)
+
+// Analyzer is the end-to-end system: frames in, analysis out.
+type Analyzer struct {
+	inner *core.Analyzer
+}
+
+// NewAnalyzer builds an analyzer from a configuration (DefaultConfig for
+// the paper-faithful setup).
+func NewAnalyzer(cfg Config) (*Analyzer, error) {
+	inner, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{inner: inner}, nil
+}
+
+// Analyze runs segmentation, pose estimation, tracking and scoring on a
+// clip. manualFirst is the hand-drawn stick figure for the first frame that
+// the paper's method requires for calibration.
+func (a *Analyzer) Analyze(frames []*Image, manualFirst Pose) (*Result, error) {
+	return a.inner.Analyze(frames, manualFirst)
+}
+
+// Config returns the analyzer configuration.
+func (a *Analyzer) Config() Config { return a.inner.Config() }
+
+// DefaultConfig returns the paper-faithful analyzer configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultJumpParams returns the default synthetic clip parameters
+// (192×144, 20 frames, well-formed jump).
+func DefaultJumpParams() JumpParams { return synth.DefaultJumpParams() }
+
+// DefaultAnnotationError returns a plausible human annotation error model.
+func DefaultAnnotationError() ManualAnnotationError { return synth.DefaultAnnotationError() }
+
+// GenerateSyntheticJump renders a synthetic standing-long-jump clip with
+// full ground truth (poses, masks, true background).
+func GenerateSyntheticJump(p JumpParams) (*Video, error) { return synth.Generate(p) }
+
+// ChildDimensions returns stick dimensions for a subject of the given
+// height in pixels, with child body proportions.
+func ChildDimensions(heightPx float64) Dimensions { return stickmodel.ChildDimensions(heightPx) }
+
+// Standards returns Table 1 of the paper.
+func Standards() []Standard { return scoring.Standards() }
+
+// Rules returns Table 2 of the paper.
+func Rules() []Rule { return scoring.Rules() }
+
+// FixedWindows returns the paper's stage windows for an n-frame clip.
+func FixedWindows(n int) (initiation, airLanding Window) { return track.FixedWindows(n) }
+
+// ComparePoses computes pose error measures under shared dimensions.
+func ComparePoses(est, truth Pose, dims Dimensions) PoseError {
+	return metrics.ComparePoses(est, truth, dims)
+}
+
+// CompareMasks scores a predicted mask against ground truth.
+func CompareMasks(pred, truth *Mask) (MaskScores, error) { return metrics.CompareMasks(pred, truth) }
+
+// ReadPPMFile loads an RGB frame from a binary PPM file.
+func ReadPPMFile(path string) (*Image, error) { return imaging.ReadPPMFile(path) }
+
+// WritePPMFile saves an RGB frame as a binary PPM file.
+func WritePPMFile(path string, img *Image) error { return imaging.WritePPMFile(path, img) }
+
+// ASCIIMask renders a silhouette as terminal-friendly ASCII art, the form
+// in which the repository reproduces the paper's figures.
+func ASCIIMask(m *Mask, maxW int) string { return imaging.ASCIIMask(m, maxW) }

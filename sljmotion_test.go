@@ -1,0 +1,82 @@
+package sljmotion_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sljmotion/sljmotion"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	video, err := sljmotion.GenerateSyntheticJump(sljmotion.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := video.ManualAnnotation(sljmotion.DefaultAnnotationError(), 1)
+
+	cfg := sljmotion.DefaultConfig()
+	cfg.Pose.Population = 50
+	cfg.Pose.Generations = 60
+	cfg.Pose.Patience = 12
+	analyzer, err := sljmotion.NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := analyzer.Analyze(video.Frames, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Report.Passed < 6 {
+		t.Errorf("good-form jump scored %d/7", result.Report.Passed)
+	}
+	if len(result.Poses) != len(video.Frames) {
+		t.Error("pose per frame missing")
+	}
+	if !strings.Contains(result.Report.String(), "score") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestPublicTables(t *testing.T) {
+	if len(sljmotion.Standards()) != 7 || len(sljmotion.Rules()) != 7 {
+		t.Error("Tables 1 and 2 must have 7 rows each")
+	}
+	init, air := sljmotion.FixedWindows(20)
+	if init.Len() != 10 || air.Len() != 10 {
+		t.Error("fixed windows wrong")
+	}
+}
+
+func TestPublicMetricsHelpers(t *testing.T) {
+	d := sljmotion.ChildDimensions(60)
+	var p sljmotion.Pose
+	p.X, p.Y = 30, 30
+	pe := sljmotion.ComparePoses(p, p, d)
+	if pe.MeanAngleErr != 0 {
+		t.Error("identical poses must have zero error")
+	}
+	m := p.Rasterize(d, 64, 64)
+	sc, err := sljmotion.CompareMasks(m, m)
+	if err != nil || sc.IoU != 1 {
+		t.Error("identical masks must have IoU 1")
+	}
+	if sljmotion.ASCIIMask(m, 40) == "" {
+		t.Error("ascii rendering empty")
+	}
+}
+
+func TestStickConstantsMatchPaperNumbering(t *testing.T) {
+	// S0..S7 per Figure 4.
+	order := []sljmotion.StickID{
+		sljmotion.Trunk, sljmotion.Neck, sljmotion.UpperArm, sljmotion.Thigh,
+		sljmotion.Head, sljmotion.Forearm, sljmotion.Shank, sljmotion.Foot,
+	}
+	for i, id := range order {
+		if int(id) != i {
+			t.Errorf("stick %v has index %d, want %d", id, int(id), i)
+		}
+	}
+	if sljmotion.NumSticks != 8 {
+		t.Error("model must have 8 sticks")
+	}
+}
