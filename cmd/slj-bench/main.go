@@ -5,18 +5,33 @@
 // Usage:
 //
 //	slj-bench [-seed S] [-figures] [-only ID]
+//	slj-bench -json [-fast] [-seed S]
 //
 // -figures additionally prints the ASCII figure artefacts. -only restricts
 // the run to one experiment id (F1..F7, T1, T2, T2est, A1..A4).
+//
+// -json switches to the performance mode: instead of the experiment
+// reports, it times the concurrency hot paths — per-frame segmentation at
+// increasing worker counts and the end-to-end analysis sequential vs.
+// parallel — and emits one machine-readable JSON document (schema
+// slj-bench-perf/v1, frames/sec per configuration) on stdout, the data
+// behind BENCH_*.json trajectory tracking. -fast trims the GA budget for
+// quick comparisons.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
+	"github.com/sljmotion/sljmotion/internal/core"
 	"github.com/sljmotion/sljmotion/internal/experiments"
+	"github.com/sljmotion/sljmotion/internal/segmentation"
+	"github.com/sljmotion/sljmotion/internal/synth"
 )
 
 func main() {
@@ -28,11 +43,17 @@ func main() {
 
 func run() error {
 	var (
-		seed    = flag.Int64("seed", 1, "workload seed")
-		figures = flag.Bool("figures", false, "print ASCII figure artefacts")
-		only    = flag.String("only", "", "run a single experiment id")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		figures  = flag.Bool("figures", false, "print ASCII figure artefacts")
+		only     = flag.String("only", "", "run a single experiment id")
+		jsonMode = flag.Bool("json", false, "emit machine-readable perf JSON instead of experiment reports")
+		fast     = flag.Bool("fast", false, "trim the GA budget in -json mode")
 	)
 	flag.Parse()
+
+	if *jsonMode {
+		return runPerf(*seed, *fast)
+	}
 
 	type exp struct {
 		id  string
@@ -96,4 +117,115 @@ func run() error {
 		fmt.Printf("%d experiment(s) had mismatching rows\n", failures)
 	}
 	return nil
+}
+
+// perfDoc is the machine-readable output of -json mode.
+type perfDoc struct {
+	Schema       string       `json:"schema"`
+	NumCPU       int          `json:"num_cpu"`
+	GoMaxProcs   int          `json:"go_max_procs"`
+	Seed         int64        `json:"seed"`
+	Fast         bool         `json:"fast"`
+	Frames       int          `json:"frames"`
+	Width        int          `json:"width"`
+	Height       int          `json:"height"`
+	Segmentation []perfSample `json:"segmentation"`
+	EndToEnd     []perfE2E    `json:"end_to_end"`
+}
+
+// perfSample is one segmentation timing at a fixed worker count.
+type perfSample struct {
+	Workers        int     `json:"workers"`
+	Reps           int     `json:"reps"`
+	SecondsPerClip float64 `json:"seconds_per_clip"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+}
+
+// perfE2E is one end-to-end analysis timing at a fixed parallelism.
+type perfE2E struct {
+	Parallelism  int     `json:"parallelism"`
+	Seconds      float64 `json:"seconds"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+}
+
+// runPerf times the concurrent hot paths on the canonical synthetic clip
+// and prints one JSON document.
+func runPerf(seed int64, fast bool) error {
+	params := synth.DefaultJumpParams()
+	params.Seed = seed
+	v, err := synth.Generate(params)
+	if err != nil {
+		return err
+	}
+	doc := perfDoc{
+		Schema:     "slj-bench-perf/v1",
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Fast:       fast,
+		Frames:     len(v.Frames),
+		Width:      v.Frames[0].W,
+		Height:     v.Frames[0].H,
+	}
+
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	pipe, err := segmentation.New(segmentation.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	for _, w := range workerCounts {
+		// Repeat until the sample is long enough to time reliably.
+		const minSample = 300 * time.Millisecond
+		reps := 0
+		start := time.Now()
+		for time.Since(start) < minSample {
+			if _, err := pipe.RunWorkers(v.Frames, w); err != nil {
+				return err
+			}
+			reps++
+		}
+		perClip := time.Since(start).Seconds() / float64(reps)
+		doc.Segmentation = append(doc.Segmentation, perfSample{
+			Workers:        w,
+			Reps:           reps,
+			SecondsPerClip: perClip,
+			FramesPerSec:   float64(len(v.Frames)) / perClip,
+		})
+	}
+
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 1)
+	for _, par := range []int{1, runtime.NumCPU()} {
+		cfg := core.DefaultConfig()
+		cfg.Parallelism = par
+		if fast {
+			cfg.Pose.Population = 40
+			cfg.Pose.Generations = 40
+			cfg.Pose.Patience = 10
+			cfg.Pose.RefineRounds = 1
+		}
+		an, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := an.Analyze(v.Frames, manual); err != nil {
+			return err
+		}
+		secs := time.Since(start).Seconds()
+		doc.EndToEnd = append(doc.EndToEnd, perfE2E{
+			Parallelism:  par,
+			Seconds:      secs,
+			FramesPerSec: float64(len(v.Frames)) / secs,
+		})
+		if par == runtime.NumCPU() {
+			break // single-core host: one sample is the whole story
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

@@ -4,30 +4,50 @@
 //
 // Usage:
 //
-//	slj-serve [-addr :8080]
+//	slj-serve [-addr :8080] [-workers N] [-queue N] [-result-ttl 15m]
+//	          [-parallelism N]
 //
 // Endpoints:
 //
-//	POST /analyze  multipart form: 'frames' = PPM files (ordered by name),
-//	               'truth' = truth.txt with the manual first-frame pose,
-//	               optional 'poses=1' to include per-frame stick models.
-//	GET  /rules    the encoded Tables 1-2.
-//	GET  /healthz  liveness + clips analysed.
+//	POST /analyze   synchronous: multipart form with 'frames' = PPM files
+//	                (ordered by name), 'truth' = truth.txt with the manual
+//	                first-frame pose, optional 'poses=1' to include
+//	                per-frame stick models. The caller waits for the result.
+//	POST /jobs      asynchronous: same form; replies 202 with a job id, or
+//	                503 + Retry-After when the queue is full.
+//	GET  /jobs/{id}         job lifecycle state and current pipeline stage.
+//	GET  /jobs/{id}/result  the AnalysisResponse once the job is done.
+//	GET  /metrics   queue depth, throughput counters, latency stats.
+//	GET  /rules     the encoded Tables 1-2.
+//	GET  /healthz   liveness + clips analysed.
+//
+// -workers sizes the analysis worker pool and -queue the submission queue
+// (backpressure beyond it). -result-ttl bounds how long finished results
+// stay pollable. -parallelism fans the per-frame hot paths of one analysis
+// out over that many goroutines (0 keeps each analysis sequential).
 //
 // Example round trip against a synthetic clip:
 //
 //	slj-synth -out /tmp/clip
-//	curl -s -X POST http://localhost:8080/analyze \
+//	curl -s -X POST http://localhost:8080/jobs \
 //	  $(for f in /tmp/clip/frame_*.ppm; do printf ' -F frames=@%s' "$f"; done) \
-//	  -F truth=@/tmp/clip/truth.txt | head
+//	  -F truth=@/tmp/clip/truth.txt
+//	curl -s http://localhost:8080/jobs/<id>/result | head
+//
+// SIGINT/SIGTERM shut the service down gracefully: the listener stops, the
+// job queue drains (up to -drain-timeout), then in-flight work is cancelled.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/sljmotion/sljmotion/internal/core"
@@ -42,11 +62,25 @@ func main() {
 }
 
 func run() error {
-	addr := flag.String("addr", ":8080", "listen address")
+	defaults := server.DefaultOptions()
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", defaults.Workers, "analysis worker pool size")
+		queue       = flag.Int("queue", defaults.QueueSize, "job submission queue size (backpressure beyond it)")
+		resultTTL   = flag.Duration("result-ttl", defaults.ResultTTL, "how long finished job results stay pollable")
+		parallelism = flag.Int("parallelism", 0, "per-analysis frame/fitness fan-out (0 = sequential)")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "slj-serve ", log.LstdFlags)
-	srv, err := server.New(core.DefaultConfig(), logger)
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = *parallelism
+	srv, err := server.NewWithOptions(cfg, logger, server.Options{
+		Workers:   *workers,
+		QueueSize: *queue,
+		ResultTTL: *resultTTL,
+	})
 	if err != nil {
 		return err
 	}
@@ -55,6 +89,37 @@ func run() error {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger.Printf("listening on %s", *addr)
-	return httpServer.ListenAndServe()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers=%d queue=%d ttl=%s parallelism=%d)",
+			*addr, *workers, *queue, *resultTTL, *parallelism)
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down: draining up to %s", *drain)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *drain)
+	defer cancelHTTP()
+	if err := httpServer.Shutdown(httpCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	// The job queue gets its own drain budget: a slow in-flight synchronous
+	// /analyze may have consumed the whole HTTP budget above, and the queued
+	// jobs still deserve their drain window before the hard cancel.
+	jobsCtx, cancelJobs := context.WithTimeout(context.Background(), *drain)
+	defer cancelJobs()
+	if err := srv.Close(jobsCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	logger.Printf("bye")
+	return nil
 }

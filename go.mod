@@ -1,0 +1,3 @@
+module github.com/sljmotion/sljmotion
+
+go 1.22

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,6 +43,13 @@ type Config struct {
 	PxPerMeter float64
 	// Windows selects fixed (paper) or detected stage windows.
 	Windows WindowMode
+	// Parallelism fans the embarrassingly parallel per-frame work out over
+	// this many goroutines: Steps 2-5 of segmentation across frames, and GA
+	// fitness evaluation inside each pose fit. The temporal-seeding chain
+	// of Section 3 stays sequential (frame k seeds from k-1), and results
+	// are identical to the sequential path at any value. <= 1 disables;
+	// 0 is treated as 1 so the zero value stays paper-faithful.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -64,8 +72,32 @@ func (c Config) Validate() error {
 	if c.Windows != WindowsFixed && c.Windows != WindowsDetected {
 		return fmt.Errorf("core: unknown window mode %d", c.Windows)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism must be >= 0, got %d", c.Parallelism)
+	}
 	return nil
 }
+
+// Stage names one of the four pipeline phases, in execution order. The job
+// manager reports these as per-job progress.
+type Stage string
+
+// Pipeline stages.
+const (
+	StageSegmentation Stage = "segmentation"
+	StagePose         Stage = "pose"
+	StageTracking     Stage = "tracking"
+	StageScoring      Stage = "scoring"
+)
+
+// Stages lists the pipeline stages in execution order.
+func Stages() []Stage {
+	return []Stage{StageSegmentation, StagePose, StageTracking, StageScoring}
+}
+
+// ProgressFunc observes stage transitions; it is called once when each
+// stage begins. Implementations must be fast and non-blocking.
+type ProgressFunc func(Stage)
 
 // Result is the complete analysis of one jump clip.
 type Result struct {
@@ -108,24 +140,52 @@ var ErrNoFrames = errors.New("core: no frames")
 // stick figure for the first frame that the paper requires; it both
 // calibrates the stick dimensions and seeds the temporal chain.
 func (a *Analyzer) Analyze(frames []*imaging.Image, manualFirst stickmodel.Pose) (*Result, error) {
+	return a.AnalyzeContext(context.Background(), frames, manualFirst, nil)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation and per-stage
+// progress reporting: ctx is checked between pipeline stages and before
+// every frame of the pose stage (the dominant cost — one GA fit per frame),
+// and progress — when non-nil — is invoked at the start of each stage. The
+// async job manager drives the pipeline through this entry point.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, frames []*imaging.Image, manualFirst stickmodel.Pose, progress ProgressFunc) (*Result, error) {
 	if len(frames) == 0 {
 		return nil, ErrNoFrames
 	}
+	enter := func(s Stage) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if progress != nil {
+			progress(s)
+		}
+		return nil
+	}
 
+	if err := enter(StageSegmentation); err != nil {
+		return nil, err
+	}
 	seg, err := segmentation.New(a.cfg.Segmentation)
 	if err != nil {
 		return nil, fmt.Errorf("segmentation: %w", err)
 	}
-	bg, _, sils, err := seg.RunDetailed(frames)
+	bg, _, sils, err := seg.RunDetailedWorkers(frames, maxParallel(a.cfg.Parallelism))
 	if err != nil {
 		return nil, fmt.Errorf("segmentation: %w", err)
 	}
 
+	if err := enter(StagePose); err != nil {
+		return nil, err
+	}
 	dims, err := a.dimensionPrior(sils[0])
 	if err != nil {
 		return nil, err
 	}
-	est, err := pose.NewEstimator(dims, a.cfg.Pose)
+	poseCfg := a.cfg.Pose
+	if poseCfg.Parallelism == 0 {
+		poseCfg.Parallelism = a.cfg.Parallelism
+	}
+	est, err := pose.NewEstimator(dims, poseCfg)
 	if err != nil {
 		return nil, fmt.Errorf("pose: %w", err)
 	}
@@ -133,7 +193,7 @@ func (a *Analyzer) Analyze(frames []*imaging.Image, manualFirst stickmodel.Pose)
 	if err != nil {
 		return nil, fmt.Errorf("calibrate: %w", err)
 	}
-	estimates, err := est.EstimateSequence(sils, manualFirst)
+	estimates, err := est.EstimateSequenceContext(ctx, sils, manualFirst)
 	if err != nil {
 		return nil, fmt.Errorf("pose: %w", err)
 	}
@@ -142,12 +202,18 @@ func (a *Analyzer) Analyze(frames []*imaging.Image, manualFirst stickmodel.Pose)
 		poses[i] = e.Pose
 	}
 
+	if err := enter(StageTracking); err != nil {
+		return nil, err
+	}
 	tracker := track.NewTracker(calibrated, a.cfg.PxPerMeter)
 	analysis, err := tracker.Analyze(poses)
 	if err != nil {
 		return nil, fmt.Errorf("track: %w", err)
 	}
 
+	if err := enter(StageScoring); err != nil {
+		return nil, err
+	}
 	var initW, airW track.Window
 	switch a.cfg.Windows {
 	case WindowsDetected:
@@ -184,4 +250,13 @@ func (a *Analyzer) dimensionPrior(first segmentation.Silhouette) (stickmodel.Dim
 		h = float64(first.BBox.H())
 	}
 	return stickmodel.ChildDimensions(h), nil
+}
+
+// maxParallel normalises the config knob for the worker fan-out: the zero
+// value means sequential, never "all cores".
+func maxParallel(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -151,5 +153,84 @@ func TestAnalyzeBodyHeightPrior(t *testing.T) {
 		res.Dimensions.Height() > params.BodyHeight*1.4 {
 		t.Errorf("calibrated height %.1f implausible for body %v",
 			res.Dimensions.Height(), params.BodyHeight)
+	}
+}
+
+func TestAnalyzeContextCancelled(t *testing.T) {
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 1)
+	if _, err := an.AnalyzeContext(ctx, v.Frames, manual, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestAnalyzeContextReportsStagesAndMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline twice")
+	}
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 1)
+
+	an, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := an.Analyze(v.Frames, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same config with the per-frame fan-out enabled must produce the
+	// identical analysis (GA parallelism is deterministic by construction).
+	parCfg := fastConfig()
+	parCfg.Parallelism = 4
+	anPar, err := New(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []Stage
+	par, err := anPar.AnalyzeContext(context.Background(), v.Frames, manual, func(s Stage) {
+		seen = append(seen, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Stages()
+	if len(seen) != len(want) {
+		t.Fatalf("stages seen: %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("stage %d = %s, want %s", i, seen[i], want[i])
+		}
+	}
+	if len(par.Poses) != len(seq.Poses) {
+		t.Fatalf("pose count %d != %d", len(par.Poses), len(seq.Poses))
+	}
+	for i := range seq.Poses {
+		if par.Poses[i] != seq.Poses[i] {
+			t.Errorf("pose %d differs between sequential and parallel analysis", i)
+		}
+	}
+	for i := range seq.Silhouettes {
+		if par.Silhouettes[i].Area != seq.Silhouettes[i].Area {
+			t.Errorf("silhouette %d differs", i)
+		}
+	}
+	if par.Report.Passed != seq.Report.Passed {
+		t.Errorf("report %d/%d != %d/%d", par.Report.Passed, par.Report.Total,
+			seq.Report.Passed, seq.Report.Total)
 	}
 }

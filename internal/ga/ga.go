@@ -16,6 +16,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Genome is a real-valued chromosome.
@@ -84,6 +86,13 @@ type Config struct {
 	Patience int
 	// RandSeed seeds the internal PRNG for reproducible runs.
 	RandSeed int64
+	// Parallelism is the number of goroutines used to evaluate fitness.
+	// Genome construction (seeding, crossover, mutation, validity) stays on
+	// the single RNG-driven thread, so the evolution — population contents,
+	// history, best genome, evaluation count — is identical at any
+	// parallelism; only fitness calls fan out. Spec.Fitness must be safe for
+	// concurrent use when Parallelism > 1. <= 1 evaluates sequentially.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-calibrated hyper-parameters.
@@ -123,6 +132,9 @@ func (c Config) Validate() error {
 	if c.ImmigrantRate < 0 || c.ImmigrantRate > 1 {
 		return fmt.Errorf("ga: immigrant rate must be in [0,1], got %v", c.ImmigrantRate)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("ga: parallelism must be >= 0, got %d", c.Parallelism)
+	}
 	return nil
 }
 
@@ -159,6 +171,10 @@ func WithMaxSeedTries(n int) Option { return func(c *Config) { c.MaxSeedTries = 
 // WithImmigrantRate sets the per-slot probability of a fresh random seed in
 // each generation.
 func WithImmigrantRate(r float64) Option { return func(c *Config) { c.ImmigrantRate = r } }
+
+// WithParallelism sets the fitness-evaluation worker count (the evolution
+// itself stays deterministic; see Config.Parallelism).
+func WithParallelism(n int) Option { return func(c *Config) { c.Parallelism = n } }
 
 // Individual pairs a genome with its fitness.
 type Individual struct {
@@ -219,10 +235,11 @@ func (e *Engine) Run() (*Result, error) {
 	rng := rand.New(rand.NewSource(e.cfg.RandSeed))
 	res := &Result{}
 
-	pop, err := e.initialPopulation(rng, res)
+	genomes, err := e.initialGenomes(rng)
 	if err != nil {
 		return nil, err
 	}
+	pop := e.evaluateAll(genomes, res)
 	sortByFitness(pop)
 	best := Individual{Genome: pop[0].Genome.Clone(), Fitness: pop[0].Fitness}
 	res.History = append(res.History, best.Fitness)
@@ -251,18 +268,22 @@ func (e *Engine) Run() (*Result, error) {
 		for i := 0; i < elite; i++ {
 			next = append(next, Individual{Genome: pop[i].Genome.Clone(), Fitness: pop[i].Fitness})
 		}
-		for len(next) < e.cfg.PopulationSize {
+		// Build the whole offspring cohort first (serial: every RNG draw and
+		// validity rejection happens in submission order), then score it in
+		// one deferred batch so fitness calls can fan out across workers.
+		pending := make([]Genome, 0, e.cfg.PopulationSize-len(next))
+		for len(next)+len(pending) < e.cfg.PopulationSize {
 			if e.cfg.ImmigrantRate > 0 && rng.Float64() < e.cfg.ImmigrantRate {
-				if im, ok := e.tryImmigrant(rng, res); ok {
-					next = append(next, im)
+				if g, ok := e.tryImmigrantGenome(rng); ok {
+					pending = append(pending, g)
 					continue
 				}
 			}
 			a := e.selectParent(rng, pop)
 			b := e.selectParent(rng, pop)
-			child := e.makeOffspring(rng, pop, a, b, res)
-			next = append(next, child)
+			pending = append(pending, e.makeOffspringGenome(rng, a, b))
 		}
+		next = append(next, e.evaluateAll(pending, res)...)
 		pop = next
 		sortByFitness(pop)
 		if pop[0].Fitness < best.Fitness {
@@ -294,13 +315,13 @@ func (e *Engine) Run() (*Result, error) {
 	return res, nil
 }
 
-// initialPopulation rejection-samples valid genomes: "any randomly-generated
+// initialGenomes rejection-samples valid genomes: "any randomly-generated
 // chromosome not in the boundary of the silhouette should be removed from
-// the initial population".
-func (e *Engine) initialPopulation(rng *rand.Rand, res *Result) ([]Individual, error) {
-	pop := make([]Individual, 0, e.cfg.PopulationSize)
+// the initial population". Fitness is deferred to evaluateAll.
+func (e *Engine) initialGenomes(rng *rand.Rand) ([]Genome, error) {
+	genomes := make([]Genome, 0, e.cfg.PopulationSize)
 	var lastValid Genome
-	for len(pop) < e.cfg.PopulationSize {
+	for len(genomes) < e.cfg.PopulationSize {
 		var g Genome
 		ok := false
 		for try := 0; try < e.cfg.MaxSeedTries; try++ {
@@ -318,10 +339,47 @@ func (e *Engine) initialPopulation(rng *rand.Rand, res *Result) ([]Individual, e
 		} else {
 			lastValid = g
 		}
-		res.Evaluations++
-		pop = append(pop, Individual{Genome: g, Fitness: e.spec.Fitness(g)})
+		genomes = append(genomes, g)
 	}
-	return pop, nil
+	return genomes, nil
+}
+
+// evaluateAll scores a cohort, fanning the (pure) fitness calls over up to
+// Config.Parallelism goroutines. Results are written by index, so the
+// returned order — and therefore the evolution — matches the sequential
+// path exactly.
+func (e *Engine) evaluateAll(genomes []Genome, res *Result) []Individual {
+	out := make([]Individual, len(genomes))
+	res.Evaluations += len(genomes)
+	workers := e.cfg.Parallelism
+	if workers > len(genomes) {
+		workers = len(genomes)
+	}
+	if workers <= 1 {
+		for i, g := range genomes {
+			out[i] = Individual{Genome: g, Fitness: e.spec.Fitness(g)}
+		}
+		return out
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(genomes) {
+					return
+				}
+				out[i] = Individual{Genome: genomes[i], Fitness: e.spec.Fitness(genomes[i])}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // selectParent implements rank-biased selection over the sorted population:
@@ -336,24 +394,23 @@ func (e *Engine) selectParent(rng *rand.Rand, pop []Individual) Genome {
 	return pop[idx].Genome
 }
 
-// tryImmigrant rejection-samples one fresh seed with a small try budget;
-// failure falls back to normal reproduction.
-func (e *Engine) tryImmigrant(rng *rand.Rand, res *Result) (Individual, bool) {
+// tryImmigrantGenome rejection-samples one fresh seed with a small try
+// budget; failure falls back to normal reproduction.
+func (e *Engine) tryImmigrantGenome(rng *rand.Rand) (Genome, bool) {
 	const tries = 20
 	for t := 0; t < tries; t++ {
 		g := e.spec.Seed(rng)
 		if e.isValid(g) {
-			res.Evaluations++
-			return Individual{Genome: g, Fitness: e.spec.Fitness(g)}, true
+			return g, true
 		}
 	}
-	return Individual{}, false
+	return nil, false
 }
 
-// makeOffspring applies grouped crossover then grouped mutation, retrying
-// until the child is valid; after MaxSeedTries it falls back to cloning the
-// fitter parent (which is valid by construction).
-func (e *Engine) makeOffspring(rng *rand.Rand, pop []Individual, a, b Genome, res *Result) Individual {
+// makeOffspringGenome applies grouped crossover then grouped mutation,
+// retrying until the child is valid; after MaxSeedTries it falls back to
+// cloning the first parent (which is valid by construction).
+func (e *Engine) makeOffspringGenome(rng *rand.Rand, a, b Genome) Genome {
 	for try := 0; try < e.cfg.MaxSeedTries; try++ {
 		child := a.Clone()
 		for _, group := range e.groups(len(child)) {
@@ -367,13 +424,10 @@ func (e *Engine) makeOffspring(rng *rand.Rand, pop []Individual, a, b Genome, re
 			}
 		}
 		if e.isValid(child) {
-			res.Evaluations++
-			return Individual{Genome: child, Fitness: e.spec.Fitness(child)}
+			return child
 		}
 	}
-	clone := a.Clone()
-	res.Evaluations++
-	return Individual{Genome: clone, Fitness: e.spec.Fitness(clone)}
+	return a.Clone()
 }
 
 func (e *Engine) groups(n int) [][]int {

@@ -293,3 +293,51 @@ func TestGenomeClone(t *testing.T) {
 		t.Error("Clone shares storage")
 	}
 }
+
+func TestParallelismIsDeterministic(t *testing.T) {
+	// The parallel fitness path must reproduce the sequential evolution
+	// exactly: same best genome, same history, same evaluation count.
+	run := func(par int) *Result {
+		eng, err := New(sphereSpec([]float64{3, -2, 7}),
+			WithPopulationSize(30), WithGenerations(60),
+			WithImmigrantRate(0.1), WithMutationRate(0.2),
+			WithRandSeed(42), WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, par := range []int{2, 4, 8} {
+		got := run(par)
+		if got.BestFitness != seq.BestFitness {
+			t.Errorf("parallelism %d: best fitness %v != %v", par, got.BestFitness, seq.BestFitness)
+		}
+		for i := range seq.Best {
+			if got.Best[i] != seq.Best[i] {
+				t.Errorf("parallelism %d: best genome differs at %d", par, i)
+			}
+		}
+		if got.Evaluations != seq.Evaluations {
+			t.Errorf("parallelism %d: evaluations %d != %d", par, got.Evaluations, seq.Evaluations)
+		}
+		if len(got.History) != len(seq.History) {
+			t.Fatalf("parallelism %d: history length %d != %d", par, len(got.History), len(seq.History))
+		}
+		for i := range seq.History {
+			if got.History[i] != seq.History[i] {
+				t.Errorf("parallelism %d: history differs at generation %d", par, i)
+			}
+		}
+	}
+}
+
+func TestParallelismRejectsNegative(t *testing.T) {
+	if _, err := New(sphereSpec([]float64{0}), WithParallelism(-1)); err == nil {
+		t.Fatal("negative parallelism should be rejected")
+	}
+}

@@ -1,0 +1,484 @@
+// Package jobs is the asynchronous analysis job manager behind the web
+// service's non-blocking upload path. The paper's Section 6 future work — a
+// web system where users upload a jump clip and read advice back — needs
+// analyses that can take seconds (a GA fit per frame) to run off the request
+// path: a request submits a job into a bounded queue, a fixed worker pool
+// drains it, and the client polls the job until it is done.
+//
+// The manager is deliberately generic: a job is any Task closure, so the
+// package depends on nothing above it and the same machinery can later queue
+// batch re-scoring, figure regeneration, or multi-clip comparisons.
+//
+// Semantics:
+//
+//   - bounded submission queue: Submit never blocks; a full queue returns
+//     ErrQueueFull (retryable backpressure, HTTP 503 at the server);
+//   - lifecycle: queued → running → done | failed, with the running stage
+//     label (segmentation / pose / tracking / scoring) exposed for polling;
+//   - TTL-based result eviction: finished jobs are dropped ResultTTL after
+//     completion, lazily on access and by a background janitor;
+//   - graceful shutdown: Close stops intake, drains queued work, and
+//     hard-cancels in-flight tasks via their context when the shutdown
+//     context expires.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Task is one unit of asynchronous work. ctx is cancelled on hard shutdown;
+// progress (never nil) receives coarse stage labels for status polling. The
+// returned value becomes the job result.
+type Task func(ctx context.Context, progress func(stage string)) (any, error)
+
+// Sentinel errors.
+var (
+	// ErrQueueFull is the backpressure signal: the submission queue is at
+	// capacity. It is retryable — clients should back off and resubmit.
+	ErrQueueFull = errors.New("jobs: queue full, retry later")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrNotFound marks an unknown or TTL-evicted job id.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrNotFinished is returned by Result while the job is queued/running.
+	ErrNotFinished = errors.New("jobs: job not finished")
+)
+
+// Retryable reports whether the error is transient backpressure the caller
+// should retry after a delay.
+func Retryable(err error) bool { return errors.Is(err, ErrQueueFull) }
+
+// Config parameterises a Manager.
+type Config struct {
+	// Workers is the analysis worker pool size (>= 1).
+	Workers int
+	// QueueSize is the number of jobs that may wait beyond the ones being
+	// executed; 0 means a submission is accepted only when a worker can
+	// receive it immediately.
+	QueueSize int
+	// ResultTTL evicts finished jobs this long after completion; 0 keeps
+	// them until shutdown (unbounded — intended for tests only).
+	ResultTTL time.Duration
+	// Clock overrides time.Now, a test seam for TTL eviction.
+	Clock func() time.Time
+}
+
+// DefaultConfig returns a small service-oriented configuration.
+func DefaultConfig() Config {
+	return Config{Workers: 2, QueueSize: 16, ResultTTL: 15 * time.Minute}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("jobs: Workers must be >= 1, got %d", c.Workers)
+	}
+	if c.QueueSize < 0 {
+		return fmt.Errorf("jobs: QueueSize must be >= 0, got %d", c.QueueSize)
+	}
+	if c.ResultTTL < 0 {
+		return fmt.Errorf("jobs: ResultTTL must be >= 0, got %v", c.ResultTTL)
+	}
+	return nil
+}
+
+// Status is a point-in-time snapshot of one job.
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Stage is the pipeline stage currently executing (running jobs only).
+	Stage     string    `json:"stage,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	// StartedAt/FinishedAt are nil until the job reaches that point
+	// (pointers so the JSON omits them instead of a zero timestamp).
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Err carries the failure message of failed jobs.
+	Err string `json:"error,omitempty"`
+}
+
+// LatencyStats summarise a sample of durations in milliseconds.
+type LatencyStats struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Metrics is a point-in-time snapshot of the manager.
+type Metrics struct {
+	Workers       int    `json:"workers"`
+	QueueCapacity int    `json:"queue_capacity"`
+	QueueDepth    int    `json:"queue_depth"`
+	Running       int    `json:"running"`
+	Submitted     uint64 `json:"jobs_submitted"`
+	Rejected      uint64 `json:"jobs_rejected"`
+	Completed     uint64 `json:"jobs_completed"`
+	Failed        uint64 `json:"jobs_failed"`
+	Evicted       uint64 `json:"jobs_evicted"`
+	// Run is the task execution latency of finished jobs; Wait the time
+	// jobs spent queued before a worker picked them up.
+	Run  LatencyStats `json:"run_latency"`
+	Wait LatencyStats `json:"queue_wait"`
+}
+
+// latencySample bounds the memory of the latency window (a ring of the most
+// recent finished jobs; enough for stable p95 under steady load).
+const latencySample = 256
+
+// job is the internal record; all fields are guarded by Manager.mu once the
+// job is registered.
+type job struct {
+	id       string
+	task     Task
+	state    State
+	stage    string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   any
+	err      error
+}
+
+// Manager owns the queue, the worker pool and the job table.
+type Manager struct {
+	cfg   Config
+	clock func() time.Time
+
+	runCtx  context.Context
+	cancel  context.CancelFunc
+	queue   chan *job
+	workers sync.WaitGroup
+	janitor sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	closed  bool
+	running int
+
+	submitted uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+	evicted   uint64
+	runLat    []time.Duration // ring, most recent latencySample entries
+	waitLat   []time.Duration
+	latIdx    int
+}
+
+// New starts a manager: Workers goroutines draining the queue plus, when a
+// TTL is set, a janitor goroutine evicting expired results.
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:    cfg,
+		clock:  clock,
+		runCtx: ctx,
+		cancel: cancel,
+		queue:  make(chan *job, cfg.QueueSize),
+		jobs:   make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	if cfg.ResultTTL > 0 {
+		m.janitor.Add(1)
+		go m.runJanitor()
+	}
+	return m, nil
+}
+
+// Config returns the manager configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Submit enqueues a task and returns its job id. It never blocks: a full
+// queue returns ErrQueueFull, a closed manager ErrClosed.
+func (m *Manager) Submit(task Task) (string, error) {
+	if task == nil {
+		return "", errors.New("jobs: nil task")
+	}
+	id, err := newID()
+	if err != nil {
+		return "", err
+	}
+	now := m.clock()
+	j := &job{id: id, task: task, state: StateQueued, created: now}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", ErrClosed
+	}
+	select {
+	case m.queue <- j:
+		m.jobs[id] = j
+		m.submitted++
+		m.sweepLocked(now)
+		return id, nil
+	default:
+		m.rejected++
+		return "", ErrQueueFull
+	}
+}
+
+// Status returns a snapshot of the job, or ErrNotFound for unknown/expired
+// ids.
+func (m *Manager) Status(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(m.clock())
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.snapshotLocked(), nil
+}
+
+// Result returns the job's result value once it is done. While the job is
+// queued or running it returns ErrNotFinished; for failed jobs it returns
+// the task's error.
+func (m *Manager) Result(id string) (any, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(m.clock())
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		return nil, j.err
+	default:
+		return nil, ErrNotFinished
+	}
+}
+
+// Metrics returns a consistent snapshot of queue depth, throughput counters
+// and latency statistics.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(m.clock())
+	return Metrics{
+		Workers:       m.cfg.Workers,
+		QueueCapacity: m.cfg.QueueSize,
+		QueueDepth:    len(m.queue),
+		Running:       m.running,
+		Submitted:     m.submitted,
+		Rejected:      m.rejected,
+		Completed:     m.completed,
+		Failed:        m.failed,
+		Evicted:       m.evicted,
+		Run:           summarise(m.runLat),
+		Wait:          summarise(m.waitLat),
+	}
+}
+
+// Close shuts the manager down: intake stops immediately (ErrClosed), queued
+// jobs are drained and executed, and if ctx expires before the drain
+// completes, in-flight tasks are hard-cancelled through their context. The
+// janitor always stops. Close is idempotent; later calls just wait again.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Cancel tasks still running past the deadline (no-op on clean drain)
+	// and stop the janitor.
+	m.cancel()
+	m.janitor.Wait()
+	return err
+}
+
+// worker drains the queue until it is closed and empty.
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for j := range m.queue {
+		m.execute(j)
+	}
+}
+
+// execute runs one job through its lifecycle.
+func (m *Manager) execute(j *job) {
+	start := m.clock()
+	m.mu.Lock()
+	j.state = StateRunning
+	j.started = start
+	m.running++
+	m.mu.Unlock()
+
+	progress := func(stage string) {
+		m.mu.Lock()
+		j.stage = stage
+		m.mu.Unlock()
+	}
+	val, err := j.task(m.runCtx, progress)
+
+	now := m.clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	j.finished = now
+	j.stage = ""
+	j.task = nil // release the closure (it may pin a whole decoded clip)
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+		m.failed++
+	} else {
+		j.state = StateDone
+		j.result = val
+		m.completed++
+	}
+	m.recordLocked(now.Sub(start), start.Sub(j.created))
+}
+
+// runJanitor periodically evicts expired results so memory stays bounded
+// even when nobody polls.
+func (m *Manager) runJanitor() {
+	defer m.janitor.Done()
+	interval := m.cfg.ResultTTL / 4
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.runCtx.Done():
+			return
+		case <-t.C:
+			m.mu.Lock()
+			m.sweepLocked(m.clock())
+			m.mu.Unlock()
+		}
+	}
+}
+
+// sweepLocked evicts finished jobs older than the TTL. Caller holds mu.
+func (m *Manager) sweepLocked(now time.Time) {
+	if m.cfg.ResultTTL <= 0 {
+		return
+	}
+	for id, j := range m.jobs {
+		if j.state.Terminal() && now.Sub(j.finished) >= m.cfg.ResultTTL {
+			delete(m.jobs, id)
+			m.evicted++
+		}
+	}
+}
+
+// recordLocked appends to the latency rings. Caller holds mu.
+func (m *Manager) recordLocked(run, wait time.Duration) {
+	if len(m.runLat) < latencySample {
+		m.runLat = append(m.runLat, run)
+		m.waitLat = append(m.waitLat, wait)
+		return
+	}
+	m.runLat[m.latIdx] = run
+	m.waitLat[m.latIdx] = wait
+	m.latIdx = (m.latIdx + 1) % latencySample
+}
+
+// snapshotLocked copies the job's visible state. Caller holds mu.
+func (j *job) snapshotLocked() Status {
+	s := Status{
+		ID:        j.id,
+		State:     j.state,
+		Stage:     j.stage,
+		CreatedAt: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	if j.err != nil {
+		s.Err = j.err.Error()
+	}
+	return s
+}
+
+// summarise computes latency statistics over a sample window.
+func summarise(sample []time.Duration) LatencyStats {
+	if len(sample) == 0 {
+		return LatencyStats{}
+	}
+	sorted := make([]time.Duration, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i] < sorted[k] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return LatencyStats{
+		Count:  len(sorted),
+		MeanMS: ms(sum) / float64(len(sorted)),
+		P50MS:  ms(pct(0.50)),
+		P95MS:  ms(pct(0.95)),
+		MaxMS:  ms(sorted[len(sorted)-1]),
+	}
+}
+
+// newID returns a 16-hex-char random job id.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("jobs: id generation: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,373 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// fakeClock is a mutable clock for TTL tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Workers: 0, QueueSize: 1},
+		{Workers: 1, QueueSize: -1},
+		{Workers: 1, QueueSize: 1, ResultTTL: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New must reject the zero config")
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	m, err := New(Config{Workers: 1, QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	release := make(chan struct{})
+	id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+		progress("segmentation")
+		<-release
+		progress("scoring")
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "job running", func() bool {
+		st, err := m.Status(id)
+		return err == nil && st.State == StateRunning
+	})
+	st, err := m.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stage != "segmentation" {
+		t.Errorf("stage = %q, want segmentation", st.Stage)
+	}
+	if st.StartedAt == nil || st.CreatedAt.IsZero() {
+		t.Error("timestamps not set")
+	}
+	if st.FinishedAt != nil {
+		t.Error("running job must not report finished_at")
+	}
+	if _, err := m.Result(id); !errors.Is(err, ErrNotFinished) {
+		t.Errorf("result before completion: %v", err)
+	}
+
+	close(release)
+	waitFor(t, "job done", func() bool {
+		st, err := m.Status(id)
+		return err == nil && st.State == StateDone
+	})
+	val, err := m.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.(int) != 42 {
+		t.Errorf("result = %v", val)
+	}
+	st, _ = m.Status(id)
+	if st.FinishedAt == nil || st.Stage != "" {
+		t.Errorf("finished snapshot: %+v", st)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	m, err := New(Config{Workers: 1, QueueSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	boom := errors.New("boom")
+	id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job failed", func() bool {
+		st, err := m.Status(id)
+		return err == nil && st.State == StateFailed
+	})
+	st, _ := m.Status(id)
+	if st.Err != "boom" {
+		t.Errorf("status error = %q", st.Err)
+	}
+	if _, err := m.Result(id); !errors.Is(err, boom) {
+		t.Errorf("result error = %v, want boom", err)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	m, err := New(Config{Workers: 1, QueueSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	release := make(chan struct{})
+	blocker := func(ctx context.Context, progress func(string)) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return "ok", nil
+	}
+
+	first, err := m.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first job running", func() bool {
+		st, err := m.Status(first)
+		return err == nil && st.State == StateRunning
+	})
+	second, err := m.Submit(blocker)
+	if err != nil {
+		t.Fatalf("second submit should queue: %v", err)
+	}
+	if _, err := m.Submit(blocker); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit = %v, want ErrQueueFull", err)
+	} else if !Retryable(err) {
+		t.Error("ErrQueueFull must be retryable")
+	}
+
+	mt := m.Metrics()
+	if mt.Rejected != 1 || mt.QueueDepth != 1 || mt.Running != 1 {
+		t.Errorf("metrics after backpressure: %+v", mt)
+	}
+
+	close(release)
+	for _, id := range []string{first, second} {
+		waitFor(t, "job drained", func() bool {
+			st, err := m.Status(id)
+			return err == nil && st.State == StateDone
+		})
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1_000_000, 0)}
+	m, err := New(Config{Workers: 1, QueueSize: 2, ResultTTL: time.Minute, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+		return "r", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job done", func() bool {
+		st, err := m.Status(id)
+		return err == nil && st.State == StateDone
+	})
+
+	clk.Advance(59 * time.Second)
+	if _, err := m.Status(id); err != nil {
+		t.Fatalf("job evicted before TTL: %v", err)
+	}
+	clk.Advance(2 * time.Second)
+	if _, err := m.Status(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired status = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Result(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired result = %v, want ErrNotFound", err)
+	}
+	if mt := m.Metrics(); mt.Evicted != 1 {
+		t.Errorf("evicted = %d, want 1", mt.Evicted)
+	}
+}
+
+func TestGracefulClose(t *testing.T) {
+	m, err := New(Config{Workers: 2, QueueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done sync.WaitGroup
+	ids := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		done.Add(1)
+		id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+			defer done.Done()
+			time.Sleep(5 * time.Millisecond)
+			return "ok", nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	done.Wait()
+	for _, id := range ids {
+		if _, err := m.Result(id); err != nil {
+			t.Errorf("job %s after close: %v", id, err)
+		}
+	}
+	if _, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+		return nil, nil
+	}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close = %v, want ErrClosed", err)
+	}
+	// A second Close is a harmless no-op.
+	if err := m.Close(context.Background()); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestCloseCancelsInFlight(t *testing.T) {
+	m, err := New(Config{Workers: 1, QueueSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+		<-ctx.Done() // run until hard-cancelled
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job running", func() bool {
+		st, err := m.Status(id)
+		return err == nil && st.State == StateRunning
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("close = %v, want deadline exceeded", err)
+	}
+	waitFor(t, "job cancelled", func() bool {
+		st, err := m.Status(id)
+		return err == nil && st.State == StateFailed
+	})
+	if _, err := m.Result(id); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled job result = %v", err)
+	}
+}
+
+func TestMetricsLatency(t *testing.T) {
+	m, err := New(Config{Workers: 2, QueueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+			time.Sleep(time.Millisecond)
+			return nil, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "all jobs complete", func() bool {
+		return m.Metrics().Completed == n
+	})
+	mt := m.Metrics()
+	if mt.Run.Count != n || mt.Wait.Count != n {
+		t.Fatalf("latency counts: %+v", mt)
+	}
+	if mt.Run.MeanMS <= 0 || mt.Run.MaxMS < mt.Run.P50MS {
+		t.Errorf("run latency stats inconsistent: %+v", mt.Run)
+	}
+	if mt.Submitted != n || mt.Failed != 0 {
+		t.Errorf("counters: %+v", mt)
+	}
+}
+
+// TestConcurrentSubmitAndPoll exercises the manager under the race detector:
+// many goroutines submitting, polling and reading metrics at once.
+func TestConcurrentSubmitAndPoll(t *testing.T) {
+	m, err := New(Config{Workers: 4, QueueSize: 64, ResultTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+					progress("pose")
+					return fmt.Sprintf("g%d-%d", g, i), nil
+				})
+				if errors.Is(err, ErrQueueFull) {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for {
+					st, err := m.Status(id)
+					if err != nil || st.State.Terminal() {
+						break
+					}
+					m.Metrics()
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	mt := m.Metrics()
+	if mt.Completed == 0 || mt.Failed != 0 {
+		t.Errorf("metrics after stress: %+v", mt)
+	}
+}

@@ -6,6 +6,7 @@
 package pose
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -79,6 +80,10 @@ type Config struct {
 	// paper's pure GA output; small values escape coordinated local optima
 	// (trunk-lean + arm-flip) that grouped crossover cannot assemble.
 	RefineRounds int
+	// Parallelism is the fitness-evaluation worker count handed to the GA.
+	// The evolution stays deterministic (genome construction is serial);
+	// only Eq. (3) evaluations fan out. <= 1 evaluates sequentially.
+	Parallelism int
 	// AnatomyLambda weights two weak anatomical priors: the head should
 	// roughly continue the neck (|ρ1−ρ4| small) and the elbow should not
 	// hyper-extend (ρ5 should not exceed ρ2 by much). Both resolve
@@ -154,6 +159,9 @@ func (c Config) Validate() error {
 	}
 	if c.AnatomyLambda < 0 {
 		return fmt.Errorf("pose: AnatomyLambda must be >= 0, got %v", c.AnatomyLambda)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("pose: Parallelism must be >= 0, got %d", c.Parallelism)
 	}
 	return nil
 }
@@ -519,6 +527,14 @@ func (e *Estimator) EstimateCold(sil segmentation.Silhouette) (*Estimate, error)
 // first is the (calibrated) pose for frame 0; the result has one estimate
 // per silhouette, with index 0 echoing the first pose.
 func (e *Estimator) EstimateSequence(sils []segmentation.Silhouette, first stickmodel.Pose) ([]Estimate, error) {
+	return e.EstimateSequenceContext(context.Background(), sils, first)
+}
+
+// EstimateSequenceContext is EstimateSequence with cooperative cancellation:
+// ctx is checked before each frame's GA fit, so a cancelled context aborts
+// the sequence between frames. The temporal chain itself stays sequential —
+// frame k seeds from k-1 as the paper requires.
+func (e *Estimator) EstimateSequenceContext(ctx context.Context, sils []segmentation.Silhouette, first stickmodel.Pose) ([]Estimate, error) {
 	if len(sils) == 0 {
 		return nil, errors.New("pose: no silhouettes")
 	}
@@ -532,6 +548,9 @@ func (e *Estimator) EstimateSequence(sils []segmentation.Silhouette, first stick
 	havePrev2 := false
 	var prev2 stickmodel.Pose
 	for k := 1; k < len(sils); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var est *Estimate
 		if havePrev2 {
 			est, err = e.EstimateNextTracked(sils[k], prev, prev2)
@@ -604,6 +623,7 @@ func (e *Estimator) runOnce(sil segmentation.Silhouette, fit func(stickmodel.Pos
 		ga.WithRandSeed(e.cfg.RandSeed),
 		ga.WithMaxSeedTries(600),
 		ga.WithImmigrantRate(0.08),
+		ga.WithParallelism(e.cfg.Parallelism),
 	)
 	if err != nil {
 		return nil, err

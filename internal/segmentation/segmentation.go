@@ -15,6 +15,9 @@ package segmentation
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/sljmotion/sljmotion/internal/background"
 	"github.com/sljmotion/sljmotion/internal/imaging"
@@ -212,37 +215,107 @@ func (p *Pipeline) SegmentFrame(frame, bg *imaging.Image) (*StageMasks, error) {
 // Run executes the full pipeline on a sequence: Step 1 once, Steps 2-5 per
 // frame. It returns one silhouette per input frame.
 func (p *Pipeline) Run(frames []*imaging.Image) ([]Silhouette, error) {
-	bg, err := p.EstimateBackground(frames)
-	if err != nil {
-		return nil, err
-	}
-	sils := make([]Silhouette, len(frames))
-	for i, f := range frames {
-		stages, err := p.SegmentFrame(f, bg)
-		if err != nil {
-			return nil, fmt.Errorf("frame %d: %w", i, err)
-		}
-		sils[i] = NewSilhouette(i, stages.Object)
-	}
-	return sils, nil
+	return p.RunWorkers(frames, 1)
+}
+
+// RunWorkers is Run with Steps 2-5 fanned out over a worker pool. Frames
+// are independent once the background is estimated, so the result is
+// identical to the sequential path regardless of worker count. workers <= 0
+// selects GOMAXPROCS; workers == 1 is fully sequential.
+func (p *Pipeline) RunWorkers(frames []*imaging.Image, workers int) ([]Silhouette, error) {
+	_, _, sils, err := p.runDetailedWorkers(frames, workers, false)
+	return sils, err
 }
 
 // RunDetailed is Run but also returns the background and every frame's
 // intermediate stages; the figure harness uses it.
 func (p *Pipeline) RunDetailed(frames []*imaging.Image) (*imaging.Image, []StageMasks, []Silhouette, error) {
+	return p.RunDetailedWorkers(frames, 1)
+}
+
+// RunDetailedWorkers is RunDetailed with the per-frame work (Steps 2-5)
+// distributed over a worker pool; see RunWorkers for worker semantics.
+func (p *Pipeline) RunDetailedWorkers(frames []*imaging.Image, workers int) (*imaging.Image, []StageMasks, []Silhouette, error) {
+	return p.runDetailedWorkers(frames, workers, true)
+}
+
+// runDetailedWorkers runs Step 1 once, then Steps 2-5 per frame on up to
+// `workers` goroutines. Results land in index-addressed slices, so the
+// output ordering (and content — SegmentFrame is deterministic and the
+// pipeline is immutable after New) is independent of scheduling.
+func (p *Pipeline) runDetailedWorkers(frames []*imaging.Image, workers int, keepStages bool) (*imaging.Image, []StageMasks, []Silhouette, error) {
 	bg, err := p.EstimateBackground(frames)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	stages := make([]StageMasks, len(frames))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(frames) {
+		workers = len(frames)
+	}
+
+	var stages []StageMasks
+	if keepStages {
+		stages = make([]StageMasks, len(frames))
+	}
 	sils := make([]Silhouette, len(frames))
-	for i, f := range frames {
-		st, err := p.SegmentFrame(f, bg)
+
+	segment := func(i int) error {
+		st, err := p.SegmentFrame(frames[i], bg)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("frame %d: %w", i, err)
+			return fmt.Errorf("frame %d: %w", i, err)
 		}
-		stages[i] = *st
+		if keepStages {
+			stages[i] = *st
+		}
 		sils[i] = NewSilhouette(i, st.Object)
+		return nil
+	}
+
+	if workers == 1 {
+		for i := range frames {
+			if err := segment(i); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		return bg, stages, sils, nil
+	}
+
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = -1
+		runErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() { // stop claiming frames once any frame errors
+				i := int(next.Add(1)) - 1
+				if i >= len(frames) {
+					return
+				}
+				if err := segment(i); err != nil {
+					// Keep the lowest failing frame so the reported error
+					// matches the sequential path on multi-frame failures.
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, runErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, nil, nil, runErr
 	}
 	return bg, stages, sils, nil
 }

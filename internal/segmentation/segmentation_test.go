@@ -238,3 +238,68 @@ func TestFillEnclosedOption(t *testing.T) {
 		t.Fatalf("got %d silhouettes", len(sils))
 	}
 }
+
+// TestRunWorkersMatchesSequential verifies the acceptance bar of the
+// concurrent pipeline: fanning Steps 2-5 out over a worker pool must produce
+// byte-identical silhouettes to the sequential path.
+func TestRunWorkersMatchesSequential(t *testing.T) {
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := pipe.Run(v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4} {
+		par, err := pipe.RunWorkers(v.Frames, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d silhouettes, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].Frame != seq[i].Frame || par[i].Area != seq[i].Area {
+				t.Fatalf("workers=%d frame %d: stats differ", workers, i)
+			}
+			for b, bit := range seq[i].Mask.Bits {
+				if par[i].Mask.Bits[b] != bit {
+					t.Fatalf("workers=%d frame %d: mask differs at pixel %d", workers, i, b)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDetailedWorkersPropagatesStages checks the detailed variant keeps
+// per-frame intermediate stages under the worker pool.
+func TestRunDetailedWorkersPropagatesStages(t *testing.T) {
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, stages, sils, err := pipe.RunDetailedWorkers(v.Frames, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg == nil || len(stages) != len(v.Frames) || len(sils) != len(v.Frames) {
+		t.Fatalf("bg=%v stages=%d sils=%d", bg != nil, len(stages), len(sils))
+	}
+	for i, st := range stages {
+		if st.Object == nil || st.Subtracted == nil {
+			t.Fatalf("frame %d: missing stage masks", i)
+		}
+		if st.Object.Count() != sils[i].Area {
+			t.Fatalf("frame %d: object/silhouette mismatch", i)
+		}
+	}
+}

@@ -7,9 +7,18 @@
 // truth.txt carrying the manual first-frame stick figure), runs the full
 // analysis pipeline, and responds with a JSON report: per-rule outcomes,
 // advice strings, jump phases and distance.
+//
+// Two execution paths are offered: the original synchronous POST /analyze
+// (small clips; the caller waits), and the asynchronous job path — POST
+// /jobs enqueues the clip into the bounded queue of internal/jobs, GET
+// /jobs/{id} polls lifecycle state and pipeline stage, and GET
+// /jobs/{id}/result returns the same AnalysisResponse the synchronous path
+// would have produced. GET /metrics exposes queue depth, throughput
+// counters and latency statistics.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,11 +27,14 @@ import (
 	"mime/multipart"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"github.com/sljmotion/sljmotion/internal/clipio"
 	"github.com/sljmotion/sljmotion/internal/core"
 	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/scoring"
 	"github.com/sljmotion/sljmotion/internal/stickmodel"
 )
@@ -70,24 +82,66 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// Options configure the asynchronous job path.
+type Options struct {
+	// Workers is the analysis worker pool size.
+	Workers int
+	// QueueSize bounds the number of jobs waiting beyond the running ones;
+	// a full queue answers 503 with Retry-After.
+	QueueSize int
+	// ResultTTL evicts finished job results this long after completion.
+	ResultTTL time.Duration
+}
+
+// DefaultOptions returns a small-deployment default (jobs.DefaultConfig).
+func DefaultOptions() Options {
+	d := jobs.DefaultConfig()
+	return Options{Workers: d.Workers, QueueSize: d.QueueSize, ResultTTL: d.ResultTTL}
+}
+
 // Server is the HTTP front end over the analyzer.
 type Server struct {
 	cfg    core.Config
 	logger *log.Logger
+	jobs   *jobs.Manager
 
 	mu       sync.Mutex
 	analyzed int // clips analysed since start, served by /healthz
+
+	// testTask, when set, replaces the analysis task built for POST /jobs —
+	// a white-box seam for deterministic queue tests.
+	testTask jobs.Task
 }
 
-// New builds a server; logger may be nil for silent operation.
+// New builds a server with DefaultOptions; logger may be nil for silent
+// operation.
 func New(cfg core.Config, logger *log.Logger) (*Server, error) {
+	return NewWithOptions(cfg, logger, DefaultOptions())
+}
+
+// NewWithOptions builds a server with an explicitly configured job manager.
+func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	return &Server{cfg: cfg, logger: logger}, nil
+	mgr, err := jobs.New(jobs.Config{
+		Workers:   opts.Workers,
+		QueueSize: opts.QueueSize,
+		ResultTTL: opts.ResultTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, logger: logger, jobs: mgr}, nil
+}
+
+// Close shuts the job manager down; see jobs.Manager.Close for the drain
+// and hard-cancel semantics.
+func (s *Server) Close(ctx context.Context) error {
+	return s.jobs.Close(ctx)
 }
 
 // Handler returns the routed HTTP handler.
@@ -95,6 +149,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJobPath)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/rules", s.handleRules)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
@@ -115,8 +172,12 @@ model: <code>0 x0 y0 rho0..rho7</code>.</p>
   <p><label><input type="checkbox" name="poses" value="1"> include per-frame poses</label></p>
   <p><button type="submit">Analyze</button></p>
 </form>
+<p>Long clips can be analysed asynchronously: POST the same form to
+<code>/jobs</code>, then poll <code>/jobs/&lt;id&gt;</code> and fetch
+<code>/jobs/&lt;id&gt;/result</code>.</p>
 <p>See <a href="/rules">/rules</a> for the scoring rules (Tables 1-2 of the
-paper) and <a href="/healthz">/healthz</a> for service status.</p>
+paper), <a href="/metrics">/metrics</a> for queue statistics and
+<a href="/healthz">/healthz</a> for service status.</p>
 `
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -138,29 +199,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 //	truth  — a truth.txt whose first line is the manual first-frame pose;
 //	poses  — optional flag ("1") to include estimated poses in the reply.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST a multipart clip upload")
-		return
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, MaxUploadBytes)
-	if err := r.ParseMultipartForm(MaxUploadBytes); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse upload: %v", err))
-		return
-	}
-	defer func() {
-		if r.MultipartForm != nil {
-			_ = r.MultipartForm.RemoveAll()
-		}
-	}()
-
-	frames, err := framesFromUpload(r.MultipartForm)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	manual, err := manualFromUpload(r.MultipartForm)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	frames, manual, ok := clipFromRequest(w, r)
+	if !ok {
 		return
 	}
 
@@ -182,6 +222,139 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	resp := buildResponse(result, len(frames), r.FormValue("poses") == "1")
 	writeJSON(w, http.StatusOK, resp)
 	s.logger.Printf("analyzed %d-frame clip: score %s", len(frames), resp.Score)
+}
+
+// submitResponse acknowledges an accepted asynchronous job.
+type submitResponse struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	StatusURL string `json:"status_url"`
+	ResultURL string `json:"result_url"`
+}
+
+// handleJobs accepts the same multipart clip upload as /analyze but runs it
+// asynchronously: the reply is 202 Accepted with the job id and poll URLs.
+// A full queue answers 503 with Retry-After — the client should back off
+// and resubmit.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a multipart clip upload")
+		return
+	}
+	task := s.testTask
+	if task == nil {
+		frames, manual, ok := clipFromRequest(w, r)
+		if !ok {
+			return
+		}
+		task = s.analysisTask(frames, manual, r.FormValue("poses") == "1")
+	}
+
+	id, err := s.jobs.Submit(task)
+	switch {
+	case jobs.Retryable(err):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.logger.Printf("job %s queued", id)
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:        id,
+		State:     string(jobs.StateQueued),
+		StatusURL: "/jobs/" + id,
+		ResultURL: "/jobs/" + id + "/result",
+	})
+}
+
+// analysisTask wraps one clip analysis as an asynchronous job: it reports
+// pipeline stages as progress and returns the same AnalysisResponse the
+// synchronous /analyze handler builds.
+func (s *Server) analysisTask(frames []*imaging.Image, manual stickmodel.Pose, includePoses bool) jobs.Task {
+	return func(ctx context.Context, progress func(string)) (any, error) {
+		analyzer, err := core.New(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		result, err := analyzer.AnalyzeContext(ctx, frames, manual, func(st core.Stage) {
+			progress(string(st))
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.analyzed++
+		s.mu.Unlock()
+		return buildResponse(result, len(frames), includePoses), nil
+	}
+}
+
+// handleJobPath routes GET /jobs/{id} (status) and GET /jobs/{id}/result.
+func (s *Server) handleJobPath(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		writeError(w, http.StatusNotFound, "missing job id")
+		return
+	}
+	switch sub {
+	case "":
+		s.writeJobStatus(w, id)
+	case "result":
+		s.writeJobResult(w, id)
+	default:
+		writeError(w, http.StatusNotFound, "not found")
+	}
+}
+
+func (s *Server) writeJobStatus(w http.ResponseWriter, id string) {
+	st, err := s.jobs.Status(id)
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) writeJobResult(w http.ResponseWriter, id string) {
+	val, err := s.jobs.Result(id)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, jobs.ErrNotFinished):
+		// Not done yet: echo the status so pollers can use one URL.
+		st, serr := s.jobs.Status(id)
+		if serr != nil {
+			writeError(w, http.StatusNotFound, serr.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("analysis failed: %v", err))
+	default:
+		writeJSON(w, http.StatusOK, val)
+	}
+}
+
+// handleMetrics exposes queue and throughput statistics for scrapers.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	analyzed := s.analyzed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"clips_analyzed": analyzed,
+		"jobs":           s.jobs.Metrics(),
+	})
 }
 
 // handleRules lists Table 1 and Table 2 so clients can render them.
@@ -216,6 +389,40 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	n := s.analyzed
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "clips_analyzed": n})
+}
+
+// clipFromRequest parses the multipart clip upload shared by /analyze and
+// /jobs: decoded frames plus the manual first-frame pose. On any problem it
+// writes the HTTP error itself and returns ok=false. The form's temp files
+// are removed before returning (frames are already decoded into memory);
+// form *values* (e.g. "poses") stay readable via r.FormValue.
+func clipFromRequest(w http.ResponseWriter, r *http.Request) ([]*imaging.Image, stickmodel.Pose, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a multipart clip upload")
+		return nil, stickmodel.Pose{}, false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxUploadBytes)
+	if err := r.ParseMultipartForm(MaxUploadBytes); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse upload: %v", err))
+		return nil, stickmodel.Pose{}, false
+	}
+	defer func() {
+		if r.MultipartForm != nil {
+			_ = r.MultipartForm.RemoveAll()
+		}
+	}()
+
+	frames, err := framesFromUpload(r.MultipartForm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, stickmodel.Pose{}, false
+	}
+	manual, err := manualFromUpload(r.MultipartForm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, stickmodel.Pose{}, false
+	}
+	return frames, manual, true
 }
 
 // framesFromUpload decodes the uploaded PPM frames ordered by file name.

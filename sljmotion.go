@@ -28,8 +28,13 @@
 package sljmotion
 
 import (
+	"context"
+	"fmt"
+	"time"
+
 	"github.com/sljmotion/sljmotion/internal/core"
 	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/metrics"
 	"github.com/sljmotion/sljmotion/internal/pose"
 	"github.com/sljmotion/sljmotion/internal/scoring"
@@ -154,8 +159,128 @@ func (a *Analyzer) Analyze(frames []*Image, manualFirst Pose) (*Result, error) {
 	return a.inner.Analyze(frames, manualFirst)
 }
 
+// AnalyzeContext is Analyze with cooperative cancellation and per-stage
+// progress reporting (see DESIGN.md §8); progress may be nil.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, frames []*Image, manualFirst Pose, progress func(PipelineStage)) (*Result, error) {
+	return a.inner.AnalyzeContext(ctx, frames, manualFirst, progress)
+}
+
 // Config returns the analyzer configuration.
 func (a *Analyzer) Config() Config { return a.inner.Config() }
+
+// Re-exported asynchronous job types (internal/jobs; DESIGN.md §8).
+type (
+	// JobState is a job lifecycle state: queued, running, done, failed.
+	JobState = jobs.State
+	// JobStatus is a point-in-time snapshot of one job.
+	JobStatus = jobs.Status
+	// JobMetrics is a queue/throughput/latency snapshot.
+	JobMetrics = jobs.Metrics
+	// PipelineStage names one of the four analysis phases.
+	PipelineStage = core.Stage
+)
+
+// Job lifecycle states and pipeline stages.
+const (
+	JobQueued  = jobs.StateQueued
+	JobRunning = jobs.StateRunning
+	JobDone    = jobs.StateDone
+	JobFailed  = jobs.StateFailed
+
+	StageSegmentation = core.StageSegmentation
+	StagePose         = core.StagePose
+	StageTracking     = core.StageTracking
+	StageScoring      = core.StageScoring
+)
+
+// Asynchronous submission errors.
+var (
+	// ErrQueueFull is the retryable backpressure signal of SubmitJob.
+	ErrQueueFull = jobs.ErrQueueFull
+	// ErrJobNotFound marks an unknown or expired job id.
+	ErrJobNotFound = jobs.ErrNotFound
+	// ErrJobNotFinished is returned by JobResult while the job runs.
+	ErrJobNotFinished = jobs.ErrNotFinished
+)
+
+// JobQueueOptions sizes an asynchronous analysis queue.
+type JobQueueOptions struct {
+	// Workers is the analysis worker pool size (>= 1).
+	Workers int
+	// QueueSize bounds how many jobs may wait beyond the running ones.
+	QueueSize int
+	// ResultTTL evicts finished results this long after completion;
+	// 0 keeps them until Close.
+	ResultTTL time.Duration
+}
+
+// DefaultJobQueueOptions returns a small in-process queue configuration
+// (jobs.DefaultConfig).
+func DefaultJobQueueOptions() JobQueueOptions {
+	d := jobs.DefaultConfig()
+	return JobQueueOptions{Workers: d.Workers, QueueSize: d.QueueSize, ResultTTL: d.ResultTTL}
+}
+
+// JobQueue runs clip analyses asynchronously: SubmitJob enqueues into a
+// bounded queue drained by a worker pool, and the job is polled via
+// JobStatus / JobResult. It is the in-process equivalent of the web
+// service's POST /jobs path (DESIGN.md §8).
+type JobQueue struct {
+	mgr *jobs.Manager
+	an  *core.Analyzer
+}
+
+// NewJobQueue builds an asynchronous analysis queue over the given analyzer
+// configuration.
+func NewJobQueue(cfg Config, opts JobQueueOptions) (*JobQueue, error) {
+	an, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := jobs.New(jobs.Config{
+		Workers:   opts.Workers,
+		QueueSize: opts.QueueSize,
+		ResultTTL: opts.ResultTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &JobQueue{mgr: mgr, an: an}, nil
+}
+
+// SubmitJob enqueues one clip analysis and returns its job id immediately.
+// A full queue returns ErrQueueFull — retryable backpressure, not failure.
+func (q *JobQueue) SubmitJob(frames []*Image, manualFirst Pose) (string, error) {
+	return q.mgr.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+		return q.an.AnalyzeContext(ctx, frames, manualFirst, func(s core.Stage) {
+			progress(string(s))
+		})
+	})
+}
+
+// JobStatus snapshots a job's lifecycle state and current pipeline stage.
+func (q *JobQueue) JobStatus(id string) (JobStatus, error) { return q.mgr.Status(id) }
+
+// JobResult returns the finished analysis: ErrJobNotFinished while the job
+// is queued or running, the analysis error if it failed.
+func (q *JobQueue) JobResult(id string) (*Result, error) {
+	val, err := q.mgr.Result(id)
+	if err != nil {
+		return nil, err
+	}
+	res, ok := val.(*Result)
+	if !ok {
+		return nil, fmt.Errorf("sljmotion: unexpected job result type %T", val)
+	}
+	return res, nil
+}
+
+// JobMetrics snapshots queue depth, throughput counters and latency stats.
+func (q *JobQueue) JobMetrics() JobMetrics { return q.mgr.Metrics() }
+
+// Close drains the queue and shuts the workers down; a cancelled ctx
+// hard-aborts in-flight analyses (see DESIGN.md §8).
+func (q *JobQueue) Close(ctx context.Context) error { return q.mgr.Close(ctx) }
 
 // DefaultConfig returns the paper-faithful analyzer configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }

@@ -1,8 +1,10 @@
 package sljmotion_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/sljmotion/sljmotion"
 )
@@ -78,5 +80,61 @@ func TestStickConstantsMatchPaperNumbering(t *testing.T) {
 	}
 	if sljmotion.NumSticks != 8 {
 		t.Error("model must have 8 sticks")
+	}
+}
+
+func TestPublicJobQueue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline through the job queue")
+	}
+	video, err := sljmotion.GenerateSyntheticJump(sljmotion.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := video.ManualAnnotation(sljmotion.DefaultAnnotationError(), 1)
+
+	cfg := sljmotion.DefaultConfig()
+	cfg.Pose.Population = 50
+	cfg.Pose.Generations = 60
+	cfg.Pose.Patience = 12
+	q, err := sljmotion.NewJobQueue(cfg, sljmotion.DefaultJobQueueOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close(context.Background())
+
+	id, err := q.SubmitJob(video.Frames, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.JobStatus(id); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st, err := q.JobStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == sljmotion.JobDone {
+			break
+		}
+		if st.State == sljmotion.JobFailed {
+			t.Fatalf("job failed: %s", st.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	result, err := q.JobResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Report.Passed < 6 {
+		t.Errorf("good-form jump scored %d/7 via job queue", result.Report.Passed)
+	}
+	if m := q.JobMetrics(); m.Completed != 1 {
+		t.Errorf("metrics: %+v", m)
 	}
 }
