@@ -12,9 +12,16 @@
 //
 //	slj-analyze -synthetic [-defect NAME] [-seed S] [-ascii]
 //	slj-analyze -in DIR [-ascii]
+//	slj-analyze -synthetic -stages segmentation -ascii
+//
+// -stages selects a pipeline prefix via the request API: "segmentation"
+// stops after the silhouettes (no GA — fast, useful for inspecting the
+// masks), "segmentation..pose" adds the stick-model fit, and "all" (the
+// default) runs tracking and scoring too.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,8 +47,17 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "seed for -synthetic")
 		ascii     = flag.Bool("ascii", false, "print per-frame silhouettes as ASCII art")
 		detect    = flag.Bool("detect-windows", false, "use detected takeoff/landing windows instead of the paper's fixed windows")
+		stages    = flag.String("stages", "all", "pipeline prefix to run: all, segmentation, segmentation..pose, ...")
 	)
 	flag.Parse()
+
+	sel, err := sljmotion.ParseStageSelection(*stages)
+	if err != nil {
+		return err
+	}
+	if sel.Normalize().First != sljmotion.StageSegmentation {
+		return fmt.Errorf("-stages must start at segmentation (got %s): the command's input is frames", sel)
+	}
 
 	var frames []*sljmotion.Image
 	var manual sljmotion.Pose
@@ -96,22 +112,39 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := an.Analyze(frames, manual)
+	res, err := an.Run(context.Background(), sljmotion.AnalysisRequest{
+		Frames:      frames,
+		ManualFirst: manual,
+		Stages:      sel,
+	}, nil)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("frames: %d   takeoff: f%d   landing: f%d   distance: %.0f px",
-		len(frames), res.Track.TakeoffFrame, res.Track.LandingFrame, res.Track.JumpDistancePx)
-	if res.Track.JumpDistanceM > 0 {
-		fmt.Printf(" (%.2f m)", res.Track.JumpDistanceM)
+	if res.Track != nil {
+		fmt.Printf("frames: %d   takeoff: f%d   landing: f%d   distance: %.0f px",
+			len(frames), res.Track.TakeoffFrame, res.Track.LandingFrame, res.Track.JumpDistancePx)
+		if res.Track.JumpDistanceM > 0 {
+			fmt.Printf(" (%.2f m)", res.Track.JumpDistanceM)
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("frames: %d   stages: %s\n", len(frames), sel)
 	}
-	fmt.Println()
-	fmt.Print(res.Report.String())
+	if res.Report != nil {
+		fmt.Print(res.Report.String())
+	}
+	if res.Poses != nil && res.Report == nil {
+		fmt.Printf("estimated %d stick-model poses\n", len(res.Poses))
+	}
 
 	if *ascii {
 		for k, s := range res.Silhouettes {
-			fmt.Printf("--- frame %02d (phase %s) ---\n", k, res.Track.Phases[k])
+			if res.Track != nil {
+				fmt.Printf("--- frame %02d (phase %s) ---\n", k, res.Track.Phases[k])
+			} else {
+				fmt.Printf("--- frame %02d ---\n", k)
+			}
 			fmt.Print(sljmotion.ASCIIMask(s.Mask, 72))
 		}
 	}

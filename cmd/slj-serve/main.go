@@ -5,34 +5,41 @@
 // Usage:
 //
 //	slj-serve [-addr :8080] [-workers N] [-queue N] [-result-ttl 15m]
-//	          [-parallelism N]
+//	          [-parallelism N] [-cache-size N] [-cache-ttl 15m]
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the unversioned paths remain as
+// aliases):
 //
-//	POST /analyze   synchronous: multipart form with 'frames' = PPM files
-//	                (ordered by name), 'truth' = truth.txt with the manual
-//	                first-frame pose, optional 'poses=1' to include
-//	                per-frame stick models. The caller waits for the result.
-//	POST /jobs      asynchronous: same form; replies 202 with a job id, or
-//	                503 + Retry-After when the queue is full.
-//	GET  /jobs/{id}         job lifecycle state and current pipeline stage.
-//	GET  /jobs/{id}/result  the AnalysisResponse once the job is done.
-//	GET  /metrics   queue depth, throughput counters, latency stats.
-//	GET  /rules     the encoded Tables 1-2.
-//	GET  /healthz   liveness + clips analysed.
+//	POST /v1/analyze  synchronous: multipart form with 'frames' = PPM
+//	                  files (ordered by name), 'truth' = truth.txt with
+//	                  the manual first-frame pose, optional 'poses=1' /
+//	                  'silhouettes=1' to shape the response and 'stages'
+//	                  to run a pipeline prefix (e.g. stages=segmentation).
+//	POST /v1/jobs     asynchronous: same form; replies 202 with a job id,
+//	                  200 with the cached response for a resubmitted
+//	                  identical clip, or 503 + Retry-After when the queue
+//	                  is full.
+//	GET  /v1/jobs/{id}         job lifecycle state and pipeline stage.
+//	GET  /v1/jobs/{id}/result  the AnalysisResponse once the job is done.
+//	GET  /v1/metrics  queue depth, throughput counters, latency stats and
+//	                  result-cache hit/miss counters.
+//	GET  /v1/rules    the encoded Tables 1-2.
+//	GET  /v1/healthz  liveness + clips analysed.
 //
 // -workers sizes the analysis worker pool and -queue the submission queue
 // (backpressure beyond it). -result-ttl bounds how long finished results
 // stay pollable. -parallelism fans the per-frame hot paths of one analysis
 // out over that many goroutines (0 keeps each analysis sequential).
+// -cache-size bounds the content-addressed result cache (0 disables it)
+// and -cache-ttl its entry lifetime.
 //
 // Example round trip against a synthetic clip:
 //
 //	slj-synth -out /tmp/clip
-//	curl -s -X POST http://localhost:8080/jobs \
+//	curl -s -X POST http://localhost:8080/v1/jobs \
 //	  $(for f in /tmp/clip/frame_*.ppm; do printf ' -F frames=@%s' "$f"; done) \
 //	  -F truth=@/tmp/clip/truth.txt
-//	curl -s http://localhost:8080/jobs/<id>/result | head
+//	curl -s http://localhost:8080/v1/jobs/<id>/result | head
 //
 // SIGINT/SIGTERM shut the service down gracefully: the listener stops, the
 // job queue drains (up to -drain-timeout), then in-flight work is cancelled.
@@ -69,6 +76,8 @@ func run() error {
 		queue       = flag.Int("queue", defaults.QueueSize, "job submission queue size (backpressure beyond it)")
 		resultTTL   = flag.Duration("result-ttl", defaults.ResultTTL, "how long finished job results stay pollable")
 		parallelism = flag.Int("parallelism", 0, "per-analysis frame/fitness fan-out (0 = sequential)")
+		cacheSize   = flag.Int("cache-size", defaults.CacheEntries, "result cache entry bound (0 disables caching)")
+		cacheTTL    = flag.Duration("cache-ttl", defaults.CacheTTL, "result cache entry lifetime")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 	)
 	flag.Parse()
@@ -77,9 +86,11 @@ func run() error {
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = *parallelism
 	srv, err := server.NewWithOptions(cfg, logger, server.Options{
-		Workers:   *workers,
-		QueueSize: *queue,
-		ResultTTL: *resultTTL,
+		Workers:      *workers,
+		QueueSize:    *queue,
+		ResultTTL:    *resultTTL,
+		CacheEntries: *cacheSize,
+		CacheTTL:     *cacheTTL,
 	})
 	if err != nil {
 		return err
@@ -95,8 +106,8 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers=%d queue=%d ttl=%s parallelism=%d)",
-			*addr, *workers, *queue, *resultTTL, *parallelism)
+		logger.Printf("listening on %s (workers=%d queue=%d ttl=%s parallelism=%d cache=%d/%s)",
+			*addr, *workers, *queue, *resultTTL, *parallelism, *cacheSize, *cacheTTL)
 		errCh <- httpServer.ListenAndServe()
 	}()
 

@@ -1,8 +1,9 @@
 // Quickstart: analyse one standing long jump end to end and print the
-// score report with advice — the minimal use of the public API.
+// score report with advice — the minimal use of the public request API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,13 +24,17 @@ func main() {
 	//    annotation.
 	manual := video.ManualAnnotation(sljmotion.DefaultAnnotationError(), 1)
 
-	// 3. Run the full pipeline: segmentation → GA pose estimation →
-	//    tracking → scoring.
+	// 3. Run the full pipeline — segmentation → GA pose estimation →
+	//    tracking → scoring — as one AnalysisRequest. The zero Stages
+	//    value selects every stage.
 	analyzer, err := sljmotion.NewAnalyzer(sljmotion.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	result, err := analyzer.Analyze(video.Frames, manual)
+	result, err := analyzer.Run(context.Background(), sljmotion.AnalysisRequest{
+		Frames:      video.Frames,
+		ManualFirst: manual,
+	}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,4 +45,18 @@ func main() {
 	fmt.Printf("jump distance: %.0f px\n", result.Track.JumpDistancePx)
 	fmt.Println()
 	fmt.Print(result.Report.String())
+
+	// 5. Staged re-use: the request API re-runs tracking and scoring over
+	//    the poses just estimated — no vision, no GA — the same seam the
+	//    web service's result cache and re-scoring workloads build on.
+	rescored, err := analyzer.Run(context.Background(), sljmotion.AnalysisRequest{
+		Poses:      result.Poses,
+		Dimensions: result.Dimensions,
+		Stages:     sljmotion.SelectStages(sljmotion.StageTracking, sljmotion.StageScoring),
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-scored from stored poses: %d/%d\n",
+		rescored.Report.Passed, rescored.Report.Total)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,4 +56,22 @@ func main() {
 	}
 	fmt.Printf("final silhouette vs ground truth: IoU %.3f, precision %.3f, recall %.3f\n",
 		sc.IoU, sc.Precision, sc.Recall)
+
+	// The public request API runs the same five steps over every frame in
+	// one call — the segmentation-only selection behind
+	// `slj-analyze -stages segmentation` and the web service's
+	// stages=segmentation uploads.
+	analyzer, err := sljmotion.NewAnalyzer(sljmotion.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := analyzer.Run(context.Background(), sljmotion.AnalysisRequest{
+		Frames: video.Frames,
+		Stages: sljmotion.OnlyStage(sljmotion.StageSegmentation),
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("request API: %d silhouettes segmented; frame %d area %d px\n",
+		len(res.Silhouettes), k, res.Silhouettes[k].Area)
 }

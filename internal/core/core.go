@@ -147,94 +147,10 @@ func (a *Analyzer) Analyze(frames []*imaging.Image, manualFirst stickmodel.Pose)
 // progress reporting: ctx is checked between pipeline stages and before
 // every frame of the pose stage (the dominant cost — one GA fit per frame),
 // and progress — when non-nil — is invoked at the start of each stage. The
-// async job manager drives the pipeline through this entry point.
+// async job manager drives the pipeline through this entry point. It is
+// Run over a full-range Request.
 func (a *Analyzer) AnalyzeContext(ctx context.Context, frames []*imaging.Image, manualFirst stickmodel.Pose, progress ProgressFunc) (*Result, error) {
-	if len(frames) == 0 {
-		return nil, ErrNoFrames
-	}
-	enter := func(s Stage) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if progress != nil {
-			progress(s)
-		}
-		return nil
-	}
-
-	if err := enter(StageSegmentation); err != nil {
-		return nil, err
-	}
-	seg, err := segmentation.New(a.cfg.Segmentation)
-	if err != nil {
-		return nil, fmt.Errorf("segmentation: %w", err)
-	}
-	bg, _, sils, err := seg.RunDetailedWorkers(frames, maxParallel(a.cfg.Parallelism))
-	if err != nil {
-		return nil, fmt.Errorf("segmentation: %w", err)
-	}
-
-	if err := enter(StagePose); err != nil {
-		return nil, err
-	}
-	dims, err := a.dimensionPrior(sils[0])
-	if err != nil {
-		return nil, err
-	}
-	poseCfg := a.cfg.Pose
-	if poseCfg.Parallelism == 0 {
-		poseCfg.Parallelism = a.cfg.Parallelism
-	}
-	est, err := pose.NewEstimator(dims, poseCfg)
-	if err != nil {
-		return nil, fmt.Errorf("pose: %w", err)
-	}
-	calibrated, err := est.Calibrate(sils[0], manualFirst)
-	if err != nil {
-		return nil, fmt.Errorf("calibrate: %w", err)
-	}
-	estimates, err := est.EstimateSequenceContext(ctx, sils, manualFirst)
-	if err != nil {
-		return nil, fmt.Errorf("pose: %w", err)
-	}
-	poses := make([]stickmodel.Pose, len(estimates))
-	for i, e := range estimates {
-		poses[i] = e.Pose
-	}
-
-	if err := enter(StageTracking); err != nil {
-		return nil, err
-	}
-	tracker := track.NewTracker(calibrated, a.cfg.PxPerMeter)
-	analysis, err := tracker.Analyze(poses)
-	if err != nil {
-		return nil, fmt.Errorf("track: %w", err)
-	}
-
-	if err := enter(StageScoring); err != nil {
-		return nil, err
-	}
-	var initW, airW track.Window
-	switch a.cfg.Windows {
-	case WindowsDetected:
-		initW, airW = analysis.Initiation, analysis.AirLanding
-	default:
-		initW, airW = track.FixedWindows(len(poses))
-	}
-	report, err := scoring.NewScorer().Score(poses, initW, airW)
-	if err != nil {
-		return nil, fmt.Errorf("scoring: %w", err)
-	}
-
-	return &Result{
-		Background:  bg,
-		Silhouettes: sils,
-		Dimensions:  calibrated,
-		Poses:       poses,
-		Estimates:   estimates,
-		Track:       analysis,
-		Report:      report,
-	}, nil
+	return a.Run(ctx, Request{Frames: frames, ManualFirst: manualFirst}, progress)
 }
 
 // dimensionPrior builds the initial body dimensions either from the

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/segmentation"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+func TestParseStageSelection(t *testing.T) {
+	cases := []struct {
+		in   string
+		want StageSelection
+		err  bool
+	}{
+		{"", StageSelection{}, false},
+		{"all", StageSelection{}, false},
+		{"segmentation", OnlyStage(StageSegmentation), false},
+		{"POSE", OnlyStage(StagePose), false},
+		{"segmentation..pose", StageSelection{First: StageSegmentation, Last: StagePose}, false},
+		{"tracking..scoring", StageSelection{First: StageTracking, Last: StageScoring}, false},
+		{" segmentation .. scoring ", StageSelection{First: StageSegmentation, Last: StageScoring}, false},
+		{"scoring..segmentation", StageSelection{}, true},
+		{"nope", StageSelection{}, true},
+		{"segmentation..nope", StageSelection{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseStageSelection(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseStageSelection(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseStageSelection(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseStageSelection(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStageSelectionSemantics(t *testing.T) {
+	var zero StageSelection
+	if !zero.IsFull() {
+		t.Error("zero selection must be the full pipeline")
+	}
+	for _, s := range Stages() {
+		if !zero.Includes(s) {
+			t.Errorf("zero selection must include %s", s)
+		}
+	}
+	segOnly := OnlyStage(StageSegmentation)
+	if segOnly.IsFull() || !segOnly.Includes(StageSegmentation) || segOnly.Includes(StagePose) {
+		t.Errorf("segmentation-only selection wrong: %+v", segOnly)
+	}
+	if got := segOnly.String(); got != "segmentation" {
+		t.Errorf("String() = %q", got)
+	}
+	rng := StageSelection{First: StagePose, Last: StageTracking}
+	if got := rng.String(); got != "pose..tracking" {
+		t.Errorf("String() = %q", got)
+	}
+	if want := []Stage{StagePose, StageTracking}; !reflect.DeepEqual(rng.Selected(), want) {
+		t.Errorf("Selected() = %v", rng.Selected())
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	v := clip(t)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"segmentation without frames", Request{Stages: OnlyStage(StageSegmentation)}},
+		{"pose without silhouettes", Request{Stages: OnlyStage(StagePose)}},
+		{"pose without manual pose", Request{Stages: OnlyStage(StagePose),
+			Silhouettes: make([]segmentation.Silhouette, 1)}},
+		{"tracking without poses", Request{Stages: OnlyStage(StageTracking)}},
+		{"tracking without dimensions", Request{Stages: OnlyStage(StageTracking), Poses: v.Truth}},
+		{"reversed range", Request{Frames: v.Frames, Stages: StageSelection{First: StageScoring, Last: StagePose}}},
+		{"unknown stage", Request{Frames: v.Frames, Stages: OnlyStage(Stage("warp"))}},
+	}
+	for _, c := range cases {
+		if err := c.req.Validate(WindowsFixed); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Detected windows cannot be scored without the tracking stage.
+	req := Request{Poses: v.Truth, Dimensions: v.Dims, Stages: OnlyStage(StageScoring)}
+	if err := req.Validate(WindowsDetected); err == nil {
+		t.Error("scoring-only under detected windows: expected error")
+	}
+	if err := req.Validate(WindowsFixed); err != nil {
+		t.Errorf("scoring-only under fixed windows: %v", err)
+	}
+}
+
+// clip generates the canonical synthetic clip once per test.
+func clip(t *testing.T) *synth.Video {
+	t.Helper()
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRunSegmentationOnly(t *testing.T) {
+	v := clip(t)
+	an, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []Stage
+	res, err := an.Run(context.Background(), Request{
+		Frames: v.Frames,
+		Stages: OnlyStage(StageSegmentation),
+	}, func(s Stage) { seen = append(seen, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Silhouettes) != len(v.Frames) || res.Background == nil {
+		t.Errorf("segmentation artifacts missing: %d silhouettes", len(res.Silhouettes))
+	}
+	if res.Poses != nil || res.Estimates != nil || res.Track != nil || res.Report != nil {
+		t.Error("downstream artifacts must stay nil on a segmentation-only run")
+	}
+	if !reflect.DeepEqual(seen, []Stage{StageSegmentation}) {
+		t.Errorf("progress saw %v", seen)
+	}
+}
+
+// TestRunStagedMatchesFull is the core staged-execution guarantee: running
+// the pipeline one entry point at a time over stored artifacts reproduces
+// the full run exactly.
+func TestRunStagedMatchesFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the GA chain twice")
+	}
+	v := clip(t)
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 7)
+	an, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := an.Analyze(v.Frames, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pose..scoring from the stored silhouettes.
+	fromSils, err := an.Run(context.Background(), Request{
+		ManualFirst: manual,
+		Silhouettes: full.Silhouettes,
+		Stages:      StageSelection{First: StagePose},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromSils.Poses, full.Poses) {
+		t.Error("poses from stored silhouettes differ from the full run")
+	}
+	if fromSils.Dimensions != full.Dimensions {
+		t.Errorf("dimensions differ: %+v vs %+v", fromSils.Dimensions, full.Dimensions)
+	}
+	// Rule carries func fields, so reports are compared via their rendered
+	// table (every measured value, window and verdict).
+	if fromSils.Report.String() != full.Report.String() {
+		t.Errorf("report from stored silhouettes differs from the full run:\n%s\nvs\n%s",
+			fromSils.Report, full.Report)
+	}
+
+	// Tracking+scoring re-run from the stored poses (the re-scoring
+	// workload: no vision, no GA).
+	rescore, err := an.Run(context.Background(), Request{
+		Poses:      full.Poses,
+		Dimensions: full.Dimensions,
+		Stages:     StageSelection{First: StageTracking, Last: StageScoring},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rescore.Track, full.Track) {
+		t.Error("track analysis from stored poses differs from the full run")
+	}
+	if rescore.Report.String() != full.Report.String() {
+		t.Errorf("report from stored poses differs from the full run:\n%s\nvs\n%s",
+			rescore.Report, full.Report)
+	}
+	if rescore.Silhouettes != nil || rescore.Estimates != nil {
+		t.Error("upstream artifacts must stay nil when tracking is the entry point")
+	}
+}
+
+func TestRunScoringOnlyOnTruth(t *testing.T) {
+	v := clip(t)
+	an, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Run(context.Background(), Request{
+		Poses:      v.Truth,
+		Dimensions: v.Dims,
+		Stages:     OnlyStage(StageScoring),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil || res.Report.Total != 7 {
+		t.Fatalf("report missing or wrong: %+v", res.Report)
+	}
+	if res.Track != nil {
+		t.Error("tracking must not run on a scoring-only request")
+	}
+	if res.Report.Passed < 6 {
+		t.Errorf("ground-truth good-form clip scored %d/7", res.Report.Passed)
+	}
+}
+
+func TestRunRespectsCancellation(t *testing.T) {
+	v := clip(t)
+	an, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = an.Run(ctx, Request{Frames: v.Frames, Stages: OnlyStage(StageSegmentation)}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,33 @@
+package jobs
+
+import "context"
+
+// Dispatcher is the job-execution seam: everything the web service and the
+// public JobQueue need from a job backend, abstracted from how and where
+// the work runs. The in-process Manager (bounded queue + worker pool) is
+// the default implementation; a remote dispatcher that fans tasks out to
+// worker nodes can replace it without touching the submit/poll lifecycle,
+// the HTTP surface or the /metrics schema.
+//
+// Contract, matching Manager's behaviour:
+//
+//   - Submit never blocks: a saturated backend returns ErrQueueFull
+//     (retryable — see Retryable), a shut-down backend ErrClosed;
+//   - Status and Result return ErrNotFound for unknown or expired ids, and
+//     Result returns ErrNotFinished while the job is queued or running;
+//   - Close stops intake, drains accepted work within ctx, then cancels.
+type Dispatcher interface {
+	// Submit enqueues one task and returns its job id.
+	Submit(task Task) (string, error)
+	// Status snapshots a job's lifecycle state and progress stage.
+	Status(id string) (Status, error)
+	// Result returns the finished job's value or its failure error.
+	Result(id string) (any, error)
+	// Metrics snapshots queue depth, throughput and latency counters.
+	Metrics() Metrics
+	// Close shuts the backend down, draining within ctx.
+	Close(ctx context.Context) error
+}
+
+// Manager is the canonical in-process Dispatcher.
+var _ Dispatcher = (*Manager)(nil)

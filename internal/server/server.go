@@ -4,21 +4,38 @@
 // respond with advices to the user."
 //
 // The service accepts a clip as a multipart upload of PPM frames (plus a
-// truth.txt carrying the manual first-frame stick figure), runs the full
-// analysis pipeline, and responds with a JSON report: per-rule outcomes,
-// advice strings, jump phases and distance.
+// truth.txt carrying the manual first-frame stick figure), runs the
+// requested pipeline stages, and responds with a JSON report: per-rule
+// outcomes, advice strings, jump phases and distance.
 //
-// Two execution paths are offered: the original synchronous POST /analyze
-// (small clips; the caller waits), and the asynchronous job path — POST
-// /jobs enqueues the clip into the bounded queue of internal/jobs, GET
-// /jobs/{id} polls lifecycle state and pipeline stage, and GET
-// /jobs/{id}/result returns the same AnalysisResponse the synchronous path
-// would have produced. GET /metrics exposes queue depth, throughput
-// counters and latency statistics.
+// The versioned surface lives under /v1:
+//
+//	POST /v1/analyze        synchronous analysis (the caller waits);
+//	POST /v1/jobs           asynchronous: 202 + job id into the bounded
+//	                        queue of the configured jobs.Dispatcher;
+//	GET  /v1/jobs/{id}      lifecycle state and pipeline stage;
+//	GET  /v1/jobs/{id}/result  the finished AnalysisResponse;
+//	GET  /v1/metrics        queue, throughput, latency and cache counters;
+//	GET  /v1/rules          Tables 1-2; GET /v1/healthz liveness.
+//
+// Uploads take optional form fields: poses=1 / silhouettes=1 shape the
+// response, and stages selects a pipeline prefix (e.g. stages=segmentation
+// returns silhouettes without running the GA). The original unversioned
+// routes (/analyze, /jobs, ...) remain as thin aliases of their /v1
+// counterparts.
+//
+// Results are cached content-addressed (internal/cache): the SHA-256 of
+// the frame bytes, manual pose, analyzer-config fingerprint, stage
+// selection and response options keys the finished AnalysisResponse, and a
+// resubmission of an identical clip — on either the sync or the async
+// route — is answered from the store without re-running the pipeline or
+// enqueueing a job. Every route answers wrong methods with 405, an Allow
+// header and the shared JSON error envelope.
 package server
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/sljmotion/sljmotion/internal/cache"
 	"github.com/sljmotion/sljmotion/internal/clipio"
 	"github.com/sljmotion/sljmotion/internal/core"
 	"github.com/sljmotion/sljmotion/internal/imaging"
@@ -43,19 +61,24 @@ import (
 const MaxUploadBytes = 64 << 20
 
 // AnalysisResponse is the JSON document returned for one analysed clip.
+// Stage-limited requests fill only the fields their stages computed; the
+// stages field names them (it is omitted on full-pipeline runs, whose
+// document is unchanged from the unversioned API).
 type AnalysisResponse struct {
-	Frames       int       `json:"frames"`
-	TakeoffFrame int       `json:"takeoff_frame"`
-	LandingFrame int       `json:"landing_frame"`
-	DistancePx   float64   `json:"distance_px"`
-	DistanceM    float64   `json:"distance_m,omitempty"`
-	Score        string    `json:"score"` // e.g. "7/7"
-	Passed       int       `json:"passed"`
-	Total        int       `json:"total"`
-	Rules        []RuleOut `json:"rules"`
-	Advice       []string  `json:"advice"`
-	Poses        []PoseOut `json:"poses,omitempty"`
-	Phases       []string  `json:"phases"`
+	Frames       int             `json:"frames"`
+	TakeoffFrame int             `json:"takeoff_frame"`
+	LandingFrame int             `json:"landing_frame"`
+	DistancePx   float64         `json:"distance_px"`
+	DistanceM    float64         `json:"distance_m,omitempty"`
+	Score        string          `json:"score"` // e.g. "7/7"
+	Passed       int             `json:"passed"`
+	Total        int             `json:"total"`
+	Rules        []RuleOut       `json:"rules"`
+	Advice       []string        `json:"advice"`
+	Poses        []PoseOut       `json:"poses,omitempty"`
+	Phases       []string        `json:"phases"`
+	Stages       []string        `json:"stages,omitempty"`
+	Silhouettes  []SilhouetteOut `json:"silhouettes,omitempty"`
 }
 
 // RuleOut is one scored rule in the response.
@@ -77,12 +100,24 @@ type PoseOut struct {
 	Rho   [8]float64 `json:"rho"`
 }
 
-// errorResponse is the JSON error envelope.
+// SilhouetteOut is one segmented frame in the response (silhouettes=1).
+// Mask is the silhouette bitmap, row-major, bit-packed MSB-first within
+// each byte and base64-encoded.
+type SilhouetteOut struct {
+	Frame int    `json:"frame"`
+	W     int    `json:"w"`
+	H     int    `json:"h"`
+	Area  int    `json:"area"`
+	BBox  [4]int `json:"bbox"` // x0, y0, x1, y1 (inclusive)
+	Mask  string `json:"mask_b64"`
+}
+
+// errorResponse is the JSON error envelope shared by every route.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Options configure the asynchronous job path.
+// Options configure the asynchronous job path and the result cache.
 type Options struct {
 	// Workers is the analysis worker pool size.
 	Workers int
@@ -91,19 +126,35 @@ type Options struct {
 	QueueSize int
 	// ResultTTL evicts finished job results this long after completion.
 	ResultTTL time.Duration
+	// CacheEntries bounds the content-addressed result cache; 0 disables
+	// caching entirely.
+	CacheEntries int
+	// CacheTTL expires cached responses this long after they are stored.
+	CacheTTL time.Duration
+	// Dispatcher overrides the in-process worker pool with an external job
+	// backend. When set, Workers/QueueSize/ResultTTL are ignored; on
+	// successful construction the server takes ownership of closing it.
+	Dispatcher jobs.Dispatcher
 }
 
-// DefaultOptions returns a small-deployment default (jobs.DefaultConfig).
+// DefaultOptions returns a small-deployment default (jobs.DefaultConfig
+// workers/queue, cache.DefaultConfig result cache).
 func DefaultOptions() Options {
 	d := jobs.DefaultConfig()
-	return Options{Workers: d.Workers, QueueSize: d.QueueSize, ResultTTL: d.ResultTTL}
+	c := cache.DefaultConfig()
+	return Options{
+		Workers: d.Workers, QueueSize: d.QueueSize, ResultTTL: d.ResultTTL,
+		CacheEntries: c.MaxEntries, CacheTTL: c.TTL,
+	}
 }
 
 // Server is the HTTP front end over the analyzer.
 type Server struct {
 	cfg    core.Config
+	cfgFP  string // config fingerprint folded into cache keys
 	logger *log.Logger
-	jobs   *jobs.Manager
+	jobs   jobs.Dispatcher
+	cache  *cache.Store // nil when caching is disabled
 
 	mu       sync.Mutex
 	analyzed int // clips analysed since start, served by /healthz
@@ -119,7 +170,8 @@ func New(cfg core.Config, logger *log.Logger) (*Server, error) {
 	return NewWithOptions(cfg, logger, DefaultOptions())
 }
 
-// NewWithOptions builds a server with an explicitly configured job manager.
+// NewWithOptions builds a server with an explicitly configured job
+// dispatcher and result cache.
 func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -127,34 +179,79 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	mgr, err := jobs.New(jobs.Config{
-		Workers:   opts.Workers,
-		QueueSize: opts.QueueSize,
-		ResultTTL: opts.ResultTTL,
-	})
-	if err != nil {
-		return nil, err
+	// The cache is built before the dispatcher so a config error here never
+	// leaves a started worker pool (or a caller-supplied dispatcher the
+	// server would own) leaking on the error path.
+	var store *cache.Store
+	if opts.CacheEntries > 0 {
+		var err error
+		store, err = cache.New(cache.Config{MaxEntries: opts.CacheEntries, TTL: opts.CacheTTL})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return &Server{cfg: cfg, logger: logger, jobs: mgr}, nil
+	dispatcher := opts.Dispatcher
+	if dispatcher == nil {
+		mgr, err := jobs.New(jobs.Config{
+			Workers:   opts.Workers,
+			QueueSize: opts.QueueSize,
+			ResultTTL: opts.ResultTTL,
+		})
+		if err != nil {
+			if store != nil {
+				store.Close()
+			}
+			return nil, err
+		}
+		dispatcher = mgr
+	}
+	return &Server{
+		cfg:    cfg,
+		cfgFP:  configFingerprint(cfg),
+		logger: logger,
+		jobs:   dispatcher,
+		cache:  store,
+	}, nil
 }
 
-// Close shuts the job manager down; see jobs.Manager.Close for the drain
-// and hard-cancel semantics.
+// Close shuts the job dispatcher down (see jobs.Manager.Close for the
+// drain and hard-cancel semantics) and releases the result cache.
 func (s *Server) Close(ctx context.Context) error {
-	return s.jobs.Close(ctx)
+	err := s.jobs.Close(ctx)
+	if s.cache != nil {
+		s.cache.Close()
+	}
+	return err
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler: the versioned /v1 surface plus
+// the original unversioned routes as aliases of the same handlers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/analyze", s.handleAnalyze)
-	mux.HandleFunc("/jobs", s.handleJobs)
-	mux.HandleFunc("/jobs/", s.handleJobPath)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/rules", s.handleRules)
-	mux.HandleFunc("/healthz", s.handleHealth)
+	for _, prefix := range []string{"", "/v1"} {
+		mux.HandleFunc(prefix+"/analyze", method(http.MethodPost, s.handleAnalyze))
+		mux.HandleFunc(prefix+"/jobs", method(http.MethodPost, s.handleJobs))
+		mux.HandleFunc(prefix+"/jobs/", method(http.MethodGet, s.handleJobPath))
+		mux.HandleFunc(prefix+"/metrics", method(http.MethodGet, s.handleMetrics))
+		mux.HandleFunc(prefix+"/rules", method(http.MethodGet, s.handleRules))
+		mux.HandleFunc(prefix+"/healthz", method(http.MethodGet, s.handleHealth))
+	}
 	return mux
+}
+
+// method enforces one HTTP method per route: anything else is answered 405
+// with an Allow header and the shared JSON error envelope.
+func method(allow string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != allow {
+			w.Header().Set("Allow", allow)
+			writeError(w, http.StatusMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed; use %s", r.Method, allow))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // indexHTML is the minimal upload form served at /, so the paper's
@@ -166,18 +263,21 @@ const indexHTML = `<!doctype html>
 <p>Upload the frames of a side-view jump clip (PPM, named frame_NN.ppm)
 and a truth.txt whose first line is the manually drawn first-frame stick
 model: <code>0 x0 y0 rho0..rho7</code>.</p>
-<form action="/analyze" method="post" enctype="multipart/form-data">
+<form action="/v1/analyze" method="post" enctype="multipart/form-data">
   <p>Frames: <input type="file" name="frames" multiple required></p>
   <p>First-frame stick model: <input type="file" name="truth" required></p>
   <p><label><input type="checkbox" name="poses" value="1"> include per-frame poses</label></p>
   <p><button type="submit">Analyze</button></p>
 </form>
 <p>Long clips can be analysed asynchronously: POST the same form to
-<code>/jobs</code>, then poll <code>/jobs/&lt;id&gt;</code> and fetch
-<code>/jobs/&lt;id&gt;/result</code>.</p>
-<p>See <a href="/rules">/rules</a> for the scoring rules (Tables 1-2 of the
-paper), <a href="/metrics">/metrics</a> for queue statistics and
-<a href="/healthz">/healthz</a> for service status.</p>
+<code>/v1/jobs</code>, then poll <code>/v1/jobs/&lt;id&gt;</code> and fetch
+<code>/v1/jobs/&lt;id&gt;/result</code>. A resubmitted identical clip is
+answered from the result cache immediately. The optional
+<code>stages</code> field runs a pipeline prefix (e.g.
+<code>stages=segmentation</code> with <code>silhouettes=1</code>).</p>
+<p>See <a href="/v1/rules">/v1/rules</a> for the scoring rules (Tables 1-2
+of the paper), <a href="/v1/metrics">/v1/metrics</a> for queue and cache
+statistics and <a href="/v1/healthz">/v1/healthz</a> for service status.</p>
 `
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -185,22 +285,55 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not found")
 		return
 	}
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
+	method(http.MethodGet, s.serveIndex)(w, r)
+}
+
+func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = io.WriteString(w, indexHTML)
 }
 
+// lookup computes the request's cache key and consults the store. The key
+// is valid even on a miss (the zero key when caching is disabled).
+func (s *Server) lookup(req core.Request) (cache.Key, *AnalysisResponse) {
+	if s.cache == nil {
+		return cache.Key{}, nil
+	}
+	key := requestKey(s.cfgFP, req)
+	if v, ok := s.cache.Get(key); ok {
+		if resp, ok := v.(*AnalysisResponse); ok {
+			return key, resp
+		}
+	}
+	return key, nil
+}
+
+// store caches a finished response under its request key.
+func (s *Server) store(key cache.Key, resp *AnalysisResponse) {
+	if s.cache != nil {
+		s.cache.Put(key, resp)
+	}
+}
+
 // handleAnalyze accepts a multipart POST with fields:
 //
-//	frames — one or more PPM files named frame_NN.ppm (order by name);
-//	truth  — a truth.txt whose first line is the manual first-frame pose;
-//	poses  — optional flag ("1") to include estimated poses in the reply.
+//	frames      — one or more PPM files named frame_NN.ppm (order by name);
+//	truth       — a truth.txt whose first line is the manual first pose;
+//	poses       — optional flag ("1") to include estimated poses;
+//	silhouettes — optional flag ("1") to include the segmented masks;
+//	stages      — optional pipeline prefix, e.g. "segmentation" or
+//	              "segmentation..pose" (default: the full pipeline).
+//
+// An identical resubmission is answered from the result cache.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	frames, manual, ok := clipFromRequest(w, r)
+	req, ok := requestFromHTTP(w, r)
 	if !ok {
+		return
+	}
+	key, cached := s.lookup(req)
+	if cached != nil {
+		writeJSON(w, http.StatusOK, cached)
+		s.logger.Printf("analyze: cache hit %s", key)
 		return
 	}
 
@@ -209,7 +342,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	result, err := analyzer.Analyze(frames, manual)
+	result, err := analyzer.Run(r.Context(), req, nil)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("analysis failed: %v", err))
 		return
@@ -219,9 +352,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.analyzed++
 	s.mu.Unlock()
 
-	resp := buildResponse(result, len(frames), r.FormValue("poses") == "1")
+	resp := buildResponse(result, len(req.Frames), req)
+	s.store(key, resp)
 	writeJSON(w, http.StatusOK, resp)
-	s.logger.Printf("analyzed %d-frame clip: score %s", len(frames), resp.Score)
+	s.logger.Printf("analyzed %d-frame clip: score %s", len(req.Frames), resp.Score)
 }
 
 // submitResponse acknowledges an accepted asynchronous job.
@@ -232,22 +366,25 @@ type submitResponse struct {
 	ResultURL string `json:"result_url"`
 }
 
-// handleJobs accepts the same multipart clip upload as /analyze but runs it
-// asynchronously: the reply is 202 Accepted with the job id and poll URLs.
-// A full queue answers 503 with Retry-After — the client should back off
-// and resubmit.
+// handleJobs accepts the same multipart clip upload as /v1/analyze but runs
+// it asynchronously: the reply is 202 Accepted with the job id and poll
+// URLs. A cached identical clip is answered 200 with the stored
+// AnalysisResponse — no job is enqueued. A full queue answers 503 with
+// Retry-After — the client should back off and resubmit.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST a multipart clip upload")
-		return
-	}
 	task := s.testTask
 	if task == nil {
-		frames, manual, ok := clipFromRequest(w, r)
+		req, ok := requestFromHTTP(w, r)
 		if !ok {
 			return
 		}
-		task = s.analysisTask(frames, manual, r.FormValue("poses") == "1")
+		key, cached := s.lookup(req)
+		if cached != nil {
+			writeJSON(w, http.StatusOK, cached)
+			s.logger.Printf("jobs: cache hit %s", key)
+			return
+		}
+		task = s.analysisTask(req, key)
 	}
 
 	id, err := s.jobs.Submit(task)
@@ -261,24 +398,28 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.logger.Printf("job %s queued", id)
+	base := "/jobs/"
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		base = "/v1/jobs/"
+	}
 	writeJSON(w, http.StatusAccepted, submitResponse{
 		ID:        id,
 		State:     string(jobs.StateQueued),
-		StatusURL: "/jobs/" + id,
-		ResultURL: "/jobs/" + id + "/result",
+		StatusURL: base + id,
+		ResultURL: base + id + "/result",
 	})
 }
 
-// analysisTask wraps one clip analysis as an asynchronous job: it reports
-// pipeline stages as progress and returns the same AnalysisResponse the
-// synchronous /analyze handler builds.
-func (s *Server) analysisTask(frames []*imaging.Image, manual stickmodel.Pose, includePoses bool) jobs.Task {
+// analysisTask wraps one staged analysis as an asynchronous job: it reports
+// pipeline stages as progress, stores the finished response in the result
+// cache, and returns the same AnalysisResponse the synchronous path builds.
+func (s *Server) analysisTask(req core.Request, key cache.Key) jobs.Task {
 	return func(ctx context.Context, progress func(string)) (any, error) {
 		analyzer, err := core.New(s.cfg)
 		if err != nil {
 			return nil, err
 		}
-		result, err := analyzer.AnalyzeContext(ctx, frames, manual, func(st core.Stage) {
+		result, err := analyzer.Run(ctx, req, func(st core.Stage) {
 			progress(string(st))
 		})
 		if err != nil {
@@ -287,17 +428,17 @@ func (s *Server) analysisTask(frames []*imaging.Image, manual stickmodel.Pose, i
 		s.mu.Lock()
 		s.analyzed++
 		s.mu.Unlock()
-		return buildResponse(result, len(frames), includePoses), nil
+		resp := buildResponse(result, len(req.Frames), req)
+		s.store(key, resp)
+		return resp, nil
 	}
 }
 
-// handleJobPath routes GET /jobs/{id} (status) and GET /jobs/{id}/result.
+// handleJobPath routes GET /v1/jobs/{id} (status) and /v1/jobs/{id}/result,
+// and the unversioned aliases.
 func (s *Server) handleJobPath(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	rest := strings.TrimPrefix(r.URL.Path, "/v1")
+	rest = strings.TrimPrefix(rest, "/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
 	if id == "" {
 		writeError(w, http.StatusNotFound, "missing job id")
@@ -342,27 +483,24 @@ func (s *Server) writeJobResult(w http.ResponseWriter, id string) {
 	}
 }
 
-// handleMetrics exposes queue and throughput statistics for scrapers.
+// handleMetrics exposes queue, throughput and cache statistics for
+// scrapers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	s.mu.Lock()
 	analyzed := s.analyzed
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"clips_analyzed": analyzed,
 		"jobs":           s.jobs.Metrics(),
-	})
+	}
+	if s.cache != nil {
+		doc["cache"] = s.cache.Metrics()
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // handleRules lists Table 1 and Table 2 so clients can render them.
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	type ruleDoc struct {
 		ID       string `json:"id"`
 		Standard string `json:"standard"`
@@ -391,16 +529,44 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "clips_analyzed": n})
 }
 
-// clipFromRequest parses the multipart clip upload shared by /analyze and
-// /jobs: decoded frames plus the manual first-frame pose. On any problem it
-// writes the HTTP error itself and returns ok=false. The form's temp files
-// are removed before returning (frames are already decoded into memory);
-// form *values* (e.g. "poses") stay readable via r.FormValue.
-func clipFromRequest(w http.ResponseWriter, r *http.Request) ([]*imaging.Image, stickmodel.Pose, bool) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST a multipart clip upload")
-		return nil, stickmodel.Pose{}, false
+// requestFromHTTP parses the multipart clip upload into a staged analysis
+// request. On any problem it writes the HTTP error itself and returns
+// ok=false. HTTP requests always enter the pipeline at segmentation (the
+// upload carries frames, not intermediate artifacts); stages may select a
+// shorter prefix of it.
+func requestFromHTTP(w http.ResponseWriter, r *http.Request) (core.Request, bool) {
+	frames, manual, ok := clipFromRequest(w, r)
+	if !ok {
+		return core.Request{}, false
 	}
+	req := core.Request{
+		Frames:             frames,
+		ManualFirst:        manual,
+		IncludePoses:       r.FormValue("poses") == "1",
+		IncludeSilhouettes: r.FormValue("silhouettes") == "1",
+	}
+	if sv := r.FormValue("stages"); sv != "" {
+		sel, err := core.ParseStageSelection(sv)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return core.Request{}, false
+		}
+		if sel.Normalize().First != core.StageSegmentation {
+			writeError(w, http.StatusBadRequest,
+				"stage selection over HTTP must start at segmentation; mid-pipeline entry is a library feature")
+			return core.Request{}, false
+		}
+		req.Stages = sel
+	}
+	return req, true
+}
+
+// clipFromRequest parses the multipart clip upload shared by the analyze
+// and jobs routes: decoded frames plus the manual first-frame pose. On any
+// problem it writes the HTTP error itself and returns ok=false. The form's
+// temp files are removed before returning (frames are already decoded into
+// memory); form *values* (e.g. "poses") stay readable via r.FormValue.
+func clipFromRequest(w http.ResponseWriter, r *http.Request) ([]*imaging.Image, stickmodel.Pose, bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, MaxUploadBytes)
 	if err := r.ParseMultipartForm(MaxUploadBytes); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse upload: %v", err))
@@ -469,39 +635,74 @@ func manualFromUpload(form *multipart.Form) (stickmodel.Pose, error) {
 	return poses[0], nil
 }
 
-// buildResponse converts an analysis result to the wire document.
-func buildResponse(result *core.Result, nFrames int, includePoses bool) *AnalysisResponse {
-	resp := &AnalysisResponse{
-		Frames:       nFrames,
-		TakeoffFrame: result.Track.TakeoffFrame,
-		LandingFrame: result.Track.LandingFrame,
-		DistancePx:   result.Track.JumpDistancePx,
-		DistanceM:    result.Track.JumpDistanceM,
-		Passed:       result.Report.Passed,
-		Total:        result.Report.Total,
-		Score:        fmt.Sprintf("%d/%d", result.Report.Passed, result.Report.Total),
-		Advice:       append([]string(nil), result.Report.Advice...),
+// buildResponse converts a (possibly stage-limited) analysis result to the
+// wire document. Full-pipeline documents are identical to the pre-/v1 API;
+// stage-limited ones fill only what their stages computed and name them in
+// the stages field.
+func buildResponse(result *core.Result, nFrames int, req core.Request) *AnalysisResponse {
+	resp := &AnalysisResponse{Frames: nFrames}
+	sel := req.Stages.Normalize()
+	if !sel.IsFull() {
+		for _, st := range sel.Selected() {
+			resp.Stages = append(resp.Stages, string(st))
+		}
 	}
-	for _, rr := range result.Report.Results {
-		resp.Rules = append(resp.Rules, RuleOut{
-			ID:       rr.Rule.ID,
-			Standard: rr.Rule.Standard,
-			Formula:  rr.Rule.Formula,
-			Stage:    rr.Rule.Stage.String(),
-			Value:    rr.Value,
-			Passed:   rr.Passed,
-			AtFrame:  rr.AtFrame,
-		})
+	if result.Track != nil {
+		resp.TakeoffFrame = result.Track.TakeoffFrame
+		resp.LandingFrame = result.Track.LandingFrame
+		resp.DistancePx = result.Track.JumpDistancePx
+		resp.DistanceM = result.Track.JumpDistanceM
+		for _, ph := range result.Track.Phases {
+			resp.Phases = append(resp.Phases, ph.String())
+		}
 	}
-	for _, ph := range result.Track.Phases {
-		resp.Phases = append(resp.Phases, ph.String())
+	if result.Report != nil {
+		resp.Passed = result.Report.Passed
+		resp.Total = result.Report.Total
+		resp.Score = fmt.Sprintf("%d/%d", result.Report.Passed, result.Report.Total)
+		resp.Advice = append([]string(nil), result.Report.Advice...)
+		for _, rr := range result.Report.Results {
+			resp.Rules = append(resp.Rules, RuleOut{
+				ID:       rr.Rule.ID,
+				Standard: rr.Rule.Standard,
+				Formula:  rr.Rule.Formula,
+				Stage:    rr.Rule.Stage.String(),
+				Value:    rr.Value,
+				Passed:   rr.Passed,
+				AtFrame:  rr.AtFrame,
+			})
+		}
 	}
-	if includePoses {
+	if req.IncludePoses {
 		for k, p := range result.Poses {
 			resp.Poses = append(resp.Poses, PoseOut{Frame: k, X: p.X, Y: p.Y, Rho: p.Rho})
 		}
 	}
+	if req.IncludeSilhouettes {
+		for _, sil := range result.Silhouettes {
+			resp.Silhouettes = append(resp.Silhouettes, SilhouetteOut{
+				Frame: sil.Frame,
+				W:     sil.Mask.W,
+				H:     sil.Mask.H,
+				Area:  sil.Area,
+				BBox:  [4]int{sil.BBox.X0, sil.BBox.Y0, sil.BBox.X1, sil.BBox.Y1},
+				Mask:  maskToB64(sil.Mask),
+			})
+		}
+	}
 	return resp
+}
+
+// maskToB64 bit-packs a mask row-major (MSB first within each byte) and
+// base64-encodes it.
+func maskToB64(m *imaging.Mask) string {
+	packed := make([]byte, (len(m.Bits)+7)/8)
+	for i, b := range m.Bits {
+		if b {
+			packed[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return base64.StdEncoding.EncodeToString(packed)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

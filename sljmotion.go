@@ -16,11 +16,33 @@
 //
 // # Quick start
 //
+// Analysis is request-based: an AnalysisRequest carries the input frames,
+// the manual first-frame pose and (optionally) a stage selection and
+// response-shaping options.
+//
 //	video, _ := sljmotion.GenerateSyntheticJump(sljmotion.DefaultJumpParams())
 //	manual := video.ManualAnnotation(sljmotion.DefaultAnnotationError(), 1)
 //	analyzer, _ := sljmotion.NewAnalyzer(sljmotion.DefaultConfig())
-//	result, _ := analyzer.Analyze(video.Frames, manual)
+//	result, _ := analyzer.Run(context.Background(), sljmotion.AnalysisRequest{
+//		Frames:      video.Frames,
+//		ManualFirst: manual,
+//	}, nil)
 //	fmt.Print(result.Report)
+//
+// The zero Stages value runs the full pipeline; Analyze(frames, manual)
+// remains as shorthand for exactly that. Partial selections run a stage
+// subrange over stored artifacts — segmentation only, pose estimation from
+// cached silhouettes, or tracking+scoring re-runs from cached poses:
+//
+//	sils, _ := analyzer.Run(ctx, sljmotion.AnalysisRequest{
+//		Frames: video.Frames,
+//		Stages: sljmotion.OnlyStage(sljmotion.StageSegmentation),
+//	}, nil)
+//	rescored, _ := analyzer.Run(ctx, sljmotion.AnalysisRequest{
+//		Poses:      result.Poses,
+//		Dimensions: result.Dimensions,
+//		Stages:     sljmotion.SelectStages(sljmotion.StageTracking, sljmotion.StageScoring),
+//	}, nil)
 //
 // Real footage can be supplied as a slice of *sljmotion.Image decoded from
 // PPM files (ReadPPMFile); the synthetic generator exists because the
@@ -165,8 +187,43 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, frames []*Image, manualFi
 	return a.inner.AnalyzeContext(ctx, frames, manualFirst, progress)
 }
 
+// Run executes the stages selected by the request (see AnalysisRequest):
+// the full pipeline for the zero Stages value, or a subrange over supplied
+// artifacts — segmentation only, pose estimation from stored silhouettes,
+// tracking+scoring re-runs from stored poses. ctx cancels cooperatively and
+// progress (may be nil) observes each executed stage (DESIGN.md §9).
+func (a *Analyzer) Run(ctx context.Context, req AnalysisRequest, progress func(PipelineStage)) (*Result, error) {
+	return a.inner.Run(ctx, req, progress)
+}
+
 // Config returns the analyzer configuration.
 func (a *Analyzer) Config() Config { return a.inner.Config() }
+
+// Re-exported request types (internal/core; DESIGN.md §9).
+type (
+	// AnalysisRequest is a staged analysis request: input artifacts plus
+	// the stage selection to run. The zero Stages value is the full
+	// pipeline; later entry points consume stored Silhouettes or
+	// Poses+Dimensions instead of frames. IncludePoses and
+	// IncludeSilhouettes shape serialised responses (the web service);
+	// the in-process Result always carries every computed artifact.
+	AnalysisRequest = core.Request
+	// StageSelection is a contiguous, inclusive range of pipeline stages.
+	StageSelection = core.StageSelection
+)
+
+// AllStages selects the full pipeline explicitly (same as the zero value).
+func AllStages() StageSelection { return core.AllStages() }
+
+// OnlyStage selects a single pipeline stage.
+func OnlyStage(s PipelineStage) StageSelection { return core.OnlyStage(s) }
+
+// SelectStages selects the inclusive stage range first..last.
+func SelectStages(first, last PipelineStage) StageSelection { return core.SelectStages(first, last) }
+
+// ParseStageSelection parses "all", one stage name ("segmentation"), or an
+// inclusive range "first..last" ("tracking..scoring").
+func ParseStageSelection(s string) (StageSelection, error) { return core.ParseStageSelection(s) }
 
 // Re-exported asynchronous job types (internal/jobs; DESIGN.md §8).
 type (
@@ -176,6 +233,10 @@ type (
 	JobStatus = jobs.Status
 	// JobMetrics is a queue/throughput/latency snapshot.
 	JobMetrics = jobs.Metrics
+	// JobDispatcher is the pluggable job backend: the in-process worker
+	// pool by default, a remote dispatcher later, with the submit/poll
+	// lifecycle unchanged (DESIGN.md §9).
+	JobDispatcher = jobs.Dispatcher
 	// PipelineStage names one of the four analysis phases.
 	PipelineStage = core.Stage
 )
@@ -221,17 +282,19 @@ func DefaultJobQueueOptions() JobQueueOptions {
 	return JobQueueOptions{Workers: d.Workers, QueueSize: d.QueueSize, ResultTTL: d.ResultTTL}
 }
 
-// JobQueue runs clip analyses asynchronously: SubmitJob enqueues into a
-// bounded queue drained by a worker pool, and the job is polled via
+// JobQueue runs analyses asynchronously: Submit enqueues an
+// AnalysisRequest into the configured dispatcher (by default a bounded
+// queue drained by an in-process worker pool), and the job is polled via
 // JobStatus / JobResult. It is the in-process equivalent of the web
-// service's POST /jobs path (DESIGN.md §8).
+// service's POST /v1/jobs path (DESIGN.md §8-9).
 type JobQueue struct {
-	mgr *jobs.Manager
+	mgr jobs.Dispatcher
 	an  *core.Analyzer
 }
 
 // NewJobQueue builds an asynchronous analysis queue over the given analyzer
-// configuration.
+// configuration, backed by the in-process worker pool. The configuration is
+// validated before the pool starts, so the error path leaks no goroutines.
 func NewJobQueue(cfg Config, opts JobQueueOptions) (*JobQueue, error) {
 	an, err := core.New(cfg)
 	if err != nil {
@@ -248,14 +311,32 @@ func NewJobQueue(cfg Config, opts JobQueueOptions) (*JobQueue, error) {
 	return &JobQueue{mgr: mgr, an: an}, nil
 }
 
-// SubmitJob enqueues one clip analysis and returns its job id immediately.
-// A full queue returns ErrQueueFull — retryable backpressure, not failure.
-func (q *JobQueue) SubmitJob(frames []*Image, manualFirst Pose) (string, error) {
+// NewJobQueueWithDispatcher builds an asynchronous analysis queue over an
+// explicit job backend. On success the queue takes ownership of closing the
+// dispatcher; on error the caller still owns it.
+func NewJobQueueWithDispatcher(cfg Config, d JobDispatcher) (*JobQueue, error) {
+	an, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &JobQueue{mgr: d, an: an}, nil
+}
+
+// Submit enqueues one staged analysis request and returns its job id
+// immediately. A full queue returns ErrQueueFull — retryable backpressure,
+// not failure.
+func (q *JobQueue) Submit(req AnalysisRequest) (string, error) {
 	return q.mgr.Submit(func(ctx context.Context, progress func(string)) (any, error) {
-		return q.an.AnalyzeContext(ctx, frames, manualFirst, func(s core.Stage) {
+		return q.an.Run(ctx, req, func(s core.Stage) {
 			progress(string(s))
 		})
 	})
+}
+
+// SubmitJob enqueues one full-pipeline clip analysis: shorthand for Submit
+// of a full-range AnalysisRequest.
+func (q *JobQueue) SubmitJob(frames []*Image, manualFirst Pose) (string, error) {
+	return q.Submit(AnalysisRequest{Frames: frames, ManualFirst: manualFirst})
 }
 
 // JobStatus snapshots a job's lifecycle state and current pipeline stage.

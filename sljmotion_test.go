@@ -138,3 +138,106 @@ func TestPublicJobQueue(t *testing.T) {
 		t.Errorf("metrics: %+v", m)
 	}
 }
+
+// TestPublicRequestAPI exercises the staged AnalysisRequest path at the
+// public surface: segmentation only, then a tracking+scoring re-run over
+// the synthetic ground truth — neither runs the GA, so this is fast.
+func TestPublicRequestAPI(t *testing.T) {
+	video, err := sljmotion.GenerateSyntheticJump(sljmotion.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzer, err := sljmotion.NewAnalyzer(sljmotion.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seen []sljmotion.PipelineStage
+	seg, err := analyzer.Run(context.Background(), sljmotion.AnalysisRequest{
+		Frames: video.Frames,
+		Stages: sljmotion.OnlyStage(sljmotion.StageSegmentation),
+	}, func(s sljmotion.PipelineStage) { seen = append(seen, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg.Silhouettes) != len(video.Frames) || seg.Report != nil {
+		t.Errorf("segmentation-only result wrong: %d silhouettes", len(seg.Silhouettes))
+	}
+	if len(seen) != 1 || seen[0] != sljmotion.StageSegmentation {
+		t.Errorf("progress saw %v", seen)
+	}
+
+	rescored, err := analyzer.Run(context.Background(), sljmotion.AnalysisRequest{
+		Poses:      video.Truth,
+		Dimensions: video.Dims,
+		Stages:     sljmotion.SelectStages(sljmotion.StageTracking, sljmotion.StageScoring),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rescored.Report == nil || rescored.Report.Passed < 6 {
+		t.Fatalf("ground-truth re-score wrong: %+v", rescored.Report)
+	}
+	if rescored.Track == nil || rescored.Track.TakeoffFrame <= 0 {
+		t.Errorf("tracking missing from re-run: %+v", rescored.Track)
+	}
+
+	// Selection helpers and parsing agree.
+	sel, err := sljmotion.ParseStageSelection("tracking..scoring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != sljmotion.SelectStages(sljmotion.StageTracking, sljmotion.StageScoring) {
+		t.Errorf("parsed selection %+v", sel)
+	}
+	if !sljmotion.AllStages().IsFull() {
+		t.Error("AllStages must be the full pipeline")
+	}
+}
+
+// TestPublicJobQueueStagedSubmit submits a cheap staged request through the
+// queue: the dispatcher seam carries AnalysisRequests end to end.
+func TestPublicJobQueueStagedSubmit(t *testing.T) {
+	video, err := sljmotion.GenerateSyntheticJump(sljmotion.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sljmotion.NewJobQueue(sljmotion.DefaultConfig(), sljmotion.DefaultJobQueueOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close(context.Background())
+
+	id, err := q.Submit(sljmotion.AnalysisRequest{
+		Poses:      video.Truth,
+		Dimensions: video.Dims,
+		Stages:     sljmotion.SelectStages(sljmotion.StageTracking, sljmotion.StageScoring),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, err := q.JobStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == sljmotion.JobDone {
+			break
+		}
+		if st.State == sljmotion.JobFailed {
+			t.Fatalf("job failed: %s", st.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	res, err := q.JobResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil || res.Report.Total != 7 {
+		t.Errorf("staged job result: %+v", res.Report)
+	}
+}
