@@ -12,25 +12,32 @@
 //
 // -json switches to the performance mode: instead of the experiment
 // reports, it times the concurrency hot paths — per-frame segmentation at
-// increasing worker counts and the end-to-end analysis sequential vs.
-// parallel — and emits one machine-readable JSON document (schema
-// slj-bench-perf/v1, frames/sec per configuration) on stdout, the data
-// behind BENCH_*.json trajectory tracking. -fast trims the GA budget for
-// quick comparisons.
+// increasing worker counts, the end-to-end analysis sequential vs.
+// parallel, and the remote dispatch round trip over an in-process two-node
+// worker pool (submit → hash-route → poll → result, cold and cache-hit) —
+// and emits one machine-readable JSON document (schema slj-bench-perf/v1,
+// frames/sec per configuration) on stdout, the data behind BENCH_*.json
+// trajectory tracking. -fast trims the GA budget for quick comparisons.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
 	"time"
 
 	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/dispatch"
 	"github.com/sljmotion/sljmotion/internal/experiments"
+	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/segmentation"
+	"github.com/sljmotion/sljmotion/internal/server"
 	"github.com/sljmotion/sljmotion/internal/synth"
 )
 
@@ -121,16 +128,53 @@ func run() error {
 
 // perfDoc is the machine-readable output of -json mode.
 type perfDoc struct {
-	Schema       string       `json:"schema"`
-	NumCPU       int          `json:"num_cpu"`
-	GoMaxProcs   int          `json:"go_max_procs"`
-	Seed         int64        `json:"seed"`
-	Fast         bool         `json:"fast"`
-	Frames       int          `json:"frames"`
-	Width        int          `json:"width"`
-	Height       int          `json:"height"`
-	Segmentation []perfSample `json:"segmentation"`
-	EndToEnd     []perfE2E    `json:"end_to_end"`
+	Schema       string        `json:"schema"`
+	NumCPU       int           `json:"num_cpu"`
+	GoMaxProcs   int           `json:"go_max_procs"`
+	Seed         int64         `json:"seed"`
+	Fast         bool          `json:"fast"`
+	Frames       int           `json:"frames"`
+	Width        int           `json:"width"`
+	Height       int           `json:"height"`
+	Segmentation []perfSample  `json:"segmentation"`
+	EndToEnd     []perfE2E     `json:"end_to_end"`
+	Dispatch     *perfDispatch `json:"dispatch,omitempty"`
+}
+
+// perfDispatch times the remote dispatch round trip over an in-process
+// two-node worker pool: cold submissions run the pipeline on the routed
+// node; hits are identical resubmissions answered from that node's result
+// cache.
+type perfDispatch struct {
+	Nodes      int                `json:"nodes"`
+	RoundTrips int                `json:"round_trips"`
+	ColdMS     perfStats          `json:"cold_ms"`
+	CacheHitMS perfStats          `json:"cache_hit_ms"`
+	NodeStats  []jobs.NodeMetrics `json:"node_metrics"`
+}
+
+// perfStats summarises a latency sample in milliseconds.
+type perfStats struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func statsOf(samples []float64) perfStats {
+	if len(samples) == 0 {
+		return perfStats{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, s := range sorted {
+		sum += s
+	}
+	return perfStats{
+		MeanMS: sum / float64(len(sorted)),
+		P50MS:  sorted[len(sorted)/2],
+		MaxMS:  sorted[len(sorted)-1],
+	}
 }
 
 // perfSample is one segmentation timing at a fixed worker count.
@@ -225,7 +269,116 @@ func runPerf(seed int64, fast bool) error {
 		}
 	}
 
+	disp, err := runDispatchPerf(seed)
+	if err != nil {
+		return err
+	}
+	doc.Dispatch = disp
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// runDispatchPerf measures the remote dispatch round trip: two slj-serve
+// worker nodes on an in-process HTTP stack, segmentation-only payloads
+// hash-routed over them, each clip submitted cold and then resubmitted to
+// hit the routed node's result cache.
+func runDispatchPerf(seed int64) (*perfDispatch, error) {
+	const nodes = 2
+	cfg := core.DefaultConfig()
+
+	var urls []string
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		opts := server.DefaultOptions()
+		opts.Worker = true
+		s, err := server.NewWithOptions(cfg, nil, opts)
+		if err != nil {
+			return nil, err
+		}
+		hs := httptest.NewServer(s.Handler())
+		closers = append(closers, func() {
+			hs.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = s.Close(ctx)
+		})
+		urls = append(urls, hs.URL)
+	}
+	d, err := dispatch.New(dispatch.Config{Nodes: urls})
+	if err != nil {
+		return nil, err
+	}
+	closers = append(closers, func() { _ = d.Close(context.Background()) })
+
+	// Distinct clips spread over the ring; identical resubmissions measure
+	// the cache-hit path on the same node.
+	const clips = 4
+	fp := jobs.ConfigFingerprint(cfg)
+	var payloads []jobs.Payload
+	for i := 0; i < clips; i++ {
+		params := synth.DefaultJumpParams()
+		params.Seed = seed + int64(i)
+		v, err := synth.Generate(params)
+		if err != nil {
+			return nil, err
+		}
+		p, err := jobs.NewAnalysisPayload(fp, core.Request{
+			Frames:      v.Frames,
+			ManualFirst: v.ManualAnnotation(synth.DefaultAnnotationError(), 1),
+			Stages:      core.OnlyStage(core.StageSegmentation),
+		})
+		if err != nil {
+			return nil, err
+		}
+		payloads = append(payloads, p)
+	}
+
+	roundTrip := func(p jobs.Payload) (float64, error) {
+		start := time.Now()
+		id, err := d.Submit(p)
+		if err != nil {
+			return 0, err
+		}
+		deadline := time.Now().Add(time.Minute)
+		for time.Now().Before(deadline) {
+			if _, err := d.Result(id); err == nil {
+				return time.Since(start).Seconds() * 1000, nil
+			} else if !errors.Is(err, jobs.ErrNotFinished) {
+				return 0, err
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return 0, errors.New("dispatch round trip timed out")
+	}
+
+	var cold, hit []float64
+	for _, p := range payloads {
+		ms, err := roundTrip(p)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch bench (cold): %w", err)
+		}
+		cold = append(cold, ms)
+	}
+	for _, p := range payloads {
+		ms, err := roundTrip(p)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch bench (hit): %w", err)
+		}
+		hit = append(hit, ms)
+	}
+
+	return &perfDispatch{
+		Nodes:      nodes,
+		RoundTrips: len(cold) + len(hit),
+		ColdMS:     statsOf(cold),
+		CacheHitMS: statsOf(hit),
+		NodeStats:  d.Metrics().Nodes,
+	}, nil
 }

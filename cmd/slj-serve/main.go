@@ -6,6 +6,7 @@
 //
 //	slj-serve [-addr :8080] [-workers N] [-queue N] [-result-ttl 15m]
 //	          [-parallelism N] [-cache-size N] [-cache-ttl 15m]
+//	          [-worker] [-dispatch-nodes url1,url2,...]
 //
 // Endpoints (versioned under /v1; the unversioned paths remain as
 // aliases):
@@ -33,6 +34,17 @@
 // -cache-size bounds the content-addressed result cache (0 disables it)
 // and -cache-ttl its entry lifetime.
 //
+// Multi-node deployment (DESIGN.md §10): start N nodes with -worker — they
+// additionally accept serialized job payloads at POST /v1/worker/jobs —
+// and one front end with -dispatch-nodes listing them. The front end then
+// fans every asynchronous job out over the pool, hash-routed by the
+// request's cache key so identical clips hit the node that already cached
+// their result:
+//
+//	slj-serve -worker -addr :8081 &
+//	slj-serve -worker -addr :8082 &
+//	slj-serve -dispatch-nodes http://localhost:8081,http://localhost:8082
+//
 // Example round trip against a synthetic clip:
 //
 //	slj-synth -out /tmp/clip
@@ -54,10 +66,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/dispatch"
 	"github.com/sljmotion/sljmotion/internal/server"
 )
 
@@ -79,20 +93,47 @@ func run() error {
 		cacheSize   = flag.Int("cache-size", defaults.CacheEntries, "result cache entry bound (0 disables caching)")
 		cacheTTL    = flag.Duration("cache-ttl", defaults.CacheTTL, "result cache entry lifetime")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		worker      = flag.Bool("worker", false, "run as a worker node: accept serialized job payloads at POST /v1/worker/jobs")
+		nodes       = flag.String("dispatch-nodes", "", "comma-separated worker base URLs; fan asynchronous jobs out over them instead of the in-process pool")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "slj-serve ", log.LstdFlags)
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = *parallelism
-	srv, err := server.NewWithOptions(cfg, logger, server.Options{
+	opts := server.Options{
 		Workers:      *workers,
 		QueueSize:    *queue,
 		ResultTTL:    *resultTTL,
 		CacheEntries: *cacheSize,
 		CacheTTL:     *cacheTTL,
-	})
+		Worker:       *worker,
+	}
+	if *nodes != "" {
+		if *worker {
+			return errors.New("-worker and -dispatch-nodes are mutually exclusive (a node is either a front end or a worker)")
+		}
+		var urls []string
+		for _, u := range strings.Split(*nodes, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		dcfg := dispatch.DefaultConfig()
+		dcfg.Nodes = urls
+		dcfg.ResultTTL = *resultTTL
+		d, err := dispatch.New(dcfg)
+		if err != nil {
+			return err
+		}
+		opts.Dispatcher = d
+		logger.Printf("dispatching jobs over %d worker node(s): %s", len(urls), strings.Join(urls, ", "))
+	}
+	srv, err := server.NewWithOptions(cfg, logger, opts)
 	if err != nil {
+		if opts.Dispatcher != nil {
+			_ = opts.Dispatcher.Close(context.Background())
+		}
 		return err
 	}
 	httpServer := &http.Server{

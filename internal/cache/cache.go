@@ -31,6 +31,19 @@ type Key [sha256.Size]byte
 // String renders the key as lowercase hex.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// ParseKey reverses Key.String. ok is false for anything that is not
+// exactly one hex-encoded SHA-256 (including the empty string), so callers
+// can treat an absent or corrupt key as "no key" without error plumbing.
+func ParseKey(s string) (Key, bool) {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != sha256.Size {
+		return Key{}, false
+	}
+	var k Key
+	copy(k[:], raw)
+	return k, true
+}
+
 // Keyer incrementally hashes the components of a request identity into a
 // Key. The Write methods are length-prefixed where ambiguity is possible so
 // distinct component sequences can never collide by concatenation.

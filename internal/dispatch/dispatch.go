@@ -1,0 +1,627 @@
+// Package dispatch is the remote HTTP fan-out implementation of the
+// jobs.Dispatcher seam: instead of an in-process worker pool, each
+// submitted payload is routed to one of N slj-serve worker nodes (started
+// with -worker) and executed there, with the submit/poll lifecycle, the
+// error contract and the /metrics schema unchanged from the in-process
+// Manager.
+//
+// Routing is a consistent-hash ring keyed on the payload's cache key — the
+// same SHA-256 content address the result cache uses — so an identical
+// clip always lands on the node that already cached its result and is
+// answered without re-running the pipeline. Node health is probed in the
+// background; a dead node's keys fall clockwise to its ring successors
+// (failover re-hash) while every other key keeps its node and its cache.
+//
+// Worker protocol (see internal/server's worker intake):
+//
+//	POST {node}/v1/worker/jobs      the payload as JSON
+//	GET  {node}/v1/jobs/{id}        lifecycle polling
+//	GET  {node}/v1/jobs/{id}/result the finished response document
+//	GET  {node}/v1/healthz          liveness probing
+//
+// Backpressure propagates end to end: a worker's 503 surfaces as
+// jobs.ErrQueueFull with the node's Retry-After carried through
+// jobs.RetryAfterHint.
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/jobs"
+)
+
+// Config parameterises a Remote dispatcher.
+type Config struct {
+	// Nodes are the worker base URLs (e.g. "http://10.0.0.7:8080").
+	Nodes []string
+	// Client overrides the HTTP client (tests, custom timeouts).
+	Client *http.Client
+	// HealthInterval is the liveness probe period; dead nodes rejoin the
+	// ring at the first probe that succeeds again.
+	HealthInterval time.Duration
+	// Replicas is the number of virtual ring points per node.
+	Replicas int
+	// ResultTTL evicts the dispatcher's local job records (node mapping,
+	// locally held results) this long after creation, mirroring the
+	// Manager's result TTL.
+	ResultTTL time.Duration
+	// Clock overrides time.Now, a test seam for TTL eviction.
+	Clock func() time.Time
+}
+
+// DefaultConfig returns a small-deployment default.
+func DefaultConfig() Config {
+	return Config{
+		HealthInterval: 2 * time.Second,
+		Replicas:       64,
+		ResultTTL:      15 * time.Minute,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return errors.New("dispatch: at least one worker node required")
+	}
+	for _, n := range c.Nodes {
+		if n == "" {
+			return errors.New("dispatch: empty node URL")
+		}
+	}
+	if c.HealthInterval < 0 || c.Replicas < 0 || c.ResultTTL < 0 {
+		return errors.New("dispatch: negative durations/counts")
+	}
+	return nil
+}
+
+// BusyError is a worker node's backpressure answer. It unwraps to
+// jobs.ErrQueueFull (so jobs.Retryable reports true) and carries the
+// node's Retry-After hint for jobs.RetryAfterHint.
+type BusyError struct {
+	Node  string
+	After int // seconds; 0 = no hint
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("dispatch: worker %s busy: %v", e.Node, jobs.ErrQueueFull)
+}
+
+// Unwrap makes the error retryable.
+func (e *BusyError) Unwrap() error { return jobs.ErrQueueFull }
+
+// RetryAfterSeconds exposes the propagated Retry-After hint.
+func (e *BusyError) RetryAfterSeconds() int { return e.After }
+
+// node is one worker's live state and counters; guarded by Remote.mu.
+type node struct {
+	url       string
+	healthy   bool
+	lastErr   string
+	submitted uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+	cacheHits uint64
+}
+
+// entry is the dispatcher's local record of one routed job.
+type entry struct {
+	node     *node
+	created  time.Time
+	done     bool      // terminal state observed (counters recorded)
+	finished time.Time // when the terminal state was observed
+	status   *jobs.Status
+	result   json.RawMessage // response document, once known
+	err      error           // terminal failure, once known
+}
+
+// Remote fans payloads out to worker nodes; it implements jobs.Dispatcher.
+type Remote struct {
+	cfg    Config
+	client *http.Client
+	clock  func() time.Time
+	ring   ring
+
+	mu        sync.Mutex
+	nodes     []*node
+	entries   map[string]*entry
+	closed    bool
+	evicted   uint64
+	lastSweep time.Time
+	rtt       []time.Duration // submit→terminal round trips, ring buffer
+	rttIdx    int
+
+	stop   chan struct{}
+	health sync.WaitGroup
+}
+
+const rttSample = 256
+
+// Remote is a Dispatcher.
+var _ jobs.Dispatcher = (*Remote)(nil)
+
+// New builds a dispatcher over the configured worker pool and starts its
+// health prober. Nodes start healthy (optimistically routable) and are
+// demoted by the first failed probe or transport error.
+func New(cfg Config) (*Remote, error) {
+	def := DefaultConfig()
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = def.HealthInterval
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = def.Replicas
+	}
+	if cfg.ResultTTL == 0 {
+		cfg.ResultTTL = def.ResultTTL
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Remote{
+		cfg:     cfg,
+		client:  cfg.Client,
+		clock:   cfg.Clock,
+		ring:    buildRing(cfg.Nodes, cfg.Replicas),
+		entries: make(map[string]*entry),
+		stop:    make(chan struct{}),
+	}
+	for _, u := range cfg.Nodes {
+		r.nodes = append(r.nodes, &node{url: strings.TrimRight(u, "/"), healthy: true})
+	}
+	r.health.Add(1)
+	go r.runHealth()
+	return r, nil
+}
+
+// Submit routes one payload to its ring node and posts it. Dead or
+// unreachable nodes are skipped clockwise; a node answering from its
+// result cache completes the job instantly without enqueueing anything.
+func (r *Remote) Submit(p jobs.Payload) (string, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return "", jobs.ErrClosed
+	}
+	r.sweepLocked(r.clock())
+	order := r.ring.walk(r.placementHash(p))
+	r.mu.Unlock()
+
+	body, err := json.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("dispatch: encode payload: %w", err)
+	}
+	var lastTransport error
+	for _, idx := range order {
+		n := r.nodes[idx]
+		r.mu.Lock()
+		healthy := n.healthy
+		r.mu.Unlock()
+		if !healthy {
+			continue
+		}
+		id, err := r.submitTo(n, body)
+		var transport *transportError
+		if errors.As(err, &transport) {
+			// Node unreachable: demote it and re-hash clockwise.
+			r.demote(n, transport.err)
+			lastTransport = transport.err
+			continue
+		}
+		return id, err
+	}
+	if lastTransport != nil {
+		return "", fmt.Errorf("dispatch: all worker nodes unreachable (last: %v): %w",
+			lastTransport, jobs.ErrQueueFull)
+	}
+	return "", fmt.Errorf("dispatch: no healthy worker nodes: %w", jobs.ErrQueueFull)
+}
+
+// transportError marks connection-level submit failures (retryable on
+// another node), as opposed to protocol answers from a live node.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+
+// submitTo posts the payload to one node and interprets the protocol.
+func (r *Remote) submitTo(n *node, body []byte) (string, error) {
+	resp, err := r.client.Post(n.url+"/v1/worker/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", &transportError{err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", &transportError{err: err}
+	}
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// The node answered from its result cache: the job is born done.
+		// No round trip is recorded — run_latency tracks real pipeline
+		// executions, and a zero sample would mask worker latency.
+		id, err := newID()
+		if err != nil {
+			return "", err
+		}
+		now := r.clock()
+		fin := now
+		st := &jobs.Status{ID: id, State: jobs.StateDone, CreatedAt: now, FinishedAt: &fin}
+		r.mu.Lock()
+		n.submitted++
+		n.cacheHits++
+		n.completed++
+		r.entries[id] = &entry{node: n, created: now, done: true, finished: now, status: st, result: raw}
+		r.mu.Unlock()
+		return id, nil
+
+	case http.StatusAccepted:
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &sub); err != nil || sub.ID == "" {
+			return "", fmt.Errorf("dispatch: worker %s returned a malformed submit document", n.url)
+		}
+		r.mu.Lock()
+		n.submitted++
+		r.entries[sub.ID] = &entry{node: n, created: r.clock()}
+		r.mu.Unlock()
+		return sub.ID, nil
+
+	case http.StatusServiceUnavailable:
+		after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		r.mu.Lock()
+		n.rejected++
+		r.mu.Unlock()
+		return "", &BusyError{Node: n.url, After: after}
+
+	default:
+		return "", fmt.Errorf("dispatch: worker %s rejected the payload: %s",
+			n.url, envelopeError(raw, resp.StatusCode))
+	}
+}
+
+// Status snapshots a routed job by polling its node.
+func (r *Remote) Status(id string) (jobs.Status, error) {
+	r.mu.Lock()
+	r.sweepLocked(r.clock())
+	e, ok := r.entries[id]
+	if !ok {
+		r.mu.Unlock()
+		return jobs.Status{}, jobs.ErrNotFound
+	}
+	if e.status != nil {
+		st := *e.status
+		r.mu.Unlock()
+		return st, nil
+	}
+	n := e.node
+	r.mu.Unlock()
+
+	resp, err := r.client.Get(n.url + "/v1/jobs/" + id)
+	if err != nil {
+		return r.loseNode(id, e, err), nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		// Node died mid-response: same lost-node path as a failed dial, so
+		// Status keeps its contract of never erroring for a known id.
+		return r.loseNode(id, e, err), nil
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		r.forget(id)
+		return jobs.Status{}, jobs.ErrNotFound
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return jobs.Status{}, fmt.Errorf("dispatch: worker %s status: %w", n.url, err)
+	}
+	if st.State.Terminal() {
+		r.mu.Lock()
+		r.finishLocked(e, st.State == jobs.StateDone)
+		r.mu.Unlock()
+	}
+	return st, nil
+}
+
+// Result fetches the finished response document from the job's node. Done
+// jobs yield json.RawMessage (the worker's AnalysisResponse document);
+// failed jobs yield the job's error.
+func (r *Remote) Result(id string) (any, error) {
+	r.mu.Lock()
+	r.sweepLocked(r.clock())
+	e, ok := r.entries[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, jobs.ErrNotFound
+	}
+	if e.result != nil {
+		res := e.result
+		r.mu.Unlock()
+		return res, nil
+	}
+	if e.err != nil {
+		err := e.err
+		r.mu.Unlock()
+		return nil, err
+	}
+	n := e.node
+	r.mu.Unlock()
+
+	resp, err := r.client.Get(n.url + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		st := r.loseNode(id, e, err)
+		return nil, errors.New(st.Err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		st := r.loseNode(id, e, err)
+		return nil, errors.New(st.Err)
+	}
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		res := json.RawMessage(raw)
+		r.mu.Lock()
+		r.finishLocked(e, true)
+		e.result = res
+		r.mu.Unlock()
+		return res, nil
+	case http.StatusAccepted:
+		return nil, jobs.ErrNotFinished
+	case http.StatusNotFound:
+		r.forget(id)
+		return nil, jobs.ErrNotFound
+	default:
+		// The worker's failed-job envelope: strip its route-level prefix so
+		// the error matches what the in-process Manager would have returned.
+		msg := strings.TrimPrefix(envelopeError(raw, resp.StatusCode), "analysis failed: ")
+		jobErr := errors.New(msg)
+		r.mu.Lock()
+		r.finishLocked(e, false)
+		e.err = jobErr
+		r.mu.Unlock()
+		return nil, jobErr
+	}
+}
+
+// Metrics merges the per-node counters into the jobs.Metrics schema:
+// throughput counters are fleet sums, Workers counts healthy nodes,
+// QueueDepth the jobs routed but not yet terminal, and Run the
+// submit→terminal round-trip latency observed by this dispatcher. Nodes
+// carries the per-node breakdown.
+func (r *Remote) Metrics() jobs.Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked(r.clock())
+	m := jobs.Metrics{
+		Run:     jobs.Summarise(r.rtt),
+		Evicted: r.evicted,
+	}
+	for _, n := range r.nodes {
+		if n.healthy {
+			m.Workers++
+		}
+		m.Submitted += n.submitted
+		m.Rejected += n.rejected
+		m.Completed += n.completed
+		m.Failed += n.failed
+		m.Nodes = append(m.Nodes, jobs.NodeMetrics{
+			URL:       n.url,
+			Healthy:   n.healthy,
+			Submitted: n.submitted,
+			Rejected:  n.rejected,
+			Completed: n.completed,
+			Failed:    n.failed,
+			CacheHits: n.cacheHits,
+			LastError: n.lastErr,
+		})
+	}
+	for _, e := range r.entries {
+		if !e.done {
+			m.QueueDepth++
+		}
+	}
+	return m
+}
+
+// Close stops intake and the health prober. Worker nodes drain their own
+// queues; jobs already routed remain pollable on their nodes.
+func (r *Remote) Close(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	r.health.Wait()
+	return nil
+}
+
+// placementHash keys the payload onto the ring: the cache key when the
+// payload carries one (identical clips → identical node), otherwise a hash
+// of the serialized payload.
+func (r *Remote) placementHash(p jobs.Payload) uint64 {
+	if key, ok := p.Key(); ok {
+		return hashString(key.String())
+	}
+	raw, _ := json.Marshal(p)
+	return hashString(string(raw))
+}
+
+// demote marks a node unreachable until the prober revives it.
+func (r *Remote) demote(n *node, err error) {
+	r.mu.Lock()
+	n.healthy = false
+	n.lastErr = err.Error()
+	r.mu.Unlock()
+}
+
+// loseNode reports a job stranded on an unreachable node: the node is
+// demoted and the job reports failed with the transport error, matching
+// the contract that Status never errors for a known id. The failure view
+// is deliberately NOT latched onto the record: a single dropped
+// connection or mid-restart poll must not permanently discard a result
+// that is still sitting on the worker — if the prober revives the node,
+// the next poll recovers the job's real state. A genuinely dead node
+// keeps answering failed on every poll.
+func (r *Remote) loseNode(id string, e *entry, err error) jobs.Status {
+	r.demote(e.node, err)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fin := r.clock()
+	return jobs.Status{
+		ID:         id,
+		State:      jobs.StateFailed,
+		CreatedAt:  e.created,
+		FinishedAt: &fin,
+		Err:        fmt.Sprintf("dispatch: worker %s unreachable: %v", e.node.url, err),
+	}
+}
+
+// finishLocked records a terminal observation exactly once. Caller holds mu.
+func (r *Remote) finishLocked(e *entry, ok bool) {
+	if e.done {
+		return
+	}
+	e.done = true
+	e.finished = r.clock()
+	if ok {
+		e.node.completed++
+	} else {
+		e.node.failed++
+	}
+	r.recordRTTLocked(e.finished.Sub(e.created))
+}
+
+// forget drops a local record (the node no longer knows the id).
+func (r *Remote) forget(id string) {
+	r.mu.Lock()
+	delete(r.entries, id)
+	r.mu.Unlock()
+}
+
+// sweepLocked evicts expired local records, mirroring the Manager's TTL
+// semantics: terminal jobs expire ResultTTL after their terminal state was
+// observed — never while still queued or running on a worker. Records that
+// never reach a terminal state (the client stopped polling a job on a
+// node that later died) are bounded by a generous multiple of the TTL so
+// the table cannot leak forever. The full-map scan is throttled to once
+// per quarter-TTL so millisecond-interval pollers do not pay O(entries)
+// under the lock on every call. Caller holds mu.
+func (r *Remote) sweepLocked(now time.Time) {
+	if r.cfg.ResultTTL <= 0 {
+		return
+	}
+	if now.Sub(r.lastSweep) < r.cfg.ResultTTL/4 {
+		return
+	}
+	r.lastSweep = now
+	for id, e := range r.entries {
+		expired := e.done && now.Sub(e.finished) >= r.cfg.ResultTTL ||
+			!e.done && now.Sub(e.created) >= 8*r.cfg.ResultTTL
+		if expired {
+			delete(r.entries, id)
+			r.evicted++
+		}
+	}
+}
+
+// recordRTTLocked appends to the round-trip ring. Caller holds mu.
+func (r *Remote) recordRTTLocked(d time.Duration) {
+	if len(r.rtt) < rttSample {
+		r.rtt = append(r.rtt, d)
+		return
+	}
+	r.rtt[r.rttIdx] = d
+	r.rttIdx = (r.rttIdx + 1) % rttSample
+}
+
+// runHealth probes every node each interval; a probe success revives a
+// demoted node, re-expanding the ring.
+func (r *Remote) runHealth() {
+	defer r.health.Done()
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+// probeAll checks liveness of every node.
+func (r *Remote) probeAll() {
+	var wg sync.WaitGroup
+	for _, n := range r.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			resp, err := r.client.Get(n.url + "/v1/healthz")
+			if err != nil {
+				r.demote(n, err)
+				return
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			r.mu.Lock()
+			if resp.StatusCode == http.StatusOK {
+				n.healthy = true
+				n.lastErr = ""
+			} else {
+				n.healthy = false
+				n.lastErr = fmt.Sprintf("healthz status %d", resp.StatusCode)
+			}
+			r.mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+}
+
+// envelopeError extracts the shared JSON error envelope, falling back to
+// the raw body / status code.
+func envelopeError(raw []byte, status int) string {
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &doc); err == nil && doc.Error != "" {
+		return doc.Error
+	}
+	if len(raw) > 0 {
+		return fmt.Sprintf("status %d: %s", status, bytes.TrimSpace(raw))
+	}
+	return fmt.Sprintf("status %d", status)
+}
+
+// newID returns a 16-hex-char random id for cache-answered jobs.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("dispatch: id generation: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}

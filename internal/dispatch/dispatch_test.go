@@ -1,0 +1,264 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/jobs"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New must reject an empty node list")
+	}
+	if _, err := New(Config{Nodes: []string{""}}); err == nil {
+		t.Error("New must reject empty node URLs")
+	}
+}
+
+// TestRingStableRouting pins the consistent-hashing properties: a key's
+// primary node is deterministic, every node owns a share of the key space,
+// and removing one node only re-homes that node's keys.
+func TestRingStableRouting(t *testing.T) {
+	urls := []string{"http://a", "http://b", "http://c"}
+	r := buildRing(urls, 64)
+
+	hits := make([]int, len(urls))
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := hashString("clip-" + strconv.Itoa(i))
+		order := r.walk(key)
+		if len(order) != len(urls) {
+			t.Fatalf("walk must cover all nodes, got %v", order)
+		}
+		// Deterministic.
+		if again := r.walk(key); again[0] != order[0] {
+			t.Fatal("primary node not deterministic")
+		}
+		hits[order[0]]++
+	}
+	for n, h := range hits {
+		if h < keys/len(urls)/3 {
+			t.Errorf("node %d owns %d/%d keys — distribution badly skewed", n, h, keys)
+		}
+	}
+
+	// Failover stability: skipping the primary (dead node) must fall to the
+	// walk's second entry, and keys whose primary is alive are unaffected.
+	dead := 0
+	for i := 0; i < 200; i++ {
+		key := hashString("clip-" + strconv.Itoa(i))
+		order := r.walk(key)
+		if order[0] == dead && order[1] == dead {
+			t.Fatal("failover order repeats the dead node")
+		}
+		if order[0] != dead {
+			// Unaffected key: its primary stays its primary.
+			if r.walk(key)[0] != order[0] {
+				t.Fatal("live key re-homed by unrelated death")
+			}
+		}
+	}
+}
+
+// TestSubmitBusyPropagatesRetryAfter turns a worker's 503 + Retry-After
+// into retryable backpressure carrying the node's hint.
+func TestSubmitBusyPropagatesRetryAfter(t *testing.T) {
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"jobs: queue full, retry later"}`)
+	}))
+	defer busy.Close()
+
+	d, err := New(Config{Nodes: []string{busy.URL}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close(context.Background())
+
+	_, err = d.Submit(jobs.Payload{Kind: jobs.KindAnalysis, CacheKey: "ab"})
+	if !jobs.Retryable(err) {
+		t.Fatalf("busy worker error %v must be retryable", err)
+	}
+	if got := jobs.RetryAfterHint(err, 1); got != 7 {
+		t.Errorf("RetryAfterHint = %d, want the node's 7", got)
+	}
+	m := d.Metrics()
+	if len(m.Nodes) != 1 || m.Nodes[0].Rejected != 1 || m.Rejected != 1 {
+		t.Errorf("rejection not counted: %+v", m.Nodes)
+	}
+}
+
+// TestSubmitFailsOverDeadNode: a transport error on the primary demotes it
+// and the payload lands on the next ring node.
+func TestSubmitFailsOverDeadNode(t *testing.T) {
+	accepted := 0
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		accepted++
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintln(w, `{"id":"deadbeef00000001","state":"queued"}`)
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // immediately unreachable
+
+	d, err := New(Config{Nodes: []string{dead.URL, live.URL}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close(context.Background())
+
+	// Submit enough distinct keys that at least one is primarily homed on
+	// the dead node; all must succeed via failover.
+	for i := 0; i < 8; i++ {
+		if _, err := d.Submit(jobs.Payload{Kind: jobs.KindAnalysis, CacheKey: strconv.Itoa(i)}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if accepted != 8 {
+		t.Errorf("live node accepted %d/8", accepted)
+	}
+	m := d.Metrics()
+	var deadM, liveM *jobs.NodeMetrics
+	for i := range m.Nodes {
+		switch m.Nodes[i].URL {
+		case dead.URL:
+			deadM = &m.Nodes[i]
+		case live.URL:
+			liveM = &m.Nodes[i]
+		}
+	}
+	if deadM == nil || liveM == nil {
+		t.Fatalf("node metrics missing: %+v", m.Nodes)
+	}
+	if deadM.Healthy || deadM.LastError == "" {
+		t.Errorf("dead node should be demoted with an error: %+v", deadM)
+	}
+	if liveM.Submitted != 8 {
+		t.Errorf("live node submitted = %d, want 8", liveM.Submitted)
+	}
+	if m.Workers != 1 {
+		t.Errorf("healthy workers = %d, want 1", m.Workers)
+	}
+}
+
+// TestSubmitAllNodesDown answers retryable backpressure, not a hard error.
+func TestSubmitAllNodesDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	d, err := New(Config{Nodes: []string{dead.URL}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close(context.Background())
+	if _, err := d.Submit(jobs.Payload{Kind: jobs.KindAnalysis}); !jobs.Retryable(err) {
+		t.Errorf("all-down submit error %v must be retryable", err)
+	}
+}
+
+// TestUnknownJobID: ids the dispatcher never routed are ErrNotFound.
+func TestUnknownJobID(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer live.Close()
+	d, err := New(Config{Nodes: []string{live.URL}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close(context.Background())
+	if _, err := d.Status("deadbeef"); !errors.Is(err, jobs.ErrNotFound) {
+		t.Errorf("status of unknown id = %v, want ErrNotFound", err)
+	}
+	if _, err := d.Result("deadbeef"); !errors.Is(err, jobs.ErrNotFound) {
+		t.Errorf("result of unknown id = %v, want ErrNotFound", err)
+	}
+}
+
+// TestSweepSparesRunningJobs pins the Manager-matching TTL semantics: a
+// routed job still running on its worker is never evicted by ResultTTL
+// (which counts from the observed terminal state, not from submission).
+func TestSweepSparesRunningJobs(t *testing.T) {
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintln(w, `{"id":"feedface00000001","state":"queued"}`)
+		default:
+			fmt.Fprintln(w, `{"id":"feedface00000001","state":"running","created_at":"2026-01-01T00:00:00Z"}`)
+		}
+	}))
+	defer worker.Close()
+
+	clk := struct {
+		mu  sync.Mutex
+		now time.Time
+	}{now: time.Unix(1_000_000, 0)}
+	now := func() time.Time {
+		clk.mu.Lock()
+		defer clk.mu.Unlock()
+		return clk.now
+	}
+	advance := func(d time.Duration) {
+		clk.mu.Lock()
+		clk.now = clk.now.Add(d)
+		clk.mu.Unlock()
+	}
+
+	d, err := New(Config{
+		Nodes:          []string{worker.URL},
+		HealthInterval: time.Hour,
+		ResultTTL:      time.Minute,
+		Clock:          now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close(context.Background())
+
+	id, err := d.Submit(jobs.Payload{Kind: jobs.KindAnalysis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far past the TTL while the worker still reports running: the record
+	// must survive, so polling keeps working.
+	advance(5 * time.Minute)
+	st, err := d.Status(id)
+	if err != nil {
+		t.Fatalf("running job evicted by TTL sweep: %v", err)
+	}
+	if st.State != jobs.StateRunning {
+		t.Errorf("state = %s, want running", st.State)
+	}
+	// But a record that never terminates is still bounded (8× TTL).
+	advance(10 * time.Minute)
+	if _, err := d.Status(id); !errors.Is(err, jobs.ErrNotFound) {
+		t.Errorf("abandoned record must eventually evict, got %v", err)
+	}
+}
+
+// TestClosedRejectsSubmit: Close stops intake with ErrClosed.
+func TestClosedRejectsSubmit(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer live.Close()
+	d, err := New(Config{Nodes: []string{live.URL}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(jobs.Payload{Kind: jobs.KindAnalysis}); !errors.Is(err, jobs.ErrClosed) {
+		t.Errorf("submit after close = %v, want ErrClosed", err)
+	}
+	// Idempotent.
+	if err := d.Close(context.Background()); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package dispatch
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringPoint is one virtual node on the consistent-hash circle.
+type ringPoint struct {
+	point uint64
+	node  int // index into Remote.nodes
+}
+
+// ring is a fixed consistent-hash circle over the configured nodes. Each
+// node owns Replicas virtual points (hashes of "url#i"), so keys spread
+// evenly and the death of one node only moves its own keys — every other
+// clip keeps hitting the node whose result cache already holds it. The
+// circle itself never changes after construction; health is applied at
+// lookup time by skipping dead nodes clockwise, which is exactly the
+// failover re-hash: a dead node's keys fall to its ring successors.
+type ring struct {
+	points []ringPoint
+}
+
+// buildRing hashes every node onto the circle.
+func buildRing(urls []string, replicas int) ring {
+	pts := make([]ringPoint, 0, len(urls)*replicas)
+	for n, u := range urls {
+		for i := 0; i < replicas; i++ {
+			pts = append(pts, ringPoint{point: hashString(u + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].point < pts[j].point })
+	return ring{points: pts}
+}
+
+// walk returns the node indices owning key, in failover order: the first
+// entry is the primary (first point clockwise from the key), followed by
+// each remaining distinct node in the order its points appear. Callers try
+// them in order, skipping unhealthy ones.
+func (r ring) walk(key uint64) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].point >= key })
+	order := make([]int, 0, 4)
+	seen := make(map[int]bool)
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			order = append(order, p.node)
+		}
+	}
+	return order
+}
+
+// hashString maps a string onto the ring coordinate space.
+func hashString(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -4,21 +4,23 @@ import "context"
 
 // Dispatcher is the job-execution seam: everything the web service and the
 // public JobQueue need from a job backend, abstracted from how and where
-// the work runs. The in-process Manager (bounded queue + worker pool) is
-// the default implementation; a remote dispatcher that fans tasks out to
-// worker nodes can replace it without touching the submit/poll lifecycle,
-// the HTTP surface or the /metrics schema.
+// the work runs. The in-process Manager (bounded queue + worker pool over
+// an Executor) is the default implementation; the remote HTTP fan-out
+// dispatcher (internal/dispatch) replaces it without touching the
+// submit/poll lifecycle, the HTTP surface or the /metrics schema — payloads
+// are data, so they serialise to worker nodes as JSON.
 //
 // Contract, matching Manager's behaviour:
 //
 //   - Submit never blocks: a saturated backend returns ErrQueueFull
-//     (retryable — see Retryable), a shut-down backend ErrClosed;
+//     (retryable — see Retryable, RetryAfterHint), a shut-down backend
+//     ErrClosed;
 //   - Status and Result return ErrNotFound for unknown or expired ids, and
 //     Result returns ErrNotFinished while the job is queued or running;
 //   - Close stops intake, drains accepted work within ctx, then cancels.
 type Dispatcher interface {
-	// Submit enqueues one task and returns its job id.
-	Submit(task Task) (string, error)
+	// Submit enqueues one payload and returns its job id.
+	Submit(p Payload) (string, error)
 	// Status snapshots a job's lifecycle state and progress stage.
 	Status(id string) (Status, error)
 	// Result returns the finished job's value or its failure error.

@@ -1,0 +1,27 @@
+package jobs
+
+import "context"
+
+// Executor is the seam between job *lifecycle* (queueing, states, TTL,
+// metrics — the Manager's job) and job *execution* (what running a payload
+// means — the embedding layer's job). The web server's executor decodes the
+// payload, runs the analysis pipeline and builds the HTTP response document;
+// the library façade's executor returns the in-process Result. Because the
+// Manager only ever hands an Executor plain data, the same payload can
+// instead be shipped to a worker node and executed there — the remote
+// dispatcher relies on exactly this property.
+//
+// ctx is cancelled on hard shutdown; progress (never nil) receives coarse
+// stage labels for status polling. The returned value becomes the job
+// result.
+type Executor interface {
+	Execute(ctx context.Context, p Payload, progress func(stage string)) (any, error)
+}
+
+// ExecutorFunc adapts a function to the Executor interface.
+type ExecutorFunc func(ctx context.Context, p Payload, progress func(stage string)) (any, error)
+
+// Execute implements Executor.
+func (f ExecutorFunc) Execute(ctx context.Context, p Payload, progress func(stage string)) (any, error) {
+	return f(ctx, p, progress)
+}

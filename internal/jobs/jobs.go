@@ -5,9 +5,11 @@
 // path: a request submits a job into a bounded queue, a fixed worker pool
 // drains it, and the client polls the job until it is done.
 //
-// The manager is deliberately generic: a job is any Task closure, so the
-// package depends on nothing above it and the same machinery can later queue
-// batch re-scoring, figure regeneration, or multi-clip comparisons.
+// A job is *data*, not a closure: Submit takes a serializable Payload and
+// the Manager runs it through the Executor it was constructed with. The
+// payload/executor split is what lets work leave the process — the same
+// Payload the in-process Manager executes locally is what the remote
+// dispatcher (internal/dispatch) posts to a worker node as JSON.
 //
 // Semantics:
 //
@@ -47,11 +49,6 @@ const (
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
 
-// Task is one unit of asynchronous work. ctx is cancelled on hard shutdown;
-// progress (never nil) receives coarse stage labels for status polling. The
-// returned value becomes the job result.
-type Task func(ctx context.Context, progress func(stage string)) (any, error)
-
 // Sentinel errors.
 var (
 	// ErrQueueFull is the backpressure signal: the submission queue is at
@@ -68,6 +65,23 @@ var (
 // Retryable reports whether the error is transient backpressure the caller
 // should retry after a delay.
 func Retryable(err error) bool { return errors.Is(err, ErrQueueFull) }
+
+// retryAfterer is implemented by backpressure errors that carry an explicit
+// retry delay (the remote dispatcher propagates a worker node's Retry-After
+// header this way).
+type retryAfterer interface{ RetryAfterSeconds() int }
+
+// RetryAfterHint extracts the retry delay carried by a retryable error, in
+// seconds, or def when the error carries none.
+func RetryAfterHint(err error, def int) int {
+	var ra retryAfterer
+	if errors.As(err, &ra) {
+		if s := ra.RetryAfterSeconds(); s > 0 {
+			return s
+		}
+	}
+	return def
+}
 
 // Config parameterises a Manager.
 type Config struct {
@@ -138,10 +152,31 @@ type Metrics struct {
 	Completed     uint64 `json:"jobs_completed"`
 	Failed        uint64 `json:"jobs_failed"`
 	Evicted       uint64 `json:"jobs_evicted"`
-	// Run is the task execution latency of finished jobs; Wait the time
+	// Run is the payload execution latency of finished jobs; Wait the time
 	// jobs spent queued before a worker picked them up.
 	Run  LatencyStats `json:"run_latency"`
 	Wait LatencyStats `json:"queue_wait"`
+	// Nodes carries per-worker-node counters when the backend is a remote
+	// dispatcher; the in-process Manager omits it, keeping the /metrics
+	// document byte-compatible with earlier releases.
+	Nodes []NodeMetrics `json:"nodes,omitempty"`
+}
+
+// NodeMetrics is one worker node's view inside a remote dispatcher.
+type NodeMetrics struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Submitted counts payloads accepted by the node; Rejected its 503
+	// backpressure answers; Completed/Failed terminal results observed by
+	// the dispatcher; CacheHits submissions the node answered directly from
+	// its result cache without enqueueing a job.
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	CacheHits uint64 `json:"cache_hits"`
+	// LastError is the most recent transport/health failure, for operators.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // latencySample bounds the memory of the latency window (a ring of the most
@@ -152,7 +187,7 @@ const latencySample = 256
 // job is registered.
 type job struct {
 	id       string
-	task     Task
+	payload  Payload
 	state    State
 	stage    string
 	created  time.Time
@@ -165,6 +200,7 @@ type job struct {
 // Manager owns the queue, the worker pool and the job table.
 type Manager struct {
 	cfg   Config
+	exec  Executor
 	clock func() time.Time
 
 	runCtx  context.Context
@@ -188,11 +224,15 @@ type Manager struct {
 	latIdx    int
 }
 
-// New starts a manager: Workers goroutines draining the queue plus, when a
-// TTL is set, a janitor goroutine evicting expired results.
-func New(cfg Config) (*Manager, error) {
+// New starts a manager executing payloads through exec: Workers goroutines
+// draining the queue plus, when a TTL is set, a janitor goroutine evicting
+// expired results.
+func New(cfg Config, exec Executor) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if exec == nil {
+		return nil, errNoExecutor
 	}
 	clock := cfg.Clock
 	if clock == nil {
@@ -201,6 +241,7 @@ func New(cfg Config) (*Manager, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:    cfg,
+		exec:   exec,
 		clock:  clock,
 		runCtx: ctx,
 		cancel: cancel,
@@ -221,18 +262,15 @@ func New(cfg Config) (*Manager, error) {
 // Config returns the manager configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
-// Submit enqueues a task and returns its job id. It never blocks: a full
+// Submit enqueues a payload and returns its job id. It never blocks: a full
 // queue returns ErrQueueFull, a closed manager ErrClosed.
-func (m *Manager) Submit(task Task) (string, error) {
-	if task == nil {
-		return "", errors.New("jobs: nil task")
-	}
+func (m *Manager) Submit(p Payload) (string, error) {
 	id, err := newID()
 	if err != nil {
 		return "", err
 	}
 	now := m.clock()
-	j := &job{id: id, task: task, state: StateQueued, created: now}
+	j := &job{id: id, payload: p, state: StateQueued, created: now}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -301,8 +339,8 @@ func (m *Manager) Metrics() Metrics {
 		Completed:     m.completed,
 		Failed:        m.failed,
 		Evicted:       m.evicted,
-		Run:           summarise(m.runLat),
-		Wait:          summarise(m.waitLat),
+		Run:           Summarise(m.runLat),
+		Wait:          Summarise(m.waitLat),
 	}
 }
 
@@ -358,7 +396,7 @@ func (m *Manager) execute(j *job) {
 		j.stage = stage
 		m.mu.Unlock()
 	}
-	val, err := j.task(m.runCtx, progress)
+	val, err := m.exec.Execute(m.runCtx, j.payload, progress)
 
 	now := m.clock()
 	m.mu.Lock()
@@ -366,7 +404,7 @@ func (m *Manager) execute(j *job) {
 	m.running--
 	j.finished = now
 	j.stage = ""
-	j.task = nil // release the closure (it may pin a whole decoded clip)
+	j.payload = Payload{} // release the payload (it may pin a whole clip)
 	if err != nil {
 		j.state = StateFailed
 		j.err = err
@@ -448,8 +486,10 @@ func (j *job) snapshotLocked() Status {
 	return s
 }
 
-// summarise computes latency statistics over a sample window.
-func summarise(sample []time.Duration) LatencyStats {
+// Summarise computes latency statistics over a sample window of
+// durations. It is shared by the Manager and the remote dispatcher so both
+// backends report the same statistics shape.
+func Summarise(sample []time.Duration) LatencyStats {
 	if len(sample) == 0 {
 		return LatencyStats{}
 	}

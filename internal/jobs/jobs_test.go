@@ -40,6 +40,21 @@ func (c *fakeClock) Advance(d time.Duration) {
 	c.mu.Unlock()
 }
 
+// routeExec routes payloads to handlers by their Kind — the test-side
+// Executor: each submitted payload names the behaviour it wants.
+type routeExec map[string]func(ctx context.Context, p Payload, progress func(string)) (any, error)
+
+func (r routeExec) Execute(ctx context.Context, p Payload, progress func(string)) (any, error) {
+	fn := r[p.Kind]
+	if fn == nil {
+		return nil, fmt.Errorf("routeExec: no handler for kind %q", p.Kind)
+	}
+	return fn(ctx, p, progress)
+}
+
+// kind builds a test payload carrying only a routing kind.
+func kind(k string) Payload { return Payload{Kind: k} }
+
 func TestConfigValidate(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)
@@ -54,25 +69,31 @@ func TestConfigValidate(t *testing.T) {
 			t.Errorf("config %d should be invalid", i)
 		}
 	}
-	if _, err := New(Config{}); err == nil {
+	noop := ExecutorFunc(func(context.Context, Payload, func(string)) (any, error) { return nil, nil })
+	if _, err := New(Config{}, noop); err == nil {
 		t.Error("New must reject the zero config")
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("New must reject a nil executor")
 	}
 }
 
 func TestJobLifecycle(t *testing.T) {
-	m, err := New(Config{Workers: 1, QueueSize: 4})
+	release := make(chan struct{})
+	m, err := New(Config{Workers: 1, QueueSize: 4}, routeExec{
+		"lifecycle": func(ctx context.Context, p Payload, progress func(string)) (any, error) {
+			progress("segmentation")
+			<-release
+			progress("scoring")
+			return 42, nil
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close(context.Background())
 
-	release := make(chan struct{})
-	id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
-		progress("segmentation")
-		<-release
-		progress("scoring")
-		return 42, nil
-	})
+	id, err := m.Submit(kind("lifecycle"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,16 +138,18 @@ func TestJobLifecycle(t *testing.T) {
 }
 
 func TestJobFailure(t *testing.T) {
-	m, err := New(Config{Workers: 1, QueueSize: 1})
+	boom := errors.New("boom")
+	m, err := New(Config{Workers: 1, QueueSize: 1}, routeExec{
+		"boom": func(ctx context.Context, p Payload, progress func(string)) (any, error) {
+			return nil, boom
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close(context.Background())
 
-	boom := errors.New("boom")
-	id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
-		return nil, boom
-	})
+	id, err := m.Submit(kind("boom"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,23 +167,23 @@ func TestJobFailure(t *testing.T) {
 }
 
 func TestBackpressure(t *testing.T) {
-	m, err := New(Config{Workers: 1, QueueSize: 1})
+	release := make(chan struct{})
+	m, err := New(Config{Workers: 1, QueueSize: 1}, routeExec{
+		"block": func(ctx context.Context, p Payload, progress func(string)) (any, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return "ok", nil
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close(context.Background())
 
-	release := make(chan struct{})
-	blocker := func(ctx context.Context, progress func(string)) (any, error) {
-		select {
-		case <-release:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-		return "ok", nil
-	}
-
-	first, err := m.Submit(blocker)
+	first, err := m.Submit(kind("block"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +191,11 @@ func TestBackpressure(t *testing.T) {
 		st, err := m.Status(first)
 		return err == nil && st.State == StateRunning
 	})
-	second, err := m.Submit(blocker)
+	second, err := m.Submit(kind("block"))
 	if err != nil {
 		t.Fatalf("second submit should queue: %v", err)
 	}
-	if _, err := m.Submit(blocker); !errors.Is(err, ErrQueueFull) {
+	if _, err := m.Submit(kind("block")); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit = %v, want ErrQueueFull", err)
 	} else if !Retryable(err) {
 		t.Error("ErrQueueFull must be retryable")
@@ -181,6 +204,9 @@ func TestBackpressure(t *testing.T) {
 	mt := m.Metrics()
 	if mt.Rejected != 1 || mt.QueueDepth != 1 || mt.Running != 1 {
 		t.Errorf("metrics after backpressure: %+v", mt)
+	}
+	if mt.Nodes != nil {
+		t.Error("in-process metrics must omit per-node counters")
 	}
 
 	close(release)
@@ -192,17 +218,28 @@ func TestBackpressure(t *testing.T) {
 	}
 }
 
+func TestRetryAfterHint(t *testing.T) {
+	if got := RetryAfterHint(ErrQueueFull, 1); got != 1 {
+		t.Errorf("plain ErrQueueFull hint = %d, want default 1", got)
+	}
+	if got := RetryAfterHint(errors.New("other"), 3); got != 3 {
+		t.Errorf("unrelated error hint = %d, want default 3", got)
+	}
+}
+
 func TestTTLEviction(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(1_000_000, 0)}
-	m, err := New(Config{Workers: 1, QueueSize: 2, ResultTTL: time.Minute, Clock: clk.Now})
+	m, err := New(Config{Workers: 1, QueueSize: 2, ResultTTL: time.Minute, Clock: clk.Now}, routeExec{
+		"quick": func(ctx context.Context, p Payload, progress func(string)) (any, error) {
+			return "r", nil
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close(context.Background())
 
-	id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
-		return "r", nil
-	})
+	id, err := m.Submit(kind("quick"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,19 +265,21 @@ func TestTTLEviction(t *testing.T) {
 }
 
 func TestGracefulClose(t *testing.T) {
-	m, err := New(Config{Workers: 2, QueueSize: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
 	var done sync.WaitGroup
-	ids := make([]string, 0, 5)
-	for i := 0; i < 5; i++ {
-		done.Add(1)
-		id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+	m, err := New(Config{Workers: 2, QueueSize: 8}, routeExec{
+		"sleep": func(ctx context.Context, p Payload, progress func(string)) (any, error) {
 			defer done.Done()
 			time.Sleep(5 * time.Millisecond)
 			return "ok", nil
-		})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		done.Add(1)
+		id, err := m.Submit(kind("sleep"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -255,9 +294,7 @@ func TestGracefulClose(t *testing.T) {
 			t.Errorf("job %s after close: %v", id, err)
 		}
 	}
-	if _, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
-		return nil, nil
-	}); !errors.Is(err, ErrClosed) {
+	if _, err := m.Submit(kind("sleep")); !errors.Is(err, ErrClosed) {
 		t.Errorf("submit after close = %v, want ErrClosed", err)
 	}
 	// A second Close is a harmless no-op.
@@ -267,14 +304,16 @@ func TestGracefulClose(t *testing.T) {
 }
 
 func TestCloseCancelsInFlight(t *testing.T) {
-	m, err := New(Config{Workers: 1, QueueSize: 1})
+	m, err := New(Config{Workers: 1, QueueSize: 1}, routeExec{
+		"hang": func(ctx context.Context, p Payload, progress func(string)) (any, error) {
+			<-ctx.Done() // run until hard-cancelled
+			return nil, ctx.Err()
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
-		<-ctx.Done() // run until hard-cancelled
-		return nil, ctx.Err()
-	})
+	id, err := m.Submit(kind("hang"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +336,12 @@ func TestCloseCancelsInFlight(t *testing.T) {
 }
 
 func TestMetricsLatency(t *testing.T) {
-	m, err := New(Config{Workers: 2, QueueSize: 8})
+	m, err := New(Config{Workers: 2, QueueSize: 8}, routeExec{
+		"tick": func(ctx context.Context, p Payload, progress func(string)) (any, error) {
+			time.Sleep(time.Millisecond)
+			return nil, nil
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,10 +349,7 @@ func TestMetricsLatency(t *testing.T) {
 
 	const n = 6
 	for i := 0; i < n; i++ {
-		if _, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
-			time.Sleep(time.Millisecond)
-			return nil, nil
-		}); err != nil {
+		if _, err := m.Submit(kind("tick")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -328,9 +369,16 @@ func TestMetricsLatency(t *testing.T) {
 }
 
 // TestConcurrentSubmitAndPoll exercises the manager under the race detector:
-// many goroutines submitting, polling and reading metrics at once.
+// many goroutines submitting, polling and reading metrics at once. The
+// payload's CacheKey field carries a per-job tag the executor echoes back,
+// proving payload data flows through untouched.
 func TestConcurrentSubmitAndPoll(t *testing.T) {
-	m, err := New(Config{Workers: 4, QueueSize: 64, ResultTTL: time.Minute})
+	m, err := New(Config{Workers: 4, QueueSize: 64, ResultTTL: time.Minute}, routeExec{
+		"echo": func(ctx context.Context, p Payload, progress func(string)) (any, error) {
+			progress("pose")
+			return p.CacheKey, nil
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,10 +390,8 @@ func TestConcurrentSubmitAndPoll(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				id, err := m.Submit(func(ctx context.Context, progress func(string)) (any, error) {
-					progress("pose")
-					return fmt.Sprintf("g%d-%d", g, i), nil
-				})
+				tag := fmt.Sprintf("g%d-%d", g, i)
+				id, err := m.Submit(Payload{Kind: "echo", CacheKey: tag})
 				if errors.Is(err, ErrQueueFull) {
 					time.Sleep(time.Millisecond)
 					continue
@@ -361,6 +407,9 @@ func TestConcurrentSubmitAndPoll(t *testing.T) {
 					}
 					m.Metrics()
 					time.Sleep(100 * time.Microsecond)
+				}
+				if val, err := m.Result(id); err == nil && val.(string) != tag {
+					t.Errorf("job %s echoed %v, want %s", id, val, tag)
 				}
 			}
 		}(g)

@@ -1,0 +1,349 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sljmotion/sljmotion/internal/cache"
+	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/segmentation"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// KindAnalysis marks a Payload carrying one staged analysis request. The
+// version suffix lets worker nodes reject payloads from incompatible
+// front ends instead of mis-decoding them.
+const KindAnalysis = "slj-analysis/v1"
+
+// Payload is one unit of asynchronous work as *data*: a typed,
+// JSON-serializable description of a staged analysis request. Unlike the
+// closure-based task it replaced, a Payload can leave the process — the
+// remote dispatcher posts it to a worker node as JSON — while the in-process
+// Manager hands it to its Executor without any serialisation round trip.
+//
+// The artifact fields mirror core.Request: frames enter a selection starting
+// at segmentation, silhouettes one starting at pose, poses+dimensions one
+// starting at tracking or scoring. Binary artifacts use compact encodings
+// (raw interleaved RGB for frames, bit-packed masks for silhouettes), which
+// encoding/json transports as base64.
+type Payload struct {
+	// Kind discriminates payload types; KindAnalysis is the only kind today.
+	Kind string `json:"kind"`
+	// ConfigFP is the analyzer-config fingerprint of the submitting front
+	// end. Executors recompute cache keys when it differs from their own.
+	ConfigFP string `json:"config_fp,omitempty"`
+	// CacheKey is the hex content address of the request (RequestKey) under
+	// ConfigFP. The remote dispatcher hashes it onto the node ring so
+	// identical clips land on the node that already cached their result.
+	CacheKey string `json:"cache_key,omitempty"`
+	// Stages is the stage selection in ParseStageSelection form ("" = all).
+	Stages string `json:"stages,omitempty"`
+	// IncludePoses / IncludeSilhouettes shape the serialised response.
+	IncludePoses       bool `json:"include_poses,omitempty"`
+	IncludeSilhouettes bool `json:"include_silhouettes,omitempty"`
+
+	// Manual is the hand-drawn first-frame stick figure, when present.
+	Manual *PoseWire `json:"manual_first,omitempty"`
+	// Frames is the clip for selections starting at segmentation.
+	Frames []FrameWire `json:"frames,omitempty"`
+	// Silhouettes feeds selections starting at the pose stage.
+	Silhouettes []SilhouetteWire `json:"silhouettes,omitempty"`
+	// Background carries the Step 1 estimate through when segmentation is
+	// skipped.
+	Background *FrameWire `json:"background,omitempty"`
+	// Poses and Dimensions feed selections starting at tracking/scoring.
+	Poses      []PoseWire      `json:"poses,omitempty"`
+	Dimensions *DimensionsWire `json:"dimensions,omitempty"`
+
+	// decoded short-circuits AnalysisRequest for payloads that never left
+	// the process: the in-process Manager executes the exact request the
+	// submitter built, skipping a full decode copy of the clip. Unexported,
+	// so it never crosses the wire — remote workers always decode.
+	decoded *core.Request
+}
+
+// FrameWire is one RGB frame on the wire: raw interleaved RGB bytes,
+// row-major (base64 in JSON).
+type FrameWire struct {
+	W   int    `json:"w"`
+	H   int    `json:"h"`
+	RGB []byte `json:"rgb"`
+}
+
+// PoseWire is one stick-model pose on the wire.
+type PoseWire struct {
+	X   float64   `json:"x"`
+	Y   float64   `json:"y"`
+	Rho []float64 `json:"rho"`
+}
+
+// SilhouetteWire is one segmented frame on the wire. Mask is bit-packed
+// row-major, MSB first within each byte; area/centroid/bbox are rederived
+// from the mask on decode, so they cannot drift from it.
+type SilhouetteWire struct {
+	Frame int    `json:"frame"`
+	W     int    `json:"w"`
+	H     int    `json:"h"`
+	Mask  []byte `json:"mask"`
+}
+
+// DimensionsWire carries the calibrated stick dimensions on the wire.
+type DimensionsWire struct {
+	Length []float64 `json:"length"`
+	Thick  []float64 `json:"thick"`
+}
+
+// ConfigFingerprint renders the analyzer configuration deterministically.
+// The config tree is plain data (ints, floats, bools, fixed arrays), so the
+// formatted form is stable and any config change — a different threshold, a
+// different GA budget — changes the fingerprint and therefore every cache
+// key derived from it.
+func ConfigFingerprint(cfg core.Config) string {
+	return fmt.Sprintf("%+v", cfg)
+}
+
+// RequestKey computes the content address of one analysis request: the
+// SHA-256 over the config fingerprint, the stage selection, the
+// response-shaping options, the manual first-frame pose and every input
+// artifact — frames, and for mid-pipeline entry the silhouettes, poses,
+// dimensions and background. Identical requests under identical
+// configuration hash to the same key; any difference — one pixel, one
+// config field, a different stage range, a different pose value — yields a
+// different key. It is both the result-cache key and the remote
+// dispatcher's ring placement key, so artifact-bearing (frame-less)
+// requests must be covered too: two tracking..scoring re-scores over
+// different poses may never collide.
+func RequestKey(cfgFP string, req core.Request) cache.Key {
+	k := cache.NewKeyer()
+	k.WriteString("slj-analysis-response/v2")
+	k.WriteString(cfgFP)
+	k.WriteString(req.Stages.Normalize().String())
+	k.WriteBool(req.IncludePoses)
+	k.WriteBool(req.IncludeSilhouettes)
+	writePose := func(p stickmodel.Pose) {
+		k.WriteFloat(p.X)
+		k.WriteFloat(p.Y)
+		for _, rho := range p.Rho {
+			k.WriteFloat(rho)
+		}
+	}
+	writePose(req.ManualFirst)
+	buf := make([]byte, 0, 1<<16)
+	writeImage := func(f *imaging.Image) {
+		k.WriteInt(f.W)
+		k.WriteInt(f.H)
+		buf = buf[:0]
+		for _, px := range f.Pix {
+			buf = append(buf, px.R, px.G, px.B)
+		}
+		k.WriteBytes(buf)
+	}
+	k.WriteInt(len(req.Frames))
+	for _, f := range req.Frames {
+		writeImage(f)
+	}
+	k.WriteInt(len(req.Silhouettes))
+	for _, s := range req.Silhouettes {
+		k.WriteInt(s.Frame)
+		k.WriteInt(s.Mask.W)
+		k.WriteInt(s.Mask.H)
+		k.WriteBytes(PackMask(s.Mask))
+	}
+	k.WriteInt(len(req.Poses))
+	for _, p := range req.Poses {
+		writePose(p)
+	}
+	for i := range req.Dimensions.Length {
+		k.WriteFloat(req.Dimensions.Length[i])
+		k.WriteFloat(req.Dimensions.Thick[i])
+	}
+	k.WriteBool(req.Background != nil)
+	if req.Background != nil {
+		writeImage(req.Background)
+	}
+	return k.Sum()
+}
+
+// NewAnalysisPayload encodes a staged analysis request into a serializable
+// payload, stamping the submitting config fingerprint and the request's
+// cache key. The encoding is lossless: AnalysisRequest reconstructs a
+// request whose analysis — and cache key — are identical.
+func NewAnalysisPayload(cfgFP string, req core.Request) (Payload, error) {
+	if err := req.Stages.Validate(); err != nil {
+		return Payload{}, err
+	}
+	p := Payload{
+		Kind:               KindAnalysis,
+		ConfigFP:           cfgFP,
+		CacheKey:           RequestKey(cfgFP, req).String(),
+		IncludePoses:       req.IncludePoses,
+		IncludeSilhouettes: req.IncludeSilhouettes,
+	}
+	if !req.Stages.Normalize().IsFull() {
+		p.Stages = req.Stages.String()
+	}
+	if req.ManualFirst != (stickmodel.Pose{}) {
+		p.Manual = encodePose(req.ManualFirst)
+	}
+	for _, f := range req.Frames {
+		p.Frames = append(p.Frames, encodeFrame(f))
+	}
+	for _, s := range req.Silhouettes {
+		p.Silhouettes = append(p.Silhouettes, SilhouetteWire{
+			Frame: s.Frame, W: s.Mask.W, H: s.Mask.H, Mask: PackMask(s.Mask),
+		})
+	}
+	if req.Background != nil {
+		bg := encodeFrame(req.Background)
+		p.Background = &bg
+	}
+	for _, pose := range req.Poses {
+		p.Poses = append(p.Poses, *encodePose(pose))
+	}
+	if req.Dimensions != (stickmodel.Dimensions{}) {
+		p.Dimensions = &DimensionsWire{
+			Length: append([]float64(nil), req.Dimensions.Length[:]...),
+			Thick:  append([]float64(nil), req.Dimensions.Thick[:]...),
+		}
+	}
+	p.decoded = &req
+	return p, nil
+}
+
+// AnalysisRequest decodes the payload back into a staged analysis request.
+// The round trip is exact: frames, poses and masks reconstruct bit- and
+// float-identically, so the decoded request's cache key equals CacheKey.
+// Payloads that never left the process return the submitter's original
+// request without a decode copy.
+func (p Payload) AnalysisRequest() (core.Request, error) {
+	if p.Kind != KindAnalysis {
+		return core.Request{}, fmt.Errorf("jobs: payload kind %q is not %s", p.Kind, KindAnalysis)
+	}
+	if p.decoded != nil {
+		return *p.decoded, nil
+	}
+	sel, err := core.ParseStageSelection(p.Stages)
+	if err != nil {
+		return core.Request{}, err
+	}
+	req := core.Request{
+		Stages:             sel,
+		IncludePoses:       p.IncludePoses,
+		IncludeSilhouettes: p.IncludeSilhouettes,
+	}
+	if p.Manual != nil {
+		pose, err := decodePose(*p.Manual)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("jobs: manual pose: %w", err)
+		}
+		req.ManualFirst = pose
+	}
+	for i, f := range p.Frames {
+		img, err := decodeFrame(f)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("jobs: frame %d: %w", i, err)
+		}
+		req.Frames = append(req.Frames, img)
+	}
+	for i, s := range p.Silhouettes {
+		mask, err := UnpackMask(s.W, s.H, s.Mask)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("jobs: silhouette %d: %w", i, err)
+		}
+		req.Silhouettes = append(req.Silhouettes, segmentation.NewSilhouette(s.Frame, mask))
+	}
+	if p.Background != nil {
+		bg, err := decodeFrame(*p.Background)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("jobs: background: %w", err)
+		}
+		req.Background = bg
+	}
+	for i, pw := range p.Poses {
+		pose, err := decodePose(pw)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("jobs: pose %d: %w", i, err)
+		}
+		req.Poses = append(req.Poses, pose)
+	}
+	if p.Dimensions != nil {
+		if len(p.Dimensions.Length) != stickmodel.NumSticks || len(p.Dimensions.Thick) != stickmodel.NumSticks {
+			return core.Request{}, fmt.Errorf("jobs: dimensions need %d sticks", stickmodel.NumSticks)
+		}
+		copy(req.Dimensions.Length[:], p.Dimensions.Length)
+		copy(req.Dimensions.Thick[:], p.Dimensions.Thick)
+	}
+	return req, nil
+}
+
+// Key parses the payload's cache key. ok is false when the payload carries
+// none (or a corrupt one).
+func (p Payload) Key() (cache.Key, bool) {
+	return cache.ParseKey(p.CacheKey)
+}
+
+func encodePose(pose stickmodel.Pose) *PoseWire {
+	return &PoseWire{X: pose.X, Y: pose.Y, Rho: append([]float64(nil), pose.Rho[:]...)}
+}
+
+func decodePose(pw PoseWire) (stickmodel.Pose, error) {
+	if len(pw.Rho) != stickmodel.NumSticks {
+		return stickmodel.Pose{}, fmt.Errorf("pose needs %d angles, got %d", stickmodel.NumSticks, len(pw.Rho))
+	}
+	pose := stickmodel.Pose{X: pw.X, Y: pw.Y}
+	copy(pose.Rho[:], pw.Rho)
+	return pose, nil
+}
+
+func encodeFrame(img *imaging.Image) FrameWire {
+	rgb := make([]byte, 0, 3*len(img.Pix))
+	for _, px := range img.Pix {
+		rgb = append(rgb, px.R, px.G, px.B)
+	}
+	return FrameWire{W: img.W, H: img.H, RGB: rgb}
+}
+
+func decodeFrame(f FrameWire) (*imaging.Image, error) {
+	if f.W <= 0 || f.H <= 0 {
+		return nil, fmt.Errorf("invalid size %dx%d", f.W, f.H)
+	}
+	if len(f.RGB) != 3*f.W*f.H {
+		return nil, fmt.Errorf("rgb payload is %d bytes, want %d", len(f.RGB), 3*f.W*f.H)
+	}
+	img := imaging.NewImage(f.W, f.H)
+	for i := range img.Pix {
+		img.Pix[i] = imaging.Color{R: f.RGB[3*i], G: f.RGB[3*i+1], B: f.RGB[3*i+2]}
+	}
+	return img, nil
+}
+
+// PackMask bit-packs a mask row-major, MSB first within each byte — the
+// same layout the web service's mask_b64 response field uses.
+func PackMask(m *imaging.Mask) []byte {
+	packed := make([]byte, (len(m.Bits)+7)/8)
+	for i, b := range m.Bits {
+		if b {
+			packed[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return packed
+}
+
+// UnpackMask reverses PackMask.
+func UnpackMask(w, h int, packed []byte) (*imaging.Mask, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("invalid size %dx%d", w, h)
+	}
+	if len(packed) != (w*h+7)/8 {
+		return nil, fmt.Errorf("mask payload is %d bytes, want %d", len(packed), (w*h+7)/8)
+	}
+	m := imaging.NewMask(w, h)
+	for i := range m.Bits {
+		m.Bits[i] = packed[i/8]&(1<<(7-i%8)) != 0
+	}
+	return m, nil
+}
+
+// errNoExecutor rejects Manager construction without an executor.
+var errNoExecutor = errors.New("jobs: nil executor")

@@ -1,49 +1,22 @@
 package server
 
 import (
-	"fmt"
-
 	"github.com/sljmotion/sljmotion/internal/cache"
 	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/jobs"
 )
 
 // configFingerprint renders the analyzer configuration deterministically.
-// The config tree is plain data (ints, floats, bools, fixed arrays), so the
-// formatted form is stable and any config change — a different threshold, a
-// different GA budget — changes the fingerprint and therefore every cache
-// key derived from it.
+// The canonical implementation lives in internal/jobs so payloads, the
+// remote dispatcher and the server all fingerprint configs identically.
 func configFingerprint(cfg core.Config) string {
-	return fmt.Sprintf("%+v", cfg)
+	return jobs.ConfigFingerprint(cfg)
 }
 
-// requestKey computes the content address of one analysis request: the
-// SHA-256 over the config fingerprint, the stage selection, the
-// response-shaping options, the manual first-frame pose and the raw bytes
-// of every frame. Identical clips under identical configuration hash to
-// the same key; any difference — one pixel, one config field, a different
-// stage range, a different response shape — yields a different key.
+// requestKey computes the content address of one analysis request. It is
+// jobs.RequestKey: the same key addresses the result cache here, places the
+// payload on the remote dispatcher's hash ring, and is recomputed by worker
+// nodes — one identity end to end.
 func requestKey(cfgFP string, req core.Request) cache.Key {
-	k := cache.NewKeyer()
-	k.WriteString("slj-analysis-response/v1")
-	k.WriteString(cfgFP)
-	k.WriteString(req.Stages.Normalize().String())
-	k.WriteBool(req.IncludePoses)
-	k.WriteBool(req.IncludeSilhouettes)
-	k.WriteFloat(req.ManualFirst.X)
-	k.WriteFloat(req.ManualFirst.Y)
-	for _, rho := range req.ManualFirst.Rho {
-		k.WriteFloat(rho)
-	}
-	k.WriteInt(len(req.Frames))
-	buf := make([]byte, 0, 1<<16)
-	for _, f := range req.Frames {
-		k.WriteInt(f.W)
-		k.WriteInt(f.H)
-		buf = buf[:0]
-		for _, px := range f.Pix {
-			buf = append(buf, px.R, px.G, px.B)
-		}
-		k.WriteBytes(buf)
-	}
-	return k.Sum()
+	return jobs.RequestKey(cfgFP, req)
 }

@@ -44,6 +44,7 @@ import (
 	"mime/multipart"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -112,9 +113,13 @@ type SilhouetteOut struct {
 	Mask  string `json:"mask_b64"`
 }
 
-// errorResponse is the JSON error envelope shared by every route.
+// errorResponse is the JSON error envelope shared by every route. State is
+// set only where a job lifecycle state disambiguates the error (the result
+// route of a failed job reports state "failed"); everywhere else it is
+// omitted and the envelope is unchanged.
 type errorResponse struct {
 	Error string `json:"error"`
+	State string `json:"state,omitempty"`
 }
 
 // Options configure the asynchronous job path and the result cache.
@@ -132,9 +137,15 @@ type Options struct {
 	// CacheTTL expires cached responses this long after they are stored.
 	CacheTTL time.Duration
 	// Dispatcher overrides the in-process worker pool with an external job
-	// backend. When set, Workers/QueueSize/ResultTTL are ignored; on
-	// successful construction the server takes ownership of closing it.
+	// backend (e.g. the remote HTTP fan-out dispatcher). When set,
+	// Workers/QueueSize/ResultTTL are ignored; on successful construction
+	// the server takes ownership of closing it.
 	Dispatcher jobs.Dispatcher
+	// Worker additionally mounts the worker-node intake route
+	// (POST /v1/worker/jobs): serialized job payloads in, the standard
+	// submit/poll lifecycle out. Front ends fanning work out via a remote
+	// dispatcher point it at nodes running with this enabled.
+	Worker bool
 }
 
 // DefaultOptions returns a small-deployment default (jobs.DefaultConfig
@@ -155,13 +166,15 @@ type Server struct {
 	logger *log.Logger
 	jobs   jobs.Dispatcher
 	cache  *cache.Store // nil when caching is disabled
+	worker bool         // mounts the payload intake route
 
 	mu       sync.Mutex
 	analyzed int // clips analysed since start, served by /healthz
 
-	// testTask, when set, replaces the analysis task built for POST /jobs —
-	// a white-box seam for deterministic queue tests.
-	testTask jobs.Task
+	// testExec, when set, replaces the analysis executor behind POST /jobs
+	// (and makes the route skip upload parsing) — a white-box seam for
+	// deterministic queue tests.
+	testExec jobs.Executor
 }
 
 // New builds a server with DefaultOptions; logger may be nil for silent
@@ -190,13 +203,29 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 			return nil, err
 		}
 	}
+	s := &Server{
+		cfg:    cfg,
+		cfgFP:  configFingerprint(cfg),
+		logger: logger,
+		cache:  store,
+		worker: opts.Worker,
+	}
 	dispatcher := opts.Dispatcher
 	if dispatcher == nil {
+		// The manager executes payloads through the server's analysis
+		// executor (decode → run → cache → response document); the test
+		// seam can shadow it per instance.
+		exec := jobs.ExecutorFunc(func(ctx context.Context, p jobs.Payload, progress func(string)) (any, error) {
+			if s.testExec != nil {
+				return s.testExec.Execute(ctx, p, progress)
+			}
+			return s.executeAnalysis(ctx, p, progress)
+		})
 		mgr, err := jobs.New(jobs.Config{
 			Workers:   opts.Workers,
 			QueueSize: opts.QueueSize,
 			ResultTTL: opts.ResultTTL,
-		})
+		}, exec)
 		if err != nil {
 			if store != nil {
 				store.Close()
@@ -205,13 +234,8 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 		}
 		dispatcher = mgr
 	}
-	return &Server{
-		cfg:    cfg,
-		cfgFP:  configFingerprint(cfg),
-		logger: logger,
-		jobs:   dispatcher,
-		cache:  store,
-	}, nil
+	s.jobs = dispatcher
+	return s, nil
 }
 
 // Close shuts the job dispatcher down (see jobs.Manager.Close for the
@@ -236,6 +260,11 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(prefix+"/metrics", method(http.MethodGet, s.handleMetrics))
 		mux.HandleFunc(prefix+"/rules", method(http.MethodGet, s.handleRules))
 		mux.HandleFunc(prefix+"/healthz", method(http.MethodGet, s.handleHealth))
+	}
+	if s.worker {
+		// The worker intake is a machine protocol, versioned-only: no
+		// legacy alias, serialized payloads instead of multipart uploads.
+		mux.HandleFunc("/v1/worker/jobs", method(http.MethodPost, s.handleWorkerJobs))
 	}
 	return mux
 }
@@ -300,12 +329,20 @@ func (s *Server) lookup(req core.Request) (cache.Key, *AnalysisResponse) {
 		return cache.Key{}, nil
 	}
 	key := requestKey(s.cfgFP, req)
+	return key, s.cachedResponse(key)
+}
+
+// cachedResponse consults the store under an already-computed key.
+func (s *Server) cachedResponse(key cache.Key) *AnalysisResponse {
+	if s.cache == nil {
+		return nil
+	}
 	if v, ok := s.cache.Get(key); ok {
 		if resp, ok := v.(*AnalysisResponse); ok {
-			return key, resp
+			return resp
 		}
 	}
-	return key, nil
+	return nil
 }
 
 // store caches a finished response under its request key.
@@ -367,30 +404,45 @@ type submitResponse struct {
 }
 
 // handleJobs accepts the same multipart clip upload as /v1/analyze but runs
-// it asynchronously: the reply is 202 Accepted with the job id and poll
-// URLs. A cached identical clip is answered 200 with the stored
-// AnalysisResponse — no job is enqueued. A full queue answers 503 with
-// Retry-After — the client should back off and resubmit.
+// it asynchronously: the upload is encoded into a serializable job payload
+// and submitted to the configured dispatcher (the in-process worker pool,
+// or a remote fan-out over worker nodes); the reply is 202 Accepted with
+// the job id and poll URLs. A cached identical clip is answered 200 with
+// the stored AnalysisResponse — no job is enqueued. A saturated backend
+// answers 503 with Retry-After — the client should back off and resubmit.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	task := s.testTask
-	if task == nil {
+	var payload jobs.Payload
+	if s.testExec == nil {
 		req, ok := requestFromHTTP(w, r)
 		if !ok {
 			return
 		}
-		key, cached := s.lookup(req)
-		if cached != nil {
-			writeJSON(w, http.StatusOK, cached)
-			s.logger.Printf("jobs: cache hit %s", key)
+		p, err := jobs.NewAnalysisPayload(s.cfgFP, req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		task = s.analysisTask(req, key)
+		if key, ok := p.Key(); ok {
+			if cached := s.cachedResponse(key); cached != nil {
+				writeJSON(w, http.StatusOK, cached)
+				s.logger.Printf("jobs: cache hit %s", key)
+				return
+			}
+		}
+		payload = p
 	}
+	s.submitPayload(w, r, payload)
+}
 
-	id, err := s.jobs.Submit(task)
+// submitPayload pushes one payload into the dispatcher and answers the
+// submit/backpressure protocol shared by the upload and worker routes.
+func (s *Server) submitPayload(w http.ResponseWriter, r *http.Request, p jobs.Payload) {
+	id, err := s.jobs.Submit(p)
 	switch {
 	case jobs.Retryable(err):
-		w.Header().Set("Retry-After", "1")
+		// Propagate the backend's retry hint (a remote dispatcher carries
+		// the worker node's Retry-After through); default to 1s.
+		w.Header().Set("Retry-After", strconv.Itoa(jobs.RetryAfterHint(err, 1)))
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:
@@ -410,28 +462,36 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// analysisTask wraps one staged analysis as an asynchronous job: it reports
-// pipeline stages as progress, stores the finished response in the result
-// cache, and returns the same AnalysisResponse the synchronous path builds.
-func (s *Server) analysisTask(req core.Request, key cache.Key) jobs.Task {
-	return func(ctx context.Context, progress func(string)) (any, error) {
-		analyzer, err := core.New(s.cfg)
-		if err != nil {
-			return nil, err
-		}
-		result, err := analyzer.Run(ctx, req, func(st core.Stage) {
-			progress(string(st))
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.mu.Lock()
-		s.analyzed++
-		s.mu.Unlock()
-		resp := buildResponse(result, len(req.Frames), req)
-		s.store(key, resp)
-		return resp, nil
+// executeAnalysis is the server's jobs.Executor: it decodes one payload
+// back into a staged request, runs the pipeline reporting stages as
+// progress, stores the finished response in the result cache, and returns
+// the same AnalysisResponse the synchronous path builds.
+func (s *Server) executeAnalysis(ctx context.Context, p jobs.Payload, progress func(string)) (any, error) {
+	req, err := p.AnalysisRequest()
+	if err != nil {
+		return nil, err
 	}
+	// Always re-address the decoded request under this server's own config
+	// fingerprint: the stamped CacheKey is a routing hint, and trusting it
+	// for storage would let a mislabelled payload poison the result cache
+	// (one SHA-256 pass is trivial next to the pipeline).
+	key := requestKey(s.cfgFP, req)
+	analyzer, err := core.New(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	result, err := analyzer.Run(ctx, req, func(st core.Stage) {
+		progress(string(st))
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.analyzed++
+	s.mu.Unlock()
+	resp := buildResponse(result, len(req.Frames), req)
+	s.store(key, resp)
+	return resp, nil
 }
 
 // handleJobPath routes GET /v1/jobs/{id} (status) and /v1/jobs/{id}/result,
@@ -456,11 +516,16 @@ func (s *Server) handleJobPath(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) writeJobStatus(w http.ResponseWriter, id string) {
 	st, err := s.jobs.Status(id)
-	if errors.Is(err, jobs.ErrNotFound) {
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
 		writeError(w, http.StatusNotFound, err.Error())
-		return
+	case err != nil:
+		// A remote backend can fail in ways the in-process manager cannot
+		// (e.g. a lost worker node); surface those instead of a zero doc.
+		writeError(w, http.StatusBadGateway, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, st)
 	}
-	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) writeJobResult(w http.ResponseWriter, id string) {
@@ -477,7 +542,14 @@ func (s *Server) writeJobResult(w http.ResponseWriter, id string) {
 		}
 		writeJSON(w, http.StatusAccepted, st)
 	case err != nil:
-		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("analysis failed: %v", err))
+		// A failed job answers the shared error envelope carrying the
+		// job's own error string plus the machine-readable terminal state,
+		// so clients can distinguish "analysis failed" from transport
+		// problems without parsing prose.
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error: fmt.Sprintf("analysis failed: %v", err),
+			State: string(jobs.StateFailed),
+		})
 	default:
 		writeJSON(w, http.StatusOK, val)
 	}

@@ -343,7 +343,7 @@ func TestMetricsEndpoint(t *testing.T) {
 func TestJobsBackpressureHTTP(t *testing.T) {
 	s := fastServerWithOptions(t, Options{Workers: 1, QueueSize: 1, ResultTTL: time.Minute})
 	release := make(chan struct{})
-	s.testTask = func(ctx context.Context, progress func(string)) (any, error) {
+	s.testExec = jobs.ExecutorFunc(func(ctx context.Context, p jobs.Payload, progress func(string)) (any, error) {
 		progress("pose")
 		select {
 		case <-release:
@@ -351,7 +351,7 @@ func TestJobsBackpressureHTTP(t *testing.T) {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-	}
+	})
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 	defer close(release)

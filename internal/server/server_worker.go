@@ -1,0 +1,67 @@
+// Worker-node intake: the HTTP half of the remote dispatch protocol.
+//
+// A front end running the fan-out dispatcher (internal/dispatch) does not
+// re-upload multipart clips to worker nodes — it posts the serialized
+// jobs.Payload it already built, and the worker node (slj-serve -worker)
+// runs it through the exact same submit/poll lifecycle the front end would
+// have used in-process:
+//
+//	POST /v1/worker/jobs   body: jobs.Payload JSON
+//	  → 200 + AnalysisResponse   when the node's result cache already
+//	                             holds the answer (X-SLJ-Cache: hit);
+//	  → 202 + submit document    otherwise; poll GET /v1/jobs/{id} and
+//	                             fetch GET /v1/jobs/{id}/result as usual;
+//	  → 503 + Retry-After        on queue backpressure.
+//
+// Because the worker executes the payload through the same executor and
+// response builder as the front end, the result document is byte-identical
+// to the in-process path.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/sljmotion/sljmotion/internal/jobs"
+)
+
+// CacheHeader marks worker responses served from the node's result cache.
+const CacheHeader = "X-SLJ-Cache"
+
+// maxPayloadBytes bounds one payload upload. A clip that fits the
+// front end's MaxUploadBytes grows ~4/3 under the payload's base64 frame
+// encoding (plus JSON overhead), so the intake allows double the raw cap —
+// anything the front accepted must also fit here.
+const maxPayloadBytes = 2 * MaxUploadBytes
+
+// handleWorkerJobs accepts one serialized job payload from a remote
+// dispatcher.
+func (s *Server) handleWorkerJobs(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxPayloadBytes)
+	var p jobs.Payload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode payload: %v", err))
+		return
+	}
+	req, err := p.AnalysisRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Consult the node's own result cache under the node's own config
+	// fingerprint — a hash-routed resubmission of an identical clip is
+	// answered here without enqueueing anything.
+	key, cached := s.lookup(req)
+	if cached != nil {
+		w.Header().Set(CacheHeader, "hit")
+		writeJSON(w, http.StatusOK, cached)
+		s.logger.Printf("worker: cache hit %s", key)
+		return
+	}
+	if err := req.Validate(s.cfg.Windows); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.submitPayload(w, r, p)
+}

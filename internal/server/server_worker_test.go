@@ -1,0 +1,352 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/clipio"
+	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/jobs"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+// workerServer builds a fast server with the worker intake mounted.
+func workerServer(t *testing.T) *Server {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Worker = true
+	return fastServerWithOptions(t, opts)
+}
+
+// segmentationPayload encodes a segmentation-only request for the synthetic
+// clip under the server's own config fingerprint.
+func segmentationPayload(t *testing.T, s *Server, v *synth.Video) jobs.Payload {
+	t.Helper()
+	req := core.Request{
+		Frames:             v.Frames,
+		ManualFirst:        v.ManualAnnotation(synth.DefaultAnnotationError(), 1),
+		Stages:             core.OnlyStage(core.StageSegmentation),
+		IncludeSilhouettes: true,
+	}
+	p, err := jobs.NewAnalysisPayload(s.cfgFP, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestWorkerIntakeRoundTrip drives the worker protocol directly: a payload
+// posted to /v1/worker/jobs runs through the standard lifecycle and yields
+// the same response document the multipart /v1/analyze path builds; the
+// identical resubmission is answered from the node's cache.
+func TestWorkerIntakeRoundTrip(t *testing.T) {
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := workerServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Reference: the multipart synchronous path. The truth file is written
+	// with full float precision so the parsed manual pose — and therefore
+	// the cache key — matches the payload's exactly.
+	body, ctype := exactClipUpload(t, v)
+	sresp, err := http.Post(srv.URL+"/v1/analyze", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRaw, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("reference status %d: %s", sresp.StatusCode, refRaw)
+	}
+
+	// The same request as a serialized payload. The reference run already
+	// cached the response, so the worker answers 200 from its cache.
+	p := segmentationPayload(t, s, v)
+	raw, _ := json.Marshal(p)
+	wresp, err := http.Post(srv.URL+"/v1/worker/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitRaw, _ := io.ReadAll(wresp.Body)
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("cached intake status %d: %s", wresp.StatusCode, hitRaw)
+	}
+	if wresp.Header.Get(CacheHeader) != "hit" {
+		t.Errorf("cache hit must set %s", CacheHeader)
+	}
+	if !bytes.Equal(hitRaw, refRaw) {
+		t.Errorf("cached worker response differs from /v1/analyze:\n%s\nvs\n%s", hitRaw, refRaw)
+	}
+
+	// A fresh server (cold cache) enqueues the payload as a normal job.
+	s2 := workerServer(t)
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	w2, err := http.Post(srv2.URL+"/v1/worker/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(w2.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	w2.Body.Close()
+	if w2.StatusCode != http.StatusAccepted {
+		t.Fatalf("cold intake status %d", w2.StatusCode)
+	}
+	waitState(t, srv2.URL, sub.ID, string(jobs.StateDone))
+	rresp, err := http.Get(srv2.URL + sub.ResultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobRaw, _ := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d: %s", rresp.StatusCode, jobRaw)
+	}
+	if !bytes.Equal(jobRaw, refRaw) {
+		t.Errorf("worker job result differs from /v1/analyze:\n%s\nvs\n%s", jobRaw, refRaw)
+	}
+}
+
+// exactClipUpload is clipUploadStaged (stages=segmentation, silhouettes=1)
+// with the manual pose written at full float precision, so the server-side
+// parse reconstructs the exact ManualAnnotation floats.
+func exactClipUpload(t *testing.T, v *synth.Video) (*bytes.Buffer, string) {
+	t.Helper()
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 1)
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for k, f := range v.Frames {
+		fw, err := mw.CreateFormFile("frames", clipio.FrameName(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := imaging.EncodePPM(fw, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw, err := mw.CreateFormFile("truth", "truth.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	io.WriteString(fw, "0 "+g(manual.X)+" "+g(manual.Y))
+	for l := 0; l < 8; l++ {
+		io.WriteString(fw, " "+g(manual.Rho[l]))
+	}
+	io.WriteString(fw, "\n")
+	for _, field := range [][2]string{{"stages", "segmentation"}, {"silhouettes", "1"}} {
+		if err := mw.WriteField(field[0], field[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	return &body, mw.FormDataContentType()
+}
+
+// TestWorkerIntakeIgnoresStampedKey pins the poisoning defence: the
+// payload's CacheKey is a routing hint, and the worker stores results only
+// under the key it recomputes from the decoded request — a forged stamp
+// must never plant one request's result under another's address.
+func TestWorkerIntakeIgnoresStampedKey(t *testing.T) {
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := workerServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Victim request B: same clip, different response shape → its own key.
+	reqB := core.Request{
+		Frames:       v.Frames,
+		ManualFirst:  v.ManualAnnotation(synth.DefaultAnnotationError(), 1),
+		Stages:       core.OnlyStage(core.StageSegmentation),
+		IncludePoses: true,
+	}
+	keyB := jobs.RequestKey(s.cfgFP, reqB).String()
+
+	// Attacker payload: request A's content stamped with B's key.
+	forged := segmentationPayload(t, s, v)
+	honestKey := forged.CacheKey
+	forged.CacheKey = keyB
+	raw, _ := json.Marshal(forged)
+	resp, err := http.Post(srv.URL+"/v1/worker/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forged submit status %d", resp.StatusCode)
+	}
+	waitState(t, srv.URL, sub.ID, string(jobs.StateDone))
+
+	// B's honest submission must MISS — the forged run must not have been
+	// stored under B's key.
+	pB, err := jobs.NewAnalysisPayload(s.cfgFP, reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, _ := json.Marshal(pB)
+	respB, err := http.Post(srv.URL+"/v1/worker/jobs", "application/json", bytes.NewReader(rawB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respB.Body.Close()
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("victim request was answered from a poisoned cache: status %d", respB.StatusCode)
+	}
+
+	// And the forged run was stored under its *recomputed* (honest) key: an
+	// honest resubmission of A hits.
+	honest := segmentationPayload(t, s, v)
+	if honest.CacheKey != honestKey {
+		t.Fatalf("test setup: honest key drifted")
+	}
+	rawA, _ := json.Marshal(honest)
+	respA, err := http.Post(srv.URL+"/v1/worker/jobs", "application/json", bytes.NewReader(rawA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respA.Body.Close()
+	if respA.StatusCode != http.StatusOK {
+		t.Errorf("honest resubmission should hit the recomputed key: status %d", respA.StatusCode)
+	}
+}
+
+func TestWorkerIntakeRejectsGarbage(t *testing.T) {
+	s := workerServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Not JSON at all.
+	resp, err := http.Post(srv.URL+"/v1/worker/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage payload status %d, want 400", resp.StatusCode)
+	}
+
+	// Wrong kind.
+	raw, _ := json.Marshal(jobs.Payload{Kind: "bogus/v9"})
+	resp, err = http.Post(srv.URL+"/v1/worker/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus kind status %d, want 400", resp.StatusCode)
+	}
+
+	// A structurally valid payload whose request is unrunnable (no frames).
+	raw, _ = json.Marshal(jobs.Payload{Kind: jobs.KindAnalysis})
+	resp, err = http.Post(srv.URL+"/v1/worker/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("frameless payload status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestWorkerIntakeDisabledByDefault(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/worker/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("non-worker server must not expose the intake: status %d", resp.StatusCode)
+	}
+}
+
+// TestFailedJobResultEnvelope pins the failed-job contract of
+// GET /v1/jobs/{id}/result and its legacy alias: 422, the shared JSON
+// error envelope carrying the job's error string, and the machine-readable
+// state field set to "failed".
+func TestFailedJobResultEnvelope(t *testing.T) {
+	s := fastServerWithOptions(t, Options{Workers: 1, QueueSize: 2, ResultTTL: time.Minute})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// A tiny all-black clip fails calibration deterministically and fast.
+	var body bytes.Buffer
+	mw, img := multipart.NewWriter(&body), imaging.NewImage(8, 8)
+	for k := 0; k < 2; k++ {
+		fw, err := mw.CreateFormFile("frames", clipio.FrameName(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := imaging.EncodePPM(fw, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw, err := mw.CreateFormFile("truth", "truth.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(fw, "0 4 4 0 0 180 180 0 180 180 90\n")
+	mw.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	st := waitState(t, srv.URL, sub.ID, string(jobs.StateFailed))
+	if st.Err == "" {
+		t.Fatal("failed status must carry the job error")
+	}
+
+	for _, path := range []string{"/v1/jobs/" + sub.ID + "/result", "/jobs/" + sub.ID + "/result"} {
+		rresp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(rresp.Body)
+		rresp.Body.Close()
+		if rresp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422", path, rresp.StatusCode)
+		}
+		var env errorResponse
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Fatalf("%s: body is not the error envelope: %s", path, raw)
+		}
+		if env.State != string(jobs.StateFailed) {
+			t.Errorf("%s: state = %q, want %q", path, env.State, jobs.StateFailed)
+		}
+		if !strings.Contains(env.Error, st.Err) {
+			t.Errorf("%s: envelope %q must carry the job error %q", path, env.Error, st.Err)
+		}
+	}
+}

@@ -51,10 +51,13 @@ package sljmotion
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/dispatch"
 	"github.com/sljmotion/sljmotion/internal/imaging"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/metrics"
@@ -225,7 +228,7 @@ func SelectStages(first, last PipelineStage) StageSelection { return core.Select
 // inclusive range "first..last" ("tracking..scoring").
 func ParseStageSelection(s string) (StageSelection, error) { return core.ParseStageSelection(s) }
 
-// Re-exported asynchronous job types (internal/jobs; DESIGN.md §8).
+// Re-exported asynchronous job types (internal/jobs; DESIGN.md §8, §10).
 type (
 	// JobState is a job lifecycle state: queued, running, done, failed.
 	JobState = jobs.State
@@ -233,10 +236,19 @@ type (
 	JobStatus = jobs.Status
 	// JobMetrics is a queue/throughput/latency snapshot.
 	JobMetrics = jobs.Metrics
+	// JobNodeMetrics is one worker node's counters inside a remote
+	// dispatcher's JobMetrics (DESIGN.md §10).
+	JobNodeMetrics = jobs.NodeMetrics
 	// JobDispatcher is the pluggable job backend: the in-process worker
-	// pool by default, a remote dispatcher later, with the submit/poll
-	// lifecycle unchanged (DESIGN.md §9).
+	// pool by default, or the remote HTTP fan-out dispatcher, with the
+	// submit/poll lifecycle unchanged (DESIGN.md §9-10).
 	JobDispatcher = jobs.Dispatcher
+	// JobPayload is one unit of asynchronous work as serializable data —
+	// what a JobQueue actually submits to its dispatcher (DESIGN.md §10).
+	JobPayload = jobs.Payload
+	// JobExecutor turns payloads into results; the Manager runs one
+	// locally, worker nodes run the same payloads remotely.
+	JobExecutor = jobs.Executor
 	// PipelineStage names one of the four analysis phases.
 	PipelineStage = core.Stage
 )
@@ -282,14 +294,15 @@ func DefaultJobQueueOptions() JobQueueOptions {
 	return JobQueueOptions{Workers: d.Workers, QueueSize: d.QueueSize, ResultTTL: d.ResultTTL}
 }
 
-// JobQueue runs analyses asynchronously: Submit enqueues an
-// AnalysisRequest into the configured dispatcher (by default a bounded
-// queue drained by an in-process worker pool), and the job is polled via
-// JobStatus / JobResult. It is the in-process equivalent of the web
-// service's POST /v1/jobs path (DESIGN.md §8-9).
+// JobQueue runs analyses asynchronously: Submit encodes an AnalysisRequest
+// into a serializable JobPayload and enqueues it into the configured
+// dispatcher (by default a bounded queue drained by an in-process worker
+// pool; optionally a remote fan-out over slj-serve worker nodes), and the
+// job is polled via JobStatus / JobResult. It is the in-process equivalent
+// of the web service's POST /v1/jobs path (DESIGN.md §8-10).
 type JobQueue struct {
 	mgr jobs.Dispatcher
-	an  *core.Analyzer
+	fp  string // config fingerprint stamped into payloads
 }
 
 // NewJobQueue builds an asynchronous analysis queue over the given analyzer
@@ -304,33 +317,59 @@ func NewJobQueue(cfg Config, opts JobQueueOptions) (*JobQueue, error) {
 		Workers:   opts.Workers,
 		QueueSize: opts.QueueSize,
 		ResultTTL: opts.ResultTTL,
-	})
+	}, jobs.ExecutorFunc(func(ctx context.Context, p JobPayload, progress func(string)) (any, error) {
+		req, err := p.AnalysisRequest()
+		if err != nil {
+			return nil, err
+		}
+		return an.Run(ctx, req, func(s core.Stage) {
+			progress(string(s))
+		})
+	}))
 	if err != nil {
 		return nil, err
 	}
-	return &JobQueue{mgr: mgr, an: an}, nil
+	return &JobQueue{mgr: mgr, fp: jobs.ConfigFingerprint(cfg)}, nil
 }
 
 // NewJobQueueWithDispatcher builds an asynchronous analysis queue over an
-// explicit job backend. On success the queue takes ownership of closing the
-// dispatcher; on error the caller still owns it.
+// explicit job backend — the dispatcher executes payloads itself, the
+// queue only encodes and routes them. On success the queue takes ownership
+// of closing the dispatcher; on error the caller still owns it.
 func NewJobQueueWithDispatcher(cfg Config, d JobDispatcher) (*JobQueue, error) {
-	an, err := core.New(cfg)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &JobQueue{mgr: d, fp: jobs.ConfigFingerprint(cfg)}, nil
+}
+
+// NewRemoteJobQueue builds an asynchronous analysis queue whose jobs fan
+// out over remote slj-serve worker nodes (started with -worker) instead of
+// an in-process pool: payloads are hash-routed by their cache key, so
+// identical clips land on the node that already cached their result. cfg
+// must match the worker nodes' configuration for the keys to line up.
+// Results arrive as the service's JSON documents — poll them with
+// JobResultJSON (DESIGN.md §10).
+func NewRemoteJobQueue(cfg Config, nodes []string) (*JobQueue, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := dispatch.New(dispatch.Config{Nodes: nodes})
 	if err != nil {
 		return nil, err
 	}
-	return &JobQueue{mgr: d, an: an}, nil
+	return &JobQueue{mgr: d, fp: jobs.ConfigFingerprint(cfg)}, nil
 }
 
-// Submit enqueues one staged analysis request and returns its job id
-// immediately. A full queue returns ErrQueueFull — retryable backpressure,
-// not failure.
+// Submit encodes one staged analysis request into a serializable payload
+// and enqueues it, returning the job id immediately. A full queue returns
+// ErrQueueFull — retryable backpressure, not failure.
 func (q *JobQueue) Submit(req AnalysisRequest) (string, error) {
-	return q.mgr.Submit(func(ctx context.Context, progress func(string)) (any, error) {
-		return q.an.Run(ctx, req, func(s core.Stage) {
-			progress(string(s))
-		})
-	})
+	p, err := jobs.NewAnalysisPayload(q.fp, req)
+	if err != nil {
+		return "", err
+	}
+	return q.mgr.Submit(p)
 }
 
 // SubmitJob enqueues one full-pipeline clip analysis: shorthand for Submit
@@ -343,7 +382,8 @@ func (q *JobQueue) SubmitJob(frames []*Image, manualFirst Pose) (string, error) 
 func (q *JobQueue) JobStatus(id string) (JobStatus, error) { return q.mgr.Status(id) }
 
 // JobResult returns the finished analysis: ErrJobNotFinished while the job
-// is queued or running, the analysis error if it failed.
+// is queued or running, the analysis error if it failed. Remote queues
+// produce JSON documents, not in-process Results — use JobResultJSON there.
 func (q *JobQueue) JobResult(id string) (*Result, error) {
 	val, err := q.mgr.Result(id)
 	if err != nil {
@@ -351,9 +391,27 @@ func (q *JobQueue) JobResult(id string) (*Result, error) {
 	}
 	res, ok := val.(*Result)
 	if !ok {
+		if _, isJSON := val.(json.RawMessage); isJSON {
+			return nil, errors.New("sljmotion: remote job results are JSON documents; use JobResultJSON")
+		}
 		return nil, fmt.Errorf("sljmotion: unexpected job result type %T", val)
 	}
 	return res, nil
+}
+
+// JobResultJSON returns the finished analysis as the web service's JSON
+// document (AnalysisResponse). It is how results of a remote job queue are
+// read; in-process queues hold Results instead — use JobResult there.
+func (q *JobQueue) JobResultJSON(id string) ([]byte, error) {
+	val, err := q.mgr.Result(id)
+	if err != nil {
+		return nil, err
+	}
+	raw, ok := val.(json.RawMessage)
+	if !ok {
+		return nil, fmt.Errorf("sljmotion: job result is %T, not a JSON document; use JobResult", val)
+	}
+	return raw, nil
 }
 
 // JobMetrics snapshots queue depth, throughput counters and latency stats.

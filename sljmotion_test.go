@@ -2,11 +2,14 @@ package sljmotion_test
 
 import (
 	"context"
+	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/sljmotion/sljmotion"
+	"github.com/sljmotion/sljmotion/internal/server"
 )
 
 func TestPublicAPIEndToEnd(t *testing.T) {
@@ -192,6 +195,87 @@ func TestPublicRequestAPI(t *testing.T) {
 	}
 	if !sljmotion.AllStages().IsFull() {
 		t.Error("AllStages must be the full pipeline")
+	}
+}
+
+// TestPublicRemoteJobQueue fans a cheap staged request out over two real
+// worker nodes through the public remote constructor: submit → hash-route →
+// poll → JSON document, all from the library surface.
+func TestPublicRemoteJobQueue(t *testing.T) {
+	video, err := sljmotion.GenerateSyntheticJump(sljmotion.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var nodes []string
+	for i := 0; i < 2; i++ {
+		opts := server.DefaultOptions()
+		opts.Worker = true
+		s, err := server.NewWithOptions(sljmotion.DefaultConfig(), nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			hs.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = s.Close(ctx)
+		})
+		nodes = append(nodes, hs.URL)
+	}
+
+	q, err := sljmotion.NewRemoteJobQueue(sljmotion.DefaultConfig(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close(context.Background())
+
+	id, err := q.Submit(sljmotion.AnalysisRequest{
+		Poses:      video.Truth,
+		Dimensions: video.Dims,
+		Stages:     sljmotion.SelectStages(sljmotion.StageTracking, sljmotion.StageScoring),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, err := q.JobStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == sljmotion.JobDone {
+			break
+		}
+		if st.State == sljmotion.JobFailed {
+			t.Fatalf("remote job failed: %s", st.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("remote job stuck in %s", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	raw, err := q.JobResultJSON(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total  int `json:"total"`
+		Passed int `json:"passed"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("remote result is not the service document: %v\n%s", err, raw)
+	}
+	if doc.Total != 7 || doc.Passed < 6 {
+		t.Errorf("remote re-score = %d/%d", doc.Passed, doc.Total)
+	}
+	// The in-process accessor points callers at the JSON one.
+	if _, err := q.JobResult(id); err == nil || !strings.Contains(err.Error(), "JobResultJSON") {
+		t.Errorf("JobResult on a remote queue = %v, want JobResultJSON hint", err)
+	}
+	if m := q.JobMetrics(); m.Completed != 1 || len(m.Nodes) != 2 {
+		t.Errorf("remote queue metrics: %+v", m)
 	}
 }
 
