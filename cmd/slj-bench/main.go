@@ -13,11 +13,13 @@
 // -json switches to the performance mode: instead of the experiment
 // reports, it times the concurrency hot paths — per-frame segmentation at
 // increasing worker counts, the end-to-end analysis sequential vs.
-// parallel, and the remote dispatch round trip over an in-process two-node
-// worker pool (submit → hash-route → poll → result, cold and cache-hit) —
-// and emits one machine-readable JSON document (schema slj-bench-perf/v1,
-// frames/sec per configuration) on stdout, the data behind BENCH_*.json
-// trajectory tracking. -fast trims the GA budget for quick comparisons.
+// parallel, the remote dispatch round trip over an in-process two-node
+// worker pool (submit → hash-route → poll → result, cold and cache-hit),
+// and the durable-journal overhead on the async job path (jobs/sec with
+// the journal off, on, and on with fsync-per-terminal) — and emits one
+// machine-readable JSON document (schema slj-bench-perf/v1, frames/sec
+// per configuration) on stdout, the data behind BENCH_*.json trajectory
+// tracking. -fast trims the GA budget for quick comparisons.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -36,6 +39,7 @@ import (
 	"github.com/sljmotion/sljmotion/internal/dispatch"
 	"github.com/sljmotion/sljmotion/internal/experiments"
 	"github.com/sljmotion/sljmotion/internal/jobs"
+	"github.com/sljmotion/sljmotion/internal/journal"
 	"github.com/sljmotion/sljmotion/internal/segmentation"
 	"github.com/sljmotion/sljmotion/internal/server"
 	"github.com/sljmotion/sljmotion/internal/synth"
@@ -139,6 +143,21 @@ type perfDoc struct {
 	Segmentation []perfSample  `json:"segmentation"`
 	EndToEnd     []perfE2E     `json:"end_to_end"`
 	Dispatch     *perfDispatch `json:"dispatch,omitempty"`
+	Journal      *perfJournal  `json:"journal,omitempty"`
+}
+
+// perfJournal measures the durable-journal overhead on the async job
+// path: segmentation-only jobs through an in-process Manager with no
+// journal, with an unfsynced journal, and with the production policy
+// (fsync on every terminal transition).
+type perfJournal struct {
+	Jobs            int     `json:"jobs"`
+	OffJobsPerSec   float64 `json:"off_jobs_per_sec"`
+	OnJobsPerSec    float64 `json:"on_jobs_per_sec"`
+	FsyncJobsPerSec float64 `json:"fsync_jobs_per_sec"`
+	// OverheadPct is the throughput cost of the production policy versus
+	// no journal at all.
+	OverheadPct float64 `json:"journal_overhead_pct"`
 }
 
 // perfDispatch times the remote dispatch round trip over an in-process
@@ -275,9 +294,116 @@ func runPerf(seed int64, fast bool) error {
 	}
 	doc.Dispatch = disp
 
+	jl, err := runJournalPerf(v)
+	if err != nil {
+		return err
+	}
+	doc.Journal = jl
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// runJournalPerf measures jobs/sec through the async Manager with the
+// journal off, on without fsync, and on with the production
+// fsync-on-terminal policy, all over the same segmentation-only payload.
+func runJournalPerf(v *synth.Video) (*perfJournal, error) {
+	cfg := core.DefaultConfig()
+	an, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	exec := jobs.ExecutorFunc(func(ctx context.Context, p jobs.Payload, _ func(string)) (any, error) {
+		req, err := p.AnalysisRequest()
+		if err != nil {
+			return nil, err
+		}
+		return an.Run(ctx, req, nil)
+	})
+	payload, err := jobs.NewAnalysisPayload(jobs.ConfigFingerprint(cfg), core.Request{
+		Frames:      v.Frames,
+		ManualFirst: v.ManualAnnotation(synth.DefaultAnnotationError(), 1),
+		Stages:      core.OnlyStage(core.StageSegmentation),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	const njobs = 12
+	run := func(jrn jobs.Journal) (float64, error) {
+		m, err := jobs.New(jobs.Config{Workers: 2, QueueSize: njobs, Journal: jrn}, exec)
+		if err != nil {
+			return 0, err
+		}
+		defer m.Close(context.Background())
+		start := time.Now()
+		ids := make([]string, 0, njobs)
+		for i := 0; i < njobs; i++ {
+			id, err := m.Submit(payload)
+			if err != nil {
+				return 0, err
+			}
+			ids = append(ids, id)
+		}
+		deadline := time.Now().Add(2 * time.Minute)
+		for _, id := range ids {
+			for {
+				st, err := m.Status(id)
+				if err != nil {
+					return 0, err
+				}
+				if st.State == jobs.StateDone {
+					break
+				}
+				if st.State == jobs.StateFailed {
+					return 0, errors.New("journal bench job failed: " + st.Err)
+				}
+				if time.Now().After(deadline) {
+					return 0, errors.New("journal bench timed out")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return float64(njobs) / time.Since(start).Seconds(), nil
+	}
+
+	off, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "slj-journal-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	onCfg := journal.DefaultConfig()
+	onCfg.DisableTerminalFsync = true
+	jOn, err := journal.Open(filepath.Join(dir, "on.journal"), onCfg)
+	if err != nil {
+		return nil, err
+	}
+	on, err := run(jOn)
+	jOn.Close()
+	if err != nil {
+		return nil, err
+	}
+	jFs, err := journal.Open(filepath.Join(dir, "fsync.journal"), journal.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	fsynced, err := run(jFs)
+	jFs.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &perfJournal{
+		Jobs:            njobs,
+		OffJobsPerSec:   off,
+		OnJobsPerSec:    on,
+		FsyncJobsPerSec: fsynced,
+		OverheadPct:     100 * (off - fsynced) / off,
+	}, nil
 }
 
 // runDispatchPerf measures the remote dispatch round trip: two slj-serve

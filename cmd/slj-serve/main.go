@@ -6,7 +6,7 @@
 //
 //	slj-serve [-addr :8080] [-workers N] [-queue N] [-result-ttl 15m]
 //	          [-parallelism N] [-cache-size N] [-cache-ttl 15m]
-//	          [-worker] [-dispatch-nodes url1,url2,...]
+//	          [-journal path] [-worker] [-dispatch-nodes url1,url2,...]
 //
 // Endpoints (versioned under /v1; the unversioned paths remain as
 // aliases):
@@ -20,6 +20,7 @@
 //	                  200 with the cached response for a resubmitted
 //	                  identical clip, or 503 + Retry-After when the queue
 //	                  is full.
+//	GET  /v1/jobs     job history, newest-first (state=..., limit=N).
 //	GET  /v1/jobs/{id}         job lifecycle state and pipeline stage.
 //	GET  /v1/jobs/{id}/result  the AnalysisResponse once the job is done.
 //	GET  /v1/metrics  queue depth, throughput counters, latency stats and
@@ -33,6 +34,14 @@
 // out over that many goroutines (0 keeps each analysis sequential).
 // -cache-size bounds the content-addressed result cache (0 disables it)
 // and -cache-ttl its entry lifetime.
+//
+// -journal makes the job table durable (DESIGN.md §11): every submission,
+// state transition and TTL eviction is appended to a JSON-lines journal at
+// the given path (fsynced on terminal transitions), and a restart replays
+// it — interrupted jobs re-run to identical results, finished results stay
+// pollable with their original timestamps, and GET /v1/jobs serves the
+// surviving history. Without -journal jobs live in memory only and a
+// restart drops them.
 //
 // Multi-node deployment (DESIGN.md §10): start N nodes with -worker — they
 // additionally accept serialized job payloads at POST /v1/worker/jobs —
@@ -72,6 +81,7 @@ import (
 
 	"github.com/sljmotion/sljmotion/internal/core"
 	"github.com/sljmotion/sljmotion/internal/dispatch"
+	"github.com/sljmotion/sljmotion/internal/journal"
 	"github.com/sljmotion/sljmotion/internal/server"
 )
 
@@ -93,6 +103,7 @@ func run() error {
 		cacheSize   = flag.Int("cache-size", defaults.CacheEntries, "result cache entry bound (0 disables caching)")
 		cacheTTL    = flag.Duration("cache-ttl", defaults.CacheTTL, "result cache entry lifetime")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		journalPath = flag.String("journal", "", "durable job journal path; restarts replay it (re-running interrupted jobs, restoring finished results)")
 		worker      = flag.Bool("worker", false, "run as a worker node: accept serialized job payloads at POST /v1/worker/jobs")
 		nodes       = flag.String("dispatch-nodes", "", "comma-separated worker base URLs; fan asynchronous jobs out over them instead of the in-process pool")
 	)
@@ -108,6 +119,19 @@ func run() error {
 		CacheEntries: *cacheSize,
 		CacheTTL:     *cacheTTL,
 		Worker:       *worker,
+	}
+	var jrn *journal.Journal
+	if *journalPath != "" {
+		if *nodes != "" {
+			return errors.New("-journal applies to the in-process job table; with -dispatch-nodes, journal on the worker nodes instead")
+		}
+		var err error
+		if jrn, err = journal.Open(*journalPath, journal.DefaultConfig()); err != nil {
+			return err
+		}
+		defer jrn.Close()
+		opts.Journal = jrn
+		logger.Printf("journaling jobs to %s (fsync on terminal transitions)", *journalPath)
 	}
 	if *nodes != "" {
 		if *worker {
@@ -171,6 +195,14 @@ func run() error {
 	defer cancelJobs()
 	if err := srv.Close(jobsCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
+	}
+	// The Manager's Close already synced the journal after the drain; the
+	// explicit sync here covers the hard-cancel path, and the deferred
+	// Close then just closes the file descriptor.
+	if jrn != nil {
+		if err := jrn.Sync(); err != nil {
+			logger.Printf("journal sync: %v", err)
+		}
 	}
 	logger.Printf("bye")
 	return nil

@@ -192,8 +192,14 @@ func New(cfg Config) (*Remote, error) {
 }
 
 // Submit routes one payload to its ring node and posts it. Dead or
-// unreachable nodes are skipped clockwise; a node answering from its
-// result cache completes the job instantly without enqueueing anything.
+// unreachable nodes are skipped clockwise, and so are saturated ones: a
+// 503 from the primary falls through to the healthy ring successors the
+// same way a transport failure does — a busy node must not fail a
+// submission while the rest of the pool sits idle. Only when every
+// healthy candidate rejected does BusyError surface, carrying the
+// smallest Retry-After hint seen across the pool. A node answering from
+// its result cache completes the job instantly without enqueueing
+// anything.
 func (r *Remote) Submit(p jobs.Payload) (string, error) {
 	r.mu.Lock()
 	if r.closed {
@@ -209,6 +215,7 @@ func (r *Remote) Submit(p jobs.Payload) (string, error) {
 		return "", fmt.Errorf("dispatch: encode payload: %w", err)
 	}
 	var lastTransport error
+	var busy *BusyError
 	for _, idx := range order {
 		n := r.nodes[idx]
 		r.mu.Lock()
@@ -219,13 +226,25 @@ func (r *Remote) Submit(p jobs.Payload) (string, error) {
 		}
 		id, err := r.submitTo(n, body)
 		var transport *transportError
-		if errors.As(err, &transport) {
+		var be *BusyError
+		switch {
+		case errors.As(err, &transport):
 			// Node unreachable: demote it and re-hash clockwise.
 			r.demote(n, transport.err)
 			lastTransport = transport.err
 			continue
+		case errors.As(err, &be):
+			// Saturated but alive: keep the node in the ring and try its
+			// successors; remember the smallest positive retry hint.
+			if busy == nil || (be.After > 0 && (busy.After == 0 || be.After < busy.After)) {
+				busy = be
+			}
+			continue
 		}
 		return id, err
+	}
+	if busy != nil {
+		return "", busy
 	}
 	if lastTransport != nil {
 		return "", fmt.Errorf("dispatch: all worker nodes unreachable (last: %v): %w",
@@ -335,8 +354,13 @@ func (r *Remote) Status(id string) (jobs.Status, error) {
 		return jobs.Status{}, fmt.Errorf("dispatch: worker %s status: %w", n.url, err)
 	}
 	if st.State.Terminal() {
+		snap := st
 		r.mu.Lock()
 		r.finishLocked(e, st.State == jobs.StateDone)
+		// Keep the snapshot: later Status calls skip the HTTP round trip,
+		// and the Jobs listing reports the true terminal state (done vs
+		// failed) regardless of which endpoint observed it first.
+		e.status = &snap
 		r.mu.Unlock()
 	}
 	return st, nil
@@ -443,6 +467,45 @@ func (r *Remote) Metrics() jobs.Metrics {
 	}
 	return m
 }
+
+// Jobs lists the dispatcher's routed jobs newest-first (jobs.Lister).
+// Terminal jobs report their observed status; jobs still out on a worker
+// report queued — the dispatcher deliberately does not fan a listing call
+// out to every node, so the running/queued distinction is only as fresh
+// as the last poll or health cycle.
+func (r *Remote) Jobs(f jobs.JobFilter) []jobs.Status {
+	r.mu.Lock()
+	r.sweepLocked(r.clock())
+	out := make([]jobs.Status, 0, len(r.entries))
+	for id, e := range r.entries {
+		st := jobs.Status{ID: id, State: jobs.StateQueued, CreatedAt: e.created}
+		switch {
+		case e.status != nil:
+			st = *e.status
+		case e.done:
+			st.State = jobs.StateDone
+			if e.err != nil {
+				st.State = jobs.StateFailed
+				st.Err = e.err.Error()
+			}
+			fin := e.finished
+			st.FinishedAt = &fin
+		}
+		if f.State != "" && st.State != f.State {
+			continue
+		}
+		out = append(out, st)
+	}
+	r.mu.Unlock()
+	jobs.SortStatuses(out)
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// Remote is a Lister.
+var _ jobs.Lister = (*Remote)(nil)
 
 // Close stops intake and the health prober. Worker nodes drain their own
 // queues; jobs already routed remain pollable on their nodes.
@@ -559,7 +622,10 @@ func (r *Remote) recordRTTLocked(d time.Duration) {
 }
 
 // runHealth probes every node each interval; a probe success revives a
-// demoted node, re-expanding the ring.
+// demoted node, re-expanding the ring. Each cycle also resolves the
+// terminal state of jobs nobody is polling, so queue_depth converges to
+// the truth instead of counting finished-but-unpolled jobs for up to a
+// whole record TTL.
 func (r *Remote) runHealth() {
 	defer r.health.Done()
 	t := time.NewTicker(r.cfg.HealthInterval)
@@ -570,6 +636,81 @@ func (r *Remote) runHealth() {
 			return
 		case <-t.C:
 			r.probeAll()
+			r.resolvePending()
+		}
+	}
+}
+
+// resolveBatch bounds how many unresolved jobs one health cycle polls, so
+// a deep backlog on a slow worker cannot stretch a cycle to minutes and
+// starve probing (convergence just takes a few cycles instead of one).
+const resolveBatch = 32
+
+// resolvePending polls the status of routed jobs whose terminal state has
+// not been observed yet, up to resolveBatch per cycle. Clients that fetch
+// their results keep queue_depth accurate for free; jobs that finish on a
+// worker and are never polled would otherwise inflate the gauge until the
+// local-record TTL sweep. Transport failures demote the node but do not
+// touch the record (the non-latching lost-node contract); the next cycle
+// retries. The loop aborts between requests once the dispatcher stops, so
+// Close never waits for more than one in-flight poll.
+func (r *Remote) resolvePending() {
+	type pending struct {
+		id string
+		e  *entry
+	}
+	r.mu.Lock()
+	var ps []pending
+	for id, e := range r.entries {
+		if !e.done {
+			ps = append(ps, pending{id: id, e: e})
+			if len(ps) == resolveBatch {
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+
+	for _, p := range ps {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		r.mu.Lock()
+		healthy := p.e.node.healthy
+		url := p.e.node.url
+		r.mu.Unlock()
+		if !healthy {
+			continue
+		}
+		resp, err := r.client.Get(url + "/v1/jobs/" + p.id)
+		if err != nil {
+			r.demote(p.e.node, err)
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			r.forget(p.id)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var st jobs.Status
+		if json.Unmarshal(raw, &st) != nil {
+			continue
+		}
+		if st.State.Terminal() {
+			snap := st
+			r.mu.Lock()
+			r.finishLocked(p.e, st.State == jobs.StateDone)
+			p.e.status = &snap
+			r.mu.Unlock()
 		}
 	}
 }

@@ -97,6 +97,95 @@ func TestSubmitBusyPropagatesRetryAfter(t *testing.T) {
 	}
 }
 
+// TestSubmitFailsOverBusyNode: a saturated primary's 503 must not fail the
+// submission while a healthy ring successor sits idle — the payload fails
+// over exactly like it does on a transport error, whichever of the two
+// nodes the ring picks first.
+func TestSubmitFailsOverBusyNode(t *testing.T) {
+	busyHits := 0
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		busyHits++
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"jobs: queue full, retry later"}`)
+	}))
+	defer busy.Close()
+	accepted := 0
+	idle := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		accepted++
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":"beef%012d","state":"queued"}`, accepted)
+	}))
+	defer idle.Close()
+
+	d, err := New(Config{Nodes: []string{busy.URL, idle.URL}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close(context.Background())
+
+	// Across many keys some are primarily homed on the busy node; every
+	// submission must still land on the idle successor.
+	for i := 0; i < 8; i++ {
+		if _, err := d.Submit(jobs.Payload{Kind: jobs.KindAnalysis, CacheKey: strconv.Itoa(i)}); err != nil {
+			t.Fatalf("submit %d failed despite an idle healthy node: %v", i, err)
+		}
+	}
+	if accepted != 8 {
+		t.Errorf("idle node accepted %d/8", accepted)
+	}
+	if busyHits == 0 {
+		t.Error("ring never tried the busy primary — test proves nothing")
+	}
+	m := d.Metrics()
+	for _, n := range m.Nodes {
+		if n.URL == busy.URL {
+			if !n.Healthy {
+				t.Error("busy node must stay healthy (saturated, not dead)")
+			}
+			if n.Rejected == 0 {
+				t.Error("busy node rejections not counted")
+			}
+		}
+	}
+}
+
+// TestSubmitAllBusySurfacesSmallestHint: only when every healthy candidate
+// rejects does BusyError surface, carrying the smallest positive
+// Retry-After across the pool.
+func TestSubmitAllBusySurfacesSmallestHint(t *testing.T) {
+	mkBusy := func(after string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if after != "" {
+				w.Header().Set("Retry-After", after)
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"jobs: queue full, retry later"}`)
+		}))
+	}
+	b1, b2, b3 := mkBusy("9"), mkBusy("3"), mkBusy("")
+	defer b1.Close()
+	defer b2.Close()
+	defer b3.Close()
+
+	d, err := New(Config{Nodes: []string{b1.URL, b2.URL, b3.URL}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close(context.Background())
+
+	_, err = d.Submit(jobs.Payload{Kind: jobs.KindAnalysis, CacheKey: "ff"})
+	if !jobs.Retryable(err) {
+		t.Fatalf("all-busy submit error %v must be retryable", err)
+	}
+	if got := jobs.RetryAfterHint(err, 0); got != 3 {
+		t.Errorf("RetryAfterHint = %d, want the smallest positive hint 3", got)
+	}
+	if m := d.Metrics(); m.Rejected != 3 {
+		t.Errorf("fleet rejections = %d, want one per node", m.Rejected)
+	}
+}
+
 // TestSubmitFailsOverDeadNode: a transport error on the primary demotes it
 // and the payload lands on the next ring node.
 func TestSubmitFailsOverDeadNode(t *testing.T) {
@@ -240,6 +329,74 @@ func TestSweepSparesRunningJobs(t *testing.T) {
 	advance(10 * time.Minute)
 	if _, err := d.Status(id); !errors.Is(err, jobs.ErrNotFound) {
 		t.Errorf("abandoned record must eventually evict, got %v", err)
+	}
+}
+
+// TestQueueDepthConvergesWithoutPolling: jobs that finish on their worker
+// but are never polled by a client must not inflate queue_depth until the
+// record TTL sweep — the health cycle resolves their terminal state.
+func TestQueueDepthConvergesWithoutPolling(t *testing.T) {
+	var mu sync.Mutex
+	states := map[string]string{}
+	next := 0
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case r.Method == http.MethodPost:
+			next++
+			id := fmt.Sprintf("cafe%012d", next)
+			// The worker finishes instantly: submitted work is already
+			// done by the time anyone could ask.
+			states[id] = "done"
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, `{"id":%q,"state":"queued"}`, id)
+		case r.URL.Path == "/v1/healthz":
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		default:
+			id := r.URL.Path[len("/v1/jobs/"):]
+			st, ok := states[id]
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				fmt.Fprintln(w, `{"error":"jobs: no such job"}`)
+				return
+			}
+			fmt.Fprintf(w, `{"id":%q,"state":%q,"created_at":"2026-01-01T00:00:00Z"}`, id, st)
+		}
+	}))
+	defer worker.Close()
+
+	d, err := New(Config{Nodes: []string{worker.URL}, HealthInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close(context.Background())
+
+	for i := 0; i < 3; i++ {
+		if _, err := d.Submit(jobs.Payload{Kind: jobs.KindAnalysis, CacheKey: strconv.Itoa(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Status/Result calls from here on: only the health cycle may
+	// resolve the records.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := d.Metrics()
+		if m.QueueDepth == 0 {
+			if m.Completed != 3 {
+				t.Errorf("resolved jobs not counted completed: %+v", m)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue_depth stuck at %d without client polling", m.QueueDepth)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The resolved jobs show up terminal in the listing too.
+	done := d.Jobs(jobs.JobFilter{State: jobs.StateDone})
+	if len(done) != 3 {
+		t.Errorf("listing shows %d done jobs, want 3", len(done))
 	}
 }
 

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -14,10 +13,9 @@ import (
 	"time"
 
 	"github.com/sljmotion/sljmotion/internal/cache"
-	"github.com/sljmotion/sljmotion/internal/clipio"
 	"github.com/sljmotion/sljmotion/internal/core"
 	"github.com/sljmotion/sljmotion/internal/dispatch"
-	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/e2etest"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/server"
 	"github.com/sljmotion/sljmotion/internal/synth"
@@ -25,14 +23,7 @@ import (
 
 // testConfig is the shared analyzer configuration: every node and the
 // reference server must agree so cache keys line up fleet-wide.
-func testConfig() core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Pose.Population = 40
-	cfg.Pose.Generations = 40
-	cfg.Pose.Patience = 10
-	cfg.Pose.RefineRounds = 1
-	return cfg
-}
+func testConfig() core.Config { return e2etest.Config() }
 
 // newNode starts one worker node (payload intake enabled) on httptest.
 func newNode(t *testing.T) (*httptest.Server, *server.Server) {
@@ -85,100 +76,18 @@ func newFrontend(t *testing.T, nodes []string) *httptest.Server {
 // clipUpload builds the canonical segmentation-only multipart upload (fast:
 // no GA) for the given synthetic clip.
 func clipUpload(t *testing.T, v *synth.Video) (*bytes.Buffer, string) {
-	t.Helper()
-	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 1)
-	var body bytes.Buffer
-	mw := multipart.NewWriter(&body)
-	for k, f := range v.Frames {
-		fw, err := mw.CreateFormFile("frames", clipio.FrameName(k))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := imaging.EncodePPM(fw, f); err != nil {
-			t.Fatal(err)
-		}
-	}
-	fw, err := mw.CreateFormFile("truth", "truth.txt")
-	if err != nil {
-		t.Fatal(err)
-	}
-	fmt.Fprintf(fw, "0 %.2f %.2f", manual.X, manual.Y)
-	for l := 0; l < 8; l++ {
-		fmt.Fprintf(fw, " %.2f", manual.Rho[l])
-	}
-	fmt.Fprintln(fw)
-	for _, field := range [][2]string{{"stages", "segmentation"}, {"silhouettes", "1"}} {
-		if err := mw.WriteField(field[0], field[1]); err != nil {
-			t.Fatal(err)
-		}
-	}
-	mw.Close()
-	return &body, mw.FormDataContentType()
+	return e2etest.ClipUpload(t, v, "segmentation", true)
 }
 
 // submitAndFetch posts the clip to base's async route and polls it to the
 // final result bytes. A 200 on submit (cache-answered) returns immediately.
 func submitAndFetch(t *testing.T, base string, v *synth.Video) []byte {
-	t.Helper()
-	body, ctype := clipUpload(t, v)
-	resp, err := http.Post(base+"/v1/jobs", ctype, body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		return raw
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
-	}
-	var sub struct {
-		ID        string `json:"id"`
-		ResultURL string `json:"result_url"`
-	}
-	if err := json.Unmarshal(raw, &sub); err != nil {
-		t.Fatal(err)
-	}
-
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		rresp, err := http.Get(base + sub.ResultURL)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rraw, _ := io.ReadAll(rresp.Body)
-		rresp.Body.Close()
-		switch rresp.StatusCode {
-		case http.StatusOK:
-			return rraw
-		case http.StatusAccepted:
-			time.Sleep(5 * time.Millisecond)
-		default:
-			t.Fatalf("result status %d: %s", rresp.StatusCode, rraw)
-		}
-	}
-	t.Fatal("job never finished")
-	return nil
+	return e2etest.SubmitAndFetch(t, base, v)
 }
 
 // metricsOf fetches a server's /v1/metrics document.
 func metricsOf(t *testing.T, base string) (clips int, jm jobs.Metrics, cm cache.Metrics) {
-	t.Helper()
-	resp, err := http.Get(base + "/v1/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var doc struct {
-		ClipsAnalyzed int           `json:"clips_analyzed"`
-		Jobs          jobs.Metrics  `json:"jobs"`
-		Cache         cache.Metrics `json:"cache"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		t.Fatal(err)
-	}
-	return doc.ClipsAnalyzed, doc.Jobs, doc.Cache
+	return e2etest.MetricsOf(t, base)
 }
 
 // TestTwoWorkerEndToEnd is the acceptance test of the remote dispatcher: a

@@ -31,5 +31,26 @@ type Dispatcher interface {
 	Close(ctx context.Context) error
 }
 
-// Manager is the canonical in-process Dispatcher.
-var _ Dispatcher = (*Manager)(nil)
+// JobFilter selects jobs for a history listing.
+type JobFilter struct {
+	// State keeps only jobs in this lifecycle state; "" keeps all.
+	State State
+	// Limit truncates the listing after this many jobs; 0 means no limit.
+	Limit int
+}
+
+// Lister is the optional listing capability of a Dispatcher: a snapshot of
+// the known jobs, newest-first by creation time. The server's GET /v1/jobs
+// history endpoint uses it when the backend offers it; both the Manager
+// (whose journal-backed table survives restarts) and the remote dispatcher
+// implement it.
+type Lister interface {
+	// Jobs lists the jobs matching f, newest-first.
+	Jobs(f JobFilter) []Status
+}
+
+// Manager is the canonical in-process Dispatcher and Lister.
+var (
+	_ Dispatcher = (*Manager)(nil)
+	_ Lister     = (*Manager)(nil)
+)

@@ -28,8 +28,10 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -96,6 +98,15 @@ type Config struct {
 	ResultTTL time.Duration
 	// Clock overrides time.Now, a test seam for TTL eviction.
 	Clock func() time.Time
+	// Journal, when set, makes the job table durable: every submission,
+	// state transition and eviction is appended to it, and New replays the
+	// log before the workers start — interrupted queued/running jobs are
+	// re-enqueued and re-executed, terminal results are restored with
+	// their original timestamps, evicted records are skipped. Replayed
+	// pending jobs go to a backlog drained ahead of the queue, so recovery
+	// never drops work and the QueueSize bound on new submissions is
+	// unchanged.
+	Journal Journal
 }
 
 // DefaultConfig returns a small service-oriented configuration.
@@ -152,6 +163,11 @@ type Metrics struct {
 	Completed     uint64 `json:"jobs_completed"`
 	Failed        uint64 `json:"jobs_failed"`
 	Evicted       uint64 `json:"jobs_evicted"`
+	// JournalFailures counts journal appends that errored after the job
+	// was accepted (the durability guarantee is degraded until the sink
+	// recovers). Omitted — and always zero — without a journal, keeping
+	// the document byte-compatible with earlier releases.
+	JournalFailures uint64 `json:"journal_append_failures,omitempty"`
 	// Run is the payload execution latency of finished jobs; Wait the time
 	// jobs spent queued before a worker picked them up.
 	Run  LatencyStats `json:"run_latency"`
@@ -186,15 +202,23 @@ const latencySample = 256
 // job is the internal record; all fields are guarded by Manager.mu once the
 // job is registered.
 type job struct {
-	id       string
-	payload  Payload
-	state    State
-	stage    string
-	created  time.Time
+	id      string
+	payload Payload
+	state   State
+	stage   string
+	created time.Time
+	// enqueued is when the job entered THIS process's queue — creation
+	// time normally, replay time for journal-recovered jobs — so the
+	// queue_wait metric never counts restart downtime as queueing.
+	enqueued time.Time
 	started  time.Time
 	finished time.Time
 	result   any
 	err      error
+	// aborted marks a job whose submit record could not be journaled: it
+	// was already handed to the queue (the send is not undoable), so the
+	// worker drops it instead of executing unjournaled work.
+	aborted bool
 }
 
 // Manager owns the queue, the worker pool and the job table.
@@ -209,24 +233,32 @@ type Manager struct {
 	workers sync.WaitGroup
 	janitor sync.WaitGroup
 
-	mu      sync.Mutex
-	jobs    map[string]*job
+	mu   sync.Mutex
+	jobs map[string]*job
+	// backlog holds journal-replayed pending jobs; workers drain it ahead
+	// of the queue, so recovery never drops accepted work while the
+	// channel keeps its configured capacity — the backpressure bound on
+	// NEW submissions is unchanged by a restart.
+	backlog []*job
 	closed  bool
 	running int
 
-	submitted uint64
-	rejected  uint64
-	completed uint64
-	failed    uint64
-	evicted   uint64
-	runLat    []time.Duration // ring, most recent latencySample entries
-	waitLat   []time.Duration
-	latIdx    int
+	submitted     uint64
+	rejected      uint64
+	completed     uint64
+	failed        uint64
+	evicted       uint64
+	journalFailed uint64
+	runLat        []time.Duration // ring, most recent latencySample entries
+	waitLat       []time.Duration
+	latIdx        int
 }
 
 // New starts a manager executing payloads through exec: Workers goroutines
 // draining the queue plus, when a TTL is set, a janitor goroutine evicting
-// expired results.
+// expired results. With a Journal configured, the log is replayed first:
+// the restored job table and the re-enqueued interrupted jobs are in place
+// before the first worker starts.
 func New(cfg Config, exec Executor) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -238,15 +270,34 @@ func New(cfg Config, exec Executor) (*Manager, error) {
 	if clock == nil {
 		clock = time.Now
 	}
+	restored, pending, err := replayJournal(cfg.Journal)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:    cfg,
-		exec:   exec,
-		clock:  clock,
-		runCtx: ctx,
-		cancel: cancel,
-		queue:  make(chan *job, cfg.QueueSize),
-		jobs:   make(map[string]*job),
+		cfg:     cfg,
+		exec:    exec,
+		clock:   clock,
+		runCtx:  ctx,
+		cancel:  cancel,
+		queue:   make(chan *job, cfg.QueueSize),
+		jobs:    restored,
+		backlog: pending,
+	}
+	for _, j := range restored {
+		m.submitted++
+		switch j.state {
+		case StateDone:
+			m.completed++
+		case StateFailed:
+			m.failed++
+		}
+	}
+	// Recovered pending jobs enter this process's queue now: their
+	// queue_wait must not count the downtime between crash and restart.
+	for _, j := range pending {
+		j.enqueued = clock()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.workers.Add(1)
@@ -259,6 +310,70 @@ func New(cfg Config, exec Executor) (*Manager, error) {
 	return m, nil
 }
 
+// replayJournal rebuilds the job table from the journal: the map of every
+// live job plus, in submission order, the non-terminal ones to re-enqueue.
+// Interrupted jobs come back in StateQueued with their original creation
+// time (their next run stamps fresh started/finished times); terminal jobs
+// keep all original timestamps and their recorded result or error. A done
+// record without a serialized result counts as interrupted — the work
+// re-runs rather than serving a hole.
+func replayJournal(jrn Journal) (map[string]*job, []*job, error) {
+	table := make(map[string]*job)
+	if jrn == nil {
+		return table, nil, nil
+	}
+	var order []string
+	err := jrn.Replay(func(e JournalEntry) error {
+		switch e.Op {
+		case OpSubmit:
+			if len(e.Payload) == 0 {
+				return fmt.Errorf("jobs: journal submit record %s carries no payload", e.ID)
+			}
+			if _, ok := table[e.ID]; ok {
+				return nil // duplicate segment overlap (interrupted compaction)
+			}
+			var p Payload
+			if err := json.Unmarshal(e.Payload, &p); err != nil {
+				return fmt.Errorf("jobs: journal submit record %s: %w", e.ID, err)
+			}
+			table[e.ID] = &job{id: e.ID, payload: p, state: StateQueued, created: e.At}
+			order = append(order, e.ID)
+		case OpRunning:
+			if j, ok := table[e.ID]; ok {
+				j.started = e.At
+			}
+		case OpDone:
+			j, ok := table[e.ID]
+			if !ok || len(e.Result) == 0 {
+				return nil
+			}
+			j.state, j.finished = StateDone, e.At
+			j.result = json.RawMessage(append([]byte(nil), e.Result...))
+			j.payload = Payload{}
+		case OpFailed:
+			if j, ok := table[e.ID]; ok {
+				j.state, j.finished = StateFailed, e.At
+				j.err = errors.New(e.Error)
+				j.payload = Payload{}
+			}
+		case OpEvict:
+			delete(table, e.ID)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: journal replay: %w", err)
+	}
+	var pending []*job
+	for _, id := range order {
+		if j, ok := table[id]; ok && !j.state.Terminal() {
+			j.started = time.Time{} // the re-run stamps its own start
+			pending = append(pending, j)
+		}
+	}
+	return table, pending, nil
+}
+
 // Config returns the manager configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
@@ -269,8 +384,16 @@ func (m *Manager) Submit(p Payload) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Encode the submit record's payload before taking the lock: a clip
+	// payload is megabytes and every poller shares the mutex.
+	var praw json.RawMessage
+	if m.cfg.Journal != nil {
+		if praw, err = json.Marshal(&p); err != nil {
+			return "", fmt.Errorf("jobs: encode payload for journal: %w", err)
+		}
+	}
 	now := m.clock()
-	j := &job{id: id, payload: p, state: StateQueued, created: now}
+	j := &job{id: id, payload: p, state: StateQueued, created: now, enqueued: now}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -279,6 +402,18 @@ func (m *Manager) Submit(p Payload) (string, error) {
 	}
 	select {
 	case m.queue <- j:
+		if m.cfg.Journal != nil {
+			if jerr := m.cfg.Journal.Append(JournalEntry{Op: OpSubmit, ID: id, At: now, Payload: praw}); jerr != nil {
+				// The send is not undoable, so the worker drops the job
+				// instead of executing work the journal never recorded
+				// (the slot frees as soon as a worker pops it). Counted:
+				// this is the journal failure mode that actively rejects
+				// traffic, and it must show in /metrics.
+				m.journalFailed++
+				j.aborted = true
+				return "", fmt.Errorf("jobs: journal submit: %w", jerr)
+			}
+		}
 		m.jobs[id] = j
 		m.submitted++
 		m.sweepLocked(now)
@@ -330,18 +465,51 @@ func (m *Manager) Metrics() Metrics {
 	defer m.mu.Unlock()
 	m.sweepLocked(m.clock())
 	return Metrics{
-		Workers:       m.cfg.Workers,
-		QueueCapacity: m.cfg.QueueSize,
-		QueueDepth:    len(m.queue),
-		Running:       m.running,
-		Submitted:     m.submitted,
-		Rejected:      m.rejected,
-		Completed:     m.completed,
-		Failed:        m.failed,
-		Evicted:       m.evicted,
-		Run:           Summarise(m.runLat),
-		Wait:          Summarise(m.waitLat),
+		Workers:         m.cfg.Workers,
+		QueueCapacity:   m.cfg.QueueSize,
+		QueueDepth:      len(m.queue) + len(m.backlog),
+		Running:         m.running,
+		Submitted:       m.submitted,
+		Rejected:        m.rejected,
+		Completed:       m.completed,
+		Failed:          m.failed,
+		Evicted:         m.evicted,
+		JournalFailures: m.journalFailed,
+		Run:             Summarise(m.runLat),
+		Wait:            Summarise(m.waitLat),
 	}
+}
+
+// Jobs lists the known jobs newest-first by creation time (ties broken by
+// id so the order is total), filtered and truncated per f. With a journal
+// configured the table — and therefore this history — survives restarts.
+func (m *Manager) Jobs(f JobFilter) []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(m.clock())
+	out := make([]Status, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if f.State != "" && j.state != f.State {
+			continue
+		}
+		out = append(out, j.snapshotLocked())
+	}
+	SortStatuses(out)
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// SortStatuses orders a job listing newest-first by creation time, ties
+// broken by id. Shared by every Lister so histories paginate stably.
+func SortStatuses(out []Status) {
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].CreatedAt.Equal(out[k].CreatedAt) {
+			return out[i].CreatedAt.After(out[k].CreatedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
 }
 
 // Close shuts the manager down: intake stops immediately (ErrClosed), queued
@@ -371,13 +539,34 @@ func (m *Manager) Close(ctx context.Context) error {
 	// and stop the janitor.
 	m.cancel()
 	m.janitor.Wait()
+	// Flush the journal so a graceful shutdown leaves every drained
+	// transition on stable storage.
+	if m.cfg.Journal != nil {
+		if serr := m.cfg.Journal.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 
-// worker drains the queue until it is closed and empty.
+// worker drains the replay backlog, then the queue, until the queue is
+// closed and both are empty.
 func (m *Manager) worker() {
 	defer m.workers.Done()
-	for j := range m.queue {
+	for {
+		m.mu.Lock()
+		if n := len(m.backlog); n > 0 {
+			j := m.backlog[0]
+			m.backlog = m.backlog[1:]
+			m.mu.Unlock()
+			m.execute(j)
+			continue
+		}
+		m.mu.Unlock()
+		j, ok := <-m.queue
+		if !ok {
+			return
+		}
 		m.execute(j)
 	}
 }
@@ -386,9 +575,14 @@ func (m *Manager) worker() {
 func (m *Manager) execute(j *job) {
 	start := m.clock()
 	m.mu.Lock()
+	if j.aborted {
+		m.mu.Unlock()
+		return
+	}
 	j.state = StateRunning
 	j.started = start
 	m.running++
+	m.journalLocked(JournalEntry{Op: OpRunning, ID: j.id, At: start})
 	m.mu.Unlock()
 
 	progress := func(stage string) {
@@ -397,8 +591,37 @@ func (m *Manager) execute(j *job) {
 		m.mu.Unlock()
 	}
 	val, err := m.exec.Execute(m.runCtx, j.payload, progress)
-
 	now := m.clock()
+
+	// Journal the terminal record BEFORE taking the lock and before the
+	// terminal state becomes visible: the result marshal can be megabytes
+	// and the append fsyncs under the production policy — neither belongs
+	// under the mutex every poller shares — and the ordering (record
+	// durable, then state visible) is exactly what guarantees a result a
+	// client polled can never evaporate across a crash. A failure caused
+	// by the manager's own shutdown cancel is not journaled: the job is
+	// interrupted, not failed — a restart must re-run it, exactly as
+	// after a crash (in-memory it still reports failed to pollers of THIS
+	// process, matching the pre-journal hard-cancel behaviour). A result
+	// that fails to serialize is journaled without its document; replay
+	// re-runs the job instead of serving a hole.
+	if m.cfg.Journal != nil {
+		var entry *JournalEntry
+		if err == nil {
+			raw, _ := json.Marshal(val)
+			entry = &JournalEntry{Op: OpDone, ID: j.id, At: now, Result: raw}
+		} else if m.runCtx.Err() == nil {
+			entry = &JournalEntry{Op: OpFailed, ID: j.id, At: now, Error: err.Error()}
+		}
+		if entry != nil {
+			if aerr := m.cfg.Journal.Append(*entry); aerr != nil {
+				m.mu.Lock()
+				m.journalFailed++
+				m.mu.Unlock()
+			}
+		}
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running--
@@ -414,7 +637,22 @@ func (m *Manager) execute(j *job) {
 		j.result = val
 		m.completed++
 	}
-	m.recordLocked(now.Sub(start), start.Sub(j.created))
+	m.recordLocked(now.Sub(start), start.Sub(j.enqueued))
+}
+
+// journalLocked appends one cheap lifecycle record (running/evict — the
+// terminal records, which marshal documents and fsync, are appended
+// outside the lock in execute), best-effort: a failed append past
+// submission costs at most a re-execution after restart, never the live
+// job — but it is counted, so operators see a dying journal in /metrics
+// instead of discovering it at the next restart. Caller holds mu.
+func (m *Manager) journalLocked(e JournalEntry) {
+	if m.cfg.Journal == nil {
+		return
+	}
+	if err := m.cfg.Journal.Append(e); err != nil {
+		m.journalFailed++
+	}
 }
 
 // runJanitor periodically evicts expired results so memory stays bounded
@@ -448,6 +686,7 @@ func (m *Manager) sweepLocked(now time.Time) {
 		if j.state.Terminal() && now.Sub(j.finished) >= m.cfg.ResultTTL {
 			delete(m.jobs, id)
 			m.evicted++
+			m.journalLocked(JournalEntry{Op: OpEvict, ID: id, At: now})
 		}
 	}
 }
@@ -501,8 +740,17 @@ func Summarise(sample []time.Duration) LatencyStats {
 		sum += d
 	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	// Nearest-rank percentile: the ⌈p·N⌉-th smallest sample. The floored
+	// index it replaced reported the P95 of a 2-sample window as the
+	// *minimum*, skewing /metrics and every committed BENCH document low.
 	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(sorted)-1))
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
 		return sorted[i]
 	}
 	return LatencyStats{

@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// JournalOp names one kind of journal record. The ops mirror the job
+// lifecycle (submit → running → done|failed) plus the TTL eviction that
+// retires a record, so an append-only log of them is sufficient to rebuild
+// the Manager's whole job table.
+type JournalOp string
+
+// Journal record operations.
+const (
+	OpSubmit  JournalOp = "submit"
+	OpRunning JournalOp = "running"
+	OpDone    JournalOp = "done"
+	OpFailed  JournalOp = "failed"
+	OpEvict   JournalOp = "evict"
+)
+
+// Terminal reports whether the op ends a job's execution. Terminal appends
+// are the ones a durable journal fsyncs (see internal/journal): losing a
+// submit record loses at most an acknowledgement, losing a done record
+// only costs a re-execution, but serving a result whose record may
+// disappear would break the restart contract.
+func (o JournalOp) Terminal() bool { return o == OpDone || o == OpFailed }
+
+// JournalEntry is one record of the job journal. Submission records carry
+// the full serializable Payload — everything needed to re-execute the job
+// after a restart; done records carry the result document as JSON; failed
+// records the error text. At is the Manager-clock timestamp of the
+// transition, so replayed jobs keep their original times.
+//
+// The payload and result travel pre-encoded (json.RawMessage): a clip
+// payload is megabytes, and encoding it inside Append — which the Manager
+// calls under its table lock — would stall every concurrent poller for
+// the duration of the marshal. The Manager encodes both outside the lock.
+type JournalEntry struct {
+	Op JournalOp `json:"op"`
+	ID string    `json:"id"`
+	At time.Time `json:"at"`
+	// Payload is the marshalled Payload, set on submit records only.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Result is the marshalled result document of a done record. A done
+	// record without a result (the value did not serialize) is treated as
+	// interrupted on replay and the job re-runs.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the failure message of a failed record.
+	Error string `json:"error,omitempty"`
+}
+
+// Journal is the durability seam of the Manager: an append-only record
+// sink plus the replay that rebuilds state from it. internal/journal's
+// file-backed WAL is the canonical implementation; tests substitute
+// in-memory fakes.
+//
+// Append MUST be safe for concurrent use: cheap lifecycle records
+// (submit/running/evict) are appended under the Manager's lock, but
+// terminal records are appended by worker goroutines OUTSIDE it — with
+// Workers > 1, concurrent Appends happen. Implementations must not
+// re-enter the Manager. Replay must stream every live record in append
+// order; records of evicted jobs may be omitted (compaction does exactly
+// that).
+type Journal interface {
+	// Append durably records one entry. The implementation decides its
+	// fsync policy; returning an error from a submit append rejects the
+	// submission.
+	Append(e JournalEntry) error
+	// Replay streams the journal's records in append order into fn,
+	// stopping at fn's first error.
+	Replay(fn func(e JournalEntry) error) error
+	// Sync flushes buffered records to stable storage (graceful shutdown)
+	// and may apply deferred log maintenance.
+	Sync() error
+}

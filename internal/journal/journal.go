@@ -1,0 +1,449 @@
+// Package journal is the file-backed implementation of the jobs.Journal
+// seam: an append-only JSON-lines write-ahead log of job lifecycle records
+// (DESIGN.md §11). The paper's Section 6 web system only works if an
+// upload survives the service it was uploaded to — with every queued and
+// finished job living in the Manager's in-memory table, a restart of
+// slj-serve silently dropped user clips mid-analysis. Journaling every
+// submission (with its full serializable payload), every state transition
+// and every TTL eviction makes the table reconstructible: jobs.New replays
+// the log on startup, re-enqueueing interrupted work and restoring
+// terminal results with their original timestamps.
+//
+// Layout on disk: one record per line, each a jobs.JournalEntry as JSON.
+// The log is at most two files — the active segment at the configured path
+// and one sealed segment at path+".1". When the active segment outgrows
+// MaxSegmentBytes it is sealed (renamed) and a fresh active segment
+// starts; when the dead-record ratio (records of evicted jobs) passes
+// CompactRatio, both segments are rewritten keeping only live records, so
+// the log stays bounded under TTL churn instead of growing forever.
+//
+// Durability policy: terminal records (done/failed) are fsynced unless
+// DisableTerminalFsync is set — losing a submit record costs at most an
+// acknowledged id, losing a running record nothing, and losing a done
+// record one re-execution, but a result served to a client must never
+// evaporate across a crash. Sync flushes everything (graceful shutdown).
+// A torn final record — the crash arrived mid-write — is detected on Open
+// and truncated away, so recovery never trips over a half-line.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/sljmotion/sljmotion/internal/jobs"
+)
+
+// Config parameterises a Journal.
+type Config struct {
+	// DisableTerminalFsync skips the fsync after terminal (done/failed)
+	// appends. The zero Config keeps the fsync — like every other field,
+	// the zero value is the safe production policy; disabling is an
+	// explicit trade of the durability contract for throughput (benches,
+	// best-effort deployments).
+	DisableTerminalFsync bool
+	// MaxSegmentBytes seals the active segment once it grows past this
+	// size; 0 uses DefaultConfig's bound.
+	MaxSegmentBytes int64
+	// CompactRatio triggers compaction once dead records (those belonging
+	// to evicted jobs) make up at least this fraction of all records;
+	// 0 uses DefaultConfig's ratio.
+	CompactRatio float64
+	// CompactMinRecords suppresses compaction below this record count so
+	// tiny logs are not endlessly rewritten; 0 uses DefaultConfig's floor.
+	CompactMinRecords int
+}
+
+// DefaultConfig returns the production policy: terminal fsync on, 64 MiB
+// segments, compaction once half the records are dead.
+func DefaultConfig() Config {
+	return Config{
+		MaxSegmentBytes:   64 << 20,
+		CompactRatio:      0.5,
+		CompactMinRecords: 128,
+	}
+}
+
+// Journal is a file-backed jobs.Journal. All methods are safe for
+// concurrent use, though in practice the owning Manager serialises them.
+type Journal struct {
+	cfg  Config
+	path string // active segment; the sealed segment is path+".1"
+
+	mu         sync.Mutex
+	f          *os.File
+	w          *bufio.Writer
+	activeSize int64
+	closed     bool
+
+	// live tracks per-job record counts so compaction knows the dead
+	// ratio without re-reading the files: evicting a job turns all its
+	// records (plus the evict record itself) dead at once.
+	live        map[string]int
+	liveRecs    int
+	deadRecs    int
+	compactions int
+}
+
+// The journal is the canonical jobs.Journal.
+var _ jobs.Journal = (*Journal)(nil)
+
+// sealedPath is the sealed-segment suffix.
+func sealedPath(path string) string { return path + ".1" }
+
+// Open opens (or creates) the journal at path. Existing segments are
+// scanned to rebuild the live/dead bookkeeping, and a torn final record in
+// the active segment — a crash mid-append — is truncated away so new
+// appends start on a clean line boundary.
+func Open(path string, cfg Config) (*Journal, error) {
+	def := DefaultConfig()
+	if cfg.MaxSegmentBytes <= 0 {
+		cfg.MaxSegmentBytes = def.MaxSegmentBytes
+	}
+	if cfg.CompactRatio <= 0 {
+		cfg.CompactRatio = def.CompactRatio
+	}
+	if cfg.CompactMinRecords <= 0 {
+		cfg.CompactMinRecords = def.CompactMinRecords
+	}
+	j := &Journal{cfg: cfg, path: path, live: make(map[string]int)}
+
+	// Sealed segment: count records; torn tails cannot occur here short of
+	// external damage, and a truncated tail is simply ignored on replay.
+	if err := readSegment(sealedPath(path), func(e jobs.JournalEntry) error {
+		j.countLocked(e)
+		return nil
+	}); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	valid, err := scanValidPrefix(f, func(e jobs.JournalEntry) error {
+		j.countLocked(e)
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop the torn tail (if any) and position appends after the last
+	// complete record.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.activeSize = valid
+	return j, nil
+}
+
+// countLocked applies one record to the live/dead bookkeeping.
+func (j *Journal) countLocked(e jobs.JournalEntry) {
+	if e.Op == jobs.OpEvict {
+		j.deadRecs += j.live[e.ID] + 1
+		j.liveRecs -= j.live[e.ID]
+		delete(j.live, e.ID)
+		return
+	}
+	j.live[e.ID]++
+	j.liveRecs++
+}
+
+// Append writes one record, applies the fsync policy, and rotates or
+// compacts when the thresholds say so.
+func (j *Journal) Append(e jobs.JournalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errClosed
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	raw = append(raw, '\n')
+	n, err := j.w.Write(raw)
+	j.activeSize += int64(n)
+	if err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.countLocked(e)
+	// Rotation/compaction runs only on terminal appends (and Sync): the
+	// Manager issues those outside its table lock, while the cheap
+	// running/evict appends happen inside it — a multi-segment rewrite
+	// must never stall every concurrent poller behind that lock. Evict-
+	// driven dead records therefore wait for the next completion or Sync,
+	// which bounds the deferral to one job's lifetime on an active
+	// manager.
+	if e.Op.Terminal() {
+		if !j.cfg.DisableTerminalFsync {
+			if err := j.syncLocked(); err != nil {
+				return err
+			}
+		}
+		return j.maintainLocked()
+	}
+	return nil
+}
+
+// maintainLocked applies rotation and compaction policy after an append.
+// Caller holds mu.
+func (j *Journal) maintainLocked() error {
+	total := j.liveRecs + j.deadRecs
+	if total >= j.cfg.CompactMinRecords &&
+		float64(j.deadRecs) >= j.cfg.CompactRatio*float64(total) {
+		return j.compactLocked()
+	}
+	if j.activeSize < j.cfg.MaxSegmentBytes {
+		return nil
+	}
+	_, err := os.Stat(sealedPath(j.path))
+	switch {
+	case err == nil:
+		// Both segments full: folding them into one live-only file is the
+		// only way to keep the two-segment invariant.
+		return j.compactLocked()
+	case errors.Is(err, os.ErrNotExist):
+		return j.rotateLocked()
+	default:
+		// A transient Stat failure must NOT select rotation: rotating
+		// renames the active file over the sealed path, and clobbering a
+		// sealed segment we merely failed to stat would silently discard
+		// its records. Surface the error and retry on a later append.
+		return fmt.Errorf("journal: stat sealed segment: %w", err)
+	}
+}
+
+// rotateLocked seals the active segment and starts a fresh one. Caller
+// holds mu.
+func (j *Journal) rotateLocked() error {
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(j.path, sealedPath(j.path)); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.activeSize = 0
+	return nil
+}
+
+// compactLocked rewrites both segments keeping only records of live
+// (non-evicted) jobs: stream sealed + active through a filter into a
+// temporary file, fsync it, rename it over the active path, then drop the
+// sealed segment. The rename order is crash-safe — a crash between the two
+// steps leaves duplicate records across segments, which replay tolerates
+// (duplicate submits are ignored, repeated transitions idempotent).
+// Caller holds mu.
+func (j *Journal) compactLocked() error {
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	tmpPath := j.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(tmp)
+	var size int64
+	keep := func(e jobs.JournalEntry) error {
+		if _, ok := j.live[e.ID]; !ok {
+			return nil // evicted job: every record of it is dead
+		}
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		n, err := w.Write(append(raw, '\n'))
+		size += int64(n)
+		return err
+	}
+	err = readSegment(sealedPath(j.path), keep)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := readSegment(j.path, keep); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, j.path); err != nil {
+		return err
+	}
+	if err := os.Remove(sealedPath(j.path)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.activeSize = size
+	j.deadRecs = 0
+	j.compactions++
+	return nil
+}
+
+// Replay streams every record — sealed segment first, then active — into
+// fn in append order. A torn tail in either file ends that file's stream
+// cleanly (Open already truncated the active one; a sealed tear can only
+// come from external damage).
+func (j *Journal) Replay(fn func(e jobs.JournalEntry) error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := readSegment(sealedPath(j.path), fn); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return readSegment(j.path, fn)
+}
+
+// Sync flushes buffered appends, fsyncs the active segment, and applies
+// any deferred rotation/compaction (see Append).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errClosed
+	}
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	return j.maintainLocked()
+}
+
+// syncLocked flushes and fsyncs. Caller holds mu.
+func (j *Journal) syncLocked() error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the journal. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.syncLocked(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// Metrics is a point-in-time snapshot of the journal's bookkeeping.
+type Metrics struct {
+	LiveRecords int   `json:"live_records"`
+	DeadRecords int   `json:"dead_records"`
+	ActiveBytes int64 `json:"active_bytes"`
+	Compactions int   `json:"compactions"`
+}
+
+// Stats snapshots the journal bookkeeping (tests, operators).
+func (j *Journal) Stats() Metrics {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Metrics{
+		LiveRecords: j.liveRecs,
+		DeadRecords: j.deadRecs,
+		ActiveBytes: j.activeSize,
+		Compactions: j.compactions,
+	}
+}
+
+// errClosed rejects use after Close.
+var errClosed = errors.New("journal: closed")
+
+// readSegment streams one segment file into fn, stopping cleanly at a torn
+// final record. Returns os.ErrNotExist (wrapped) when the file is absent.
+func readSegment(path string, fn func(e jobs.JournalEntry) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = scanValidPrefix(f, fn)
+	return err
+}
+
+// scanValidPrefix reads complete records from r (positioned at the start)
+// into fn and returns the byte offset just past the last complete record.
+// An undecodable or unterminated final line is a torn write: it is not
+// passed to fn and not counted into the returned offset. Garbage that is
+// *followed* by further records is real corruption and errors out.
+func scanValidPrefix(r io.Reader, fn func(e jobs.JournalEntry) error) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var off int64
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: the final append never completed.
+			return off, nil
+		}
+		if err != nil {
+			return off, fmt.Errorf("journal: read: %w", err)
+		}
+		var e jobs.JournalEntry
+		if uerr := json.Unmarshal(line, &e); uerr != nil {
+			// A broken line can only be tolerated as the torn tail; if
+			// complete records follow, the file is corrupt, not torn.
+			if _, perr := br.Peek(1); perr == io.EOF {
+				return off, nil
+			}
+			return off, fmt.Errorf("journal: corrupt record at offset %d: %w", off, uerr)
+		}
+		off += int64(len(line))
+		if err := fn(e); err != nil {
+			return off, err
+		}
+	}
+}

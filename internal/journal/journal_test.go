@@ -1,0 +1,265 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/jobs"
+)
+
+// entryID builds a deterministic 16-hex id from an index.
+func entryID(i int) string { return string([]byte{'a' + byte(i%26)}) + "0000000000000001"[:15] }
+
+// rawPayload marshals a payload the way the Manager does before Append.
+func rawPayload(t *testing.T, p jobs.Payload) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func openT(t *testing.T, path string, cfg Config) *Journal {
+	t.Helper()
+	j, err := Open(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = j.Close() })
+	return j
+}
+
+func replayAll(t *testing.T, j *Journal) []jobs.JournalEntry {
+	t.Helper()
+	var out []jobs.JournalEntry
+	if err := j.Replay(func(e jobs.JournalEntry) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestAppendReplayRoundTrip: records come back in order with payloads,
+// results and timestamps intact across a close/reopen.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j := openT(t, path, Config{})
+
+	at := time.Date(2026, 7, 28, 12, 0, 0, 123456789, time.UTC)
+	p := jobs.Payload{Kind: jobs.KindAnalysis, CacheKey: "abc", Stages: "segmentation"}
+	recs := []jobs.JournalEntry{
+		{Op: jobs.OpSubmit, ID: "job1", At: at, Payload: rawPayload(t, p)},
+		{Op: jobs.OpRunning, ID: "job1", At: at.Add(time.Second)},
+		{Op: jobs.OpDone, ID: "job1", At: at.Add(2 * time.Second), Result: json.RawMessage(`{"score":"7/7"}`)},
+		{Op: jobs.OpSubmit, ID: "job2", At: at.Add(3 * time.Second), Payload: rawPayload(t, p)},
+		{Op: jobs.OpFailed, ID: "job2", At: at.Add(4 * time.Second), Error: "boom"},
+	}
+	for _, e := range recs {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, path, Config{})
+	got := replayAll(t, j2)
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, e := range got {
+		if e.Op != recs[i].Op || e.ID != recs[i].ID || !e.At.Equal(recs[i].At) {
+			t.Errorf("record %d = %+v, want %+v", i, e, recs[i])
+		}
+	}
+	var gotP jobs.Payload
+	if err := json.Unmarshal(got[0].Payload, &gotP); err != nil || gotP.CacheKey != "abc" {
+		t.Errorf("submit payload lost (%v): %s", err, got[0].Payload)
+	}
+	if string(got[2].Result) != `{"score":"7/7"}` {
+		t.Errorf("done result lost: %s", got[2].Result)
+	}
+	if got[4].Error != "boom" {
+		t.Errorf("failure text lost: %q", got[4].Error)
+	}
+}
+
+// TestTornFinalRecordTruncated: a half-written final line (no terminating
+// newline / broken JSON) is dropped on Open, replay sees only complete
+// records, and the next append lands on a clean line boundary.
+func TestTornFinalRecordTruncated(t *testing.T) {
+	for _, tear := range []string{`{"op":"do`, `{"op":"done","id":"job9"}` + "garbage"} {
+		path := filepath.Join(t.TempDir(), "jobs.journal")
+		j := openT(t, path, Config{})
+		if err := j.Append(jobs.JournalEntry{Op: jobs.OpSubmit, ID: "job1", At: time.Now(), Payload: rawPayload(t, jobs.Payload{Kind: jobs.KindAnalysis})}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(tear); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		j2 := openT(t, path, Config{})
+		got := replayAll(t, j2)
+		if len(got) != 1 || got[0].ID != "job1" {
+			t.Fatalf("tear %q: replay = %+v, want the single complete record", tear, got)
+		}
+		// Appends after recovery stay parseable.
+		if err := j2.Append(jobs.JournalEntry{Op: jobs.OpRunning, ID: "job1", At: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+		if got := replayAll(t, j2); len(got) != 2 {
+			t.Fatalf("tear %q: post-recovery append unreadable: %+v", tear, got)
+		}
+	}
+}
+
+// TestMidFileCorruptionErrors: garbage followed by more records is real
+// corruption, not a torn tail, and Open must refuse it.
+func TestMidFileCorruptionErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	if err := os.WriteFile(path, []byte("not json\n{\"op\":\"evict\",\"id\":\"x\",\"at\":\"2026-01-01T00:00:00Z\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Config{}); err == nil {
+		t.Fatal("Open must reject mid-file corruption")
+	}
+}
+
+// TestRotation: the active segment seals at the size bound and replay
+// crosses the segment boundary in order.
+func TestRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j := openT(t, path, Config{MaxSegmentBytes: 256, CompactMinRecords: 1 << 30})
+
+	for i := 0; i < 16; i++ {
+		if err := j.Append(jobs.JournalEntry{Op: jobs.OpSubmit, ID: entryID(i), At: time.Now(), Payload: rawPayload(t, jobs.Payload{Kind: jobs.KindAnalysis})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Maintenance is deferred off the cheap-append path; Sync applies it.
+	must(t, j.Sync())
+	if _, err := os.Stat(sealedPath(path)); err != nil {
+		t.Fatalf("no sealed segment after %d appends past the bound: %v", 16, err)
+	}
+	got := replayAll(t, j)
+	if len(got) != 16 {
+		t.Fatalf("replay across segments = %d records, want 16", len(got))
+	}
+	for i, e := range got {
+		if e.ID != entryID(i) {
+			t.Fatalf("record %d out of order: %s", i, e.ID)
+		}
+	}
+
+	// Reopen mid-rotation state: both segments replayed.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, path, Config{MaxSegmentBytes: 256, CompactMinRecords: 1 << 30})
+	if got := replayAll(t, j2); len(got) != 16 {
+		t.Fatalf("reopened replay = %d records, want 16", len(got))
+	}
+}
+
+// TestCompaction: once evictions push the dead ratio past the threshold,
+// the log is rewritten with only live records and shrinks on disk.
+func TestCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j := openT(t, path, Config{CompactRatio: 0.5, CompactMinRecords: 4})
+
+	// 8 jobs submitted and finished, then 7 evicted: dead ratio crosses
+	// 0.5 and compaction must fire.
+	at := time.Now()
+	for i := 0; i < 8; i++ {
+		id := entryID(i)
+		must(t, j.Append(jobs.JournalEntry{Op: jobs.OpSubmit, ID: id, At: at, Payload: rawPayload(t, jobs.Payload{Kind: jobs.KindAnalysis})}))
+		must(t, j.Append(jobs.JournalEntry{Op: jobs.OpDone, ID: id, At: at, Result: json.RawMessage(`{}`)}))
+	}
+	before := j.Stats().ActiveBytes
+	for i := 1; i < 8; i++ {
+		must(t, j.Append(jobs.JournalEntry{Op: jobs.OpEvict, ID: entryID(i), At: at}))
+	}
+	// Evict appends defer maintenance (they run under the Manager lock);
+	// the next terminal append or Sync applies it.
+	must(t, j.Sync())
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after 7/8 evictions: %+v", st)
+	}
+	if st.DeadRecords != 0 {
+		t.Errorf("dead records survive compaction: %+v", st)
+	}
+	if st.ActiveBytes >= before {
+		t.Errorf("log did not shrink: %d -> %d bytes", before, st.ActiveBytes)
+	}
+	// Only the live job remains; the evicted ones are gone from replay.
+	got := replayAll(t, j)
+	for _, e := range got {
+		if e.ID != entryID(0) {
+			t.Fatalf("evicted job %s survived compaction", e.ID)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("live job has %d records, want submit+done", len(got))
+	}
+
+	// And the compacted log reopens clean.
+	must(t, j.Close())
+	j2 := openT(t, path, Config{})
+	if got := replayAll(t, j2); len(got) != 2 {
+		t.Fatalf("compacted log reopened with %d records, want 2", len(got))
+	}
+}
+
+// TestCompactionFoldsSealedSegment: when both segments exist, compaction
+// folds them into a single live-only active file.
+func TestCompactionFoldsSealedSegment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	// CompactMinRecords 1: even the trailing evict records (dead by
+	// definition) stay above the floor, so the final eviction compacts the
+	// log down to nothing.
+	j := openT(t, path, Config{MaxSegmentBytes: 200, CompactRatio: 0.5, CompactMinRecords: 1})
+
+	at := time.Now()
+	for i := 0; i < 8; i++ {
+		id := entryID(i)
+		must(t, j.Append(jobs.JournalEntry{Op: jobs.OpSubmit, ID: id, At: at, Payload: rawPayload(t, jobs.Payload{Kind: jobs.KindAnalysis})}))
+		must(t, j.Append(jobs.JournalEntry{Op: jobs.OpDone, ID: id, At: at, Result: json.RawMessage(`{}`)}))
+	}
+	for i := 0; i < 8; i++ {
+		must(t, j.Append(jobs.JournalEntry{Op: jobs.OpEvict, ID: entryID(i), At: at}))
+	}
+	must(t, j.Sync())
+	if j.Stats().Compactions == 0 {
+		t.Fatal("expected at least one compaction")
+	}
+	if _, err := os.Stat(sealedPath(path)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("sealed segment survives compaction: %v", err)
+	}
+	if got := replayAll(t, j); len(got) != 0 {
+		t.Errorf("all jobs evicted but %d records replayed", len(got))
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

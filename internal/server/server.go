@@ -13,6 +13,7 @@
 //	POST /v1/analyze        synchronous analysis (the caller waits);
 //	POST /v1/jobs           asynchronous: 202 + job id into the bounded
 //	                        queue of the configured jobs.Dispatcher;
+//	GET  /v1/jobs           job history, newest-first (state=, limit=);
 //	GET  /v1/jobs/{id}      lifecycle state and pipeline stage;
 //	GET  /v1/jobs/{id}/result  the finished AnalysisResponse;
 //	GET  /v1/metrics        queue, throughput, latency and cache counters;
@@ -136,6 +137,14 @@ type Options struct {
 	CacheEntries int
 	// CacheTTL expires cached responses this long after they are stored.
 	CacheTTL time.Duration
+	// Journal makes the in-process job table durable: submissions, state
+	// transitions and evictions are appended to it, and construction
+	// replays the log — interrupted jobs re-run, finished results stay
+	// pollable across a restart (slj-serve -journal; DESIGN.md §11). The
+	// caller keeps ownership of closing it after the server closes.
+	// Ignored when Dispatcher is set (a remote backend journals on its
+	// worker nodes).
+	Journal jobs.Journal
 	// Dispatcher overrides the in-process worker pool with an external job
 	// backend (e.g. the remote HTTP fan-out dispatcher). When set,
 	// Workers/QueueSize/ResultTTL are ignored; on successful construction
@@ -225,6 +234,7 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 			Workers:   opts.Workers,
 			QueueSize: opts.QueueSize,
 			ResultTTL: opts.ResultTTL,
+			Journal:   opts.Journal,
 		}, exec)
 		if err != nil {
 			if store != nil {
@@ -255,7 +265,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.handleIndex)
 	for _, prefix := range []string{"", "/v1"} {
 		mux.HandleFunc(prefix+"/analyze", method(http.MethodPost, s.handleAnalyze))
-		mux.HandleFunc(prefix+"/jobs", method(http.MethodPost, s.handleJobs))
+		mux.HandleFunc(prefix+"/jobs", s.handleJobsRoot)
 		mux.HandleFunc(prefix+"/jobs/", method(http.MethodGet, s.handleJobPath))
 		mux.HandleFunc(prefix+"/metrics", method(http.MethodGet, s.handleMetrics))
 		mux.HandleFunc(prefix+"/rules", method(http.MethodGet, s.handleRules))
@@ -305,8 +315,10 @@ answered from the result cache immediately. The optional
 <code>stages</code> field runs a pipeline prefix (e.g.
 <code>stages=segmentation</code> with <code>silhouettes=1</code>).</p>
 <p>See <a href="/v1/rules">/v1/rules</a> for the scoring rules (Tables 1-2
-of the paper), <a href="/v1/metrics">/v1/metrics</a> for queue and cache
-statistics and <a href="/v1/healthz">/v1/healthz</a> for service status.</p>
+of the paper), <a href="/v1/jobs">/v1/jobs</a> for the job history
+(newest-first; <code>state=</code>, <code>limit=</code>),
+<a href="/v1/metrics">/v1/metrics</a> for queue and cache statistics and
+<a href="/v1/healthz">/v1/healthz</a> for service status.</p>
 `
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -401,6 +413,66 @@ type submitResponse struct {
 	State     string `json:"state"`
 	StatusURL string `json:"status_url"`
 	ResultURL string `json:"result_url"`
+}
+
+// handleJobsRoot routes the /jobs collection: POST submits a job, GET
+// lists the job history.
+func (s *Server) handleJobsRoot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleJobs(w, r)
+	case http.MethodGet:
+		s.handleJobList(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed; use GET or POST", r.Method))
+	}
+}
+
+// jobListResponse is the GET /v1/jobs history document.
+type jobListResponse struct {
+	Jobs  []jobs.Status `json:"jobs"`
+	Count int           `json:"count"`
+}
+
+// handleJobList serves the job history: every job the backend still
+// remembers (with a journal configured the table survives restarts),
+// newest-first. Query parameters: state=queued|running|done|failed keeps
+// one lifecycle state, limit=N truncates the listing (default 100). Note
+// that a remote-dispatch backend reports every non-terminal job as queued
+// (it does not fan the listing out to worker nodes), so state=running is
+// only meaningful on the in-process backend.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	lister, ok := s.jobs.(jobs.Lister)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "job listing is not supported by this backend")
+		return
+	}
+	f := jobs.JobFilter{Limit: 100}
+	if sv := r.URL.Query().Get("state"); sv != "" {
+		switch st := jobs.State(sv); st {
+		case jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed:
+			f.State = st
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown state %q; use queued, running, done or failed", sv))
+			return
+		}
+	}
+	if lv := r.URL.Query().Get("limit"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("limit %q is not a positive integer", lv))
+			return
+		}
+		f.Limit = n
+	}
+	listed := lister.Jobs(f)
+	if listed == nil {
+		listed = []jobs.Status{}
+	}
+	writeJSON(w, http.StatusOK, jobListResponse{Jobs: listed, Count: len(listed)})
 }
 
 // handleJobs accepts the same multipart clip upload as /v1/analyze but runs

@@ -283,7 +283,10 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	}
 }
 
-func TestJobsRejectsGet(t *testing.T) {
+// TestJobsCollectionMethods: GET on the /jobs collection is the history
+// listing (it used to be 405 before the endpoint existed); anything that
+// is neither GET nor POST stays 405 naming both.
+func TestJobsCollectionMethods(t *testing.T) {
 	srv := httptest.NewServer(fastServer(t).Handler())
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/jobs")
@@ -291,8 +294,23 @@ func TestJobsRejectsGet(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("status %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /jobs (history listing) status %d, want 200", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/jobs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /jobs status %d, want 405", dresp.StatusCode)
+	}
+	if got := dresp.Header.Get("Allow"); got != "GET, POST" {
+		t.Errorf("Allow = %q, want GET, POST", got)
 	}
 }
 

@@ -57,8 +57,8 @@ func TestMethodNotAllowedEverywhere(t *testing.T) {
 		{http.MethodGet, "/analyze", "POST"},
 		{http.MethodGet, "/v1/analyze", "POST"},
 		{http.MethodDelete, "/v1/analyze", "POST"},
-		{http.MethodGet, "/jobs", "POST"},
-		{http.MethodGet, "/v1/jobs", "POST"},
+		{http.MethodDelete, "/jobs", "GET, POST"},
+		{http.MethodDelete, "/v1/jobs", "GET, POST"},
 		{http.MethodPost, "/jobs/deadbeef", "GET"},
 		{http.MethodPost, "/v1/jobs/deadbeef/result", "GET"},
 		{http.MethodPost, "/metrics", "GET"},

@@ -60,6 +60,7 @@ import (
 	"github.com/sljmotion/sljmotion/internal/dispatch"
 	"github.com/sljmotion/sljmotion/internal/imaging"
 	"github.com/sljmotion/sljmotion/internal/jobs"
+	"github.com/sljmotion/sljmotion/internal/journal"
 	"github.com/sljmotion/sljmotion/internal/metrics"
 	"github.com/sljmotion/sljmotion/internal/pose"
 	"github.com/sljmotion/sljmotion/internal/scoring"
@@ -249,6 +250,16 @@ type (
 	// JobExecutor turns payloads into results; the Manager runs one
 	// locally, worker nodes run the same payloads remotely.
 	JobExecutor = jobs.Executor
+	// JobJournal is the durability seam of a job queue: an append-only
+	// record sink replayed on startup (DESIGN.md §11). OpenJobJournal
+	// returns the canonical file-backed implementation.
+	JobJournal = jobs.Journal
+	// JobJournalFile is the file-backed JSON-lines journal: segment
+	// rotation, live-record compaction, fsync on terminal transitions,
+	// torn-final-record recovery.
+	JobJournalFile = journal.Journal
+	// JobFilter selects jobs for a history listing (JobQueue.Jobs).
+	JobFilter = jobs.JobFilter
 	// PipelineStage names one of the four analysis phases.
 	PipelineStage = core.Stage
 )
@@ -285,6 +296,13 @@ type JobQueueOptions struct {
 	// ResultTTL evicts finished results this long after completion;
 	// 0 keeps them until Close.
 	ResultTTL time.Duration
+	// Journal makes the queue durable: submissions, transitions and
+	// evictions are appended to it and NewJobQueue replays the log —
+	// interrupted jobs re-run, finished results stay pollable across a
+	// restart. Open one with OpenJobJournal; the caller closes it after
+	// the queue closes. Restored results of earlier processes are JSON
+	// documents — read them with JobResultJSON.
+	Journal JobJournal
 }
 
 // DefaultJobQueueOptions returns a small in-process queue configuration
@@ -317,6 +335,7 @@ func NewJobQueue(cfg Config, opts JobQueueOptions) (*JobQueue, error) {
 		Workers:   opts.Workers,
 		QueueSize: opts.QueueSize,
 		ResultTTL: opts.ResultTTL,
+		Journal:   opts.Journal,
 	}, jobs.ExecutorFunc(func(ctx context.Context, p JobPayload, progress func(string)) (any, error) {
 		req, err := p.AnalysisRequest()
 		if err != nil {
@@ -416,6 +435,25 @@ func (q *JobQueue) JobResultJSON(id string) ([]byte, error) {
 
 // JobMetrics snapshots queue depth, throughput counters and latency stats.
 func (q *JobQueue) JobMetrics() JobMetrics { return q.mgr.Metrics() }
+
+// Jobs lists the queue's job history newest-first, filtered per f. It
+// returns nil when the underlying dispatcher has no listing capability
+// (custom dispatchers may not). With a journal configured the history
+// survives restarts.
+func (q *JobQueue) Jobs(f JobFilter) []JobStatus {
+	if l, ok := q.mgr.(jobs.Lister); ok {
+		return l.Jobs(f)
+	}
+	return nil
+}
+
+// OpenJobJournal opens (or creates) the durable job journal at path with
+// the production policy: fsync on terminal transitions, 64 MiB segments,
+// compaction once half the records belong to evicted jobs. Pass it to
+// JobQueueOptions.Journal and close it after the queue closes.
+func OpenJobJournal(path string) (*JobJournalFile, error) {
+	return journal.Open(path, journal.DefaultConfig())
+}
 
 // Close drains the queue and shuts the workers down; a cancelled ctx
 // hard-aborts in-flight analyses (see DESIGN.md §8).

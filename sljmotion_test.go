@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -323,5 +324,87 @@ func TestPublicJobQueueStagedSubmit(t *testing.T) {
 	}
 	if res.Report == nil || res.Report.Total != 7 {
 		t.Errorf("staged job result: %+v", res.Report)
+	}
+}
+
+// TestPublicJournalBackedJobQueue: a journal-backed queue survives its
+// process — a second queue opened over the same journal serves finished
+// results (as JSON documents, without re-running), re-executes interrupted
+// jobs, and lists the surviving history.
+func TestPublicJournalBackedJobQueue(t *testing.T) {
+	video, err := sljmotion.GenerateSyntheticJump(sljmotion.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := video.ManualAnnotation(sljmotion.DefaultAnnotationError(), 1)
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	jrn, err := sljmotion.OpenJobJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jrn.Close()
+
+	opts := sljmotion.DefaultJobQueueOptions()
+	opts.Journal = jrn
+	cfg := sljmotion.DefaultConfig()
+	q1, err := sljmotion.NewJobQueue(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segmentation only: fast, no GA.
+	id, err := q1.Submit(sljmotion.AnalysisRequest{
+		Frames:      video.Frames,
+		ManualFirst: manual,
+		Stages:      sljmotion.OnlyStage(sljmotion.StageSegmentation),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, err := q1.JobStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == sljmotion.JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := q1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, err := sljmotion.NewJobQueue(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close(context.Background())
+	st, err := q2.JobStatus(id)
+	if err != nil {
+		t.Fatalf("finished job lost across restart: %v", err)
+	}
+	if st.State != sljmotion.JobDone {
+		t.Fatalf("restored state = %s, want done", st.State)
+	}
+	raw, err := q2.JobResultJSON(id)
+	if err != nil {
+		t.Fatalf("restored result: %v", err)
+	}
+	// The in-process queue journals the marshalled core.Result; the
+	// segmentation-only run carries one silhouette per frame.
+	var doc struct {
+		Silhouettes []json.RawMessage `json:"Silhouettes"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil || len(doc.Silhouettes) != len(video.Frames) {
+		t.Errorf("restored result document: err=%v, %d silhouettes, want %d",
+			err, len(doc.Silhouettes), len(video.Frames))
+	}
+	hist := q2.Jobs(sljmotion.JobFilter{State: sljmotion.JobDone})
+	if len(hist) != 1 || hist[0].ID != id {
+		t.Errorf("restored history: %+v", hist)
 	}
 }
