@@ -13,11 +13,18 @@
 //	slj-analyze -synthetic [-defect NAME] [-seed S] [-ascii]
 //	slj-analyze -in DIR [-ascii]
 //	slj-analyze -synthetic -stages segmentation -ascii
+//	slj-analyze -synthetic -follow
 //
 // -stages selects a pipeline prefix via the request API: "segmentation"
 // stops after the silhouettes (no GA — fast, useful for inspecting the
 // masks), "segmentation..pose" adds the stick-model fit, and "all" (the
 // default) runs tracking and scoring too.
+//
+// -follow runs the analysis as an asynchronous job and streams its
+// lifecycle live — queued, running, one line per pipeline stage, done —
+// the terminal equivalent of the web service's
+// GET /v1/jobs/{id}/events stream; the report prints as usual when the
+// job finishes.
 package main
 
 import (
@@ -48,6 +55,7 @@ func run() error {
 		ascii     = flag.Bool("ascii", false, "print per-frame silhouettes as ASCII art")
 		detect    = flag.Bool("detect-windows", false, "use detected takeoff/landing windows instead of the paper's fixed windows")
 		stages    = flag.String("stages", "all", "pipeline prefix to run: all, segmentation, segmentation..pose, ...")
+		follow    = flag.Bool("follow", false, "run as an asynchronous job and stream lifecycle + per-stage progress events live")
 	)
 	flag.Parse()
 
@@ -108,15 +116,20 @@ func run() error {
 	if *detect {
 		cfg.Windows = sljmotion.WindowsDetected
 	}
-	an, err := sljmotion.NewAnalyzer(cfg)
-	if err != nil {
-		return err
-	}
-	res, err := an.Run(context.Background(), sljmotion.AnalysisRequest{
+	req := sljmotion.AnalysisRequest{
 		Frames:      frames,
 		ManualFirst: manual,
 		Stages:      sel,
-	}, nil)
+	}
+	var res *sljmotion.Result
+	if *follow {
+		res, err = runFollowed(cfg, req)
+	} else {
+		var an *sljmotion.Analyzer
+		if an, err = sljmotion.NewAnalyzer(cfg); err == nil {
+			res, err = an.Run(context.Background(), req, nil)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -149,4 +162,35 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runFollowed runs the request through an in-process job queue, printing
+// each streamed lifecycle/progress event as it happens, and returns the
+// finished result.
+func runFollowed(cfg sljmotion.Config, req sljmotion.AnalysisRequest) (*sljmotion.Result, error) {
+	ctx := context.Background()
+	q, err := sljmotion.NewJobQueue(cfg, sljmotion.JobQueueOptions{Workers: 1, QueueSize: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer q.Close(ctx)
+	id, err := q.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := q.Watch(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	for e := range ch {
+		switch e.Type {
+		case sljmotion.JobEventStage:
+			fmt.Printf("follow: #%d stage %s\n", e.Seq, e.Stage)
+		case sljmotion.JobEventFailed:
+			fmt.Printf("follow: #%d failed: %s\n", e.Seq, e.Error)
+		default:
+			fmt.Printf("follow: #%d %s\n", e.Seq, e.Type)
+		}
+	}
+	return q.JobResult(id)
 }

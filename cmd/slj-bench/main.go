@@ -6,9 +6,16 @@
 //
 //	slj-bench [-seed S] [-figures] [-only ID]
 //	slj-bench -json [-fast] [-seed S]
+//	slj-bench -json [-fast] -compare BENCH_pipeline.json [-compare-threshold 25]
 //
 // -figures additionally prints the ASCII figure artefacts. -only restricts
 // the run to one experiment id (F1..F7, T1, T2, T2est, A1..A4).
+//
+// -compare diffs the fresh perf document against a committed baseline
+// (the BENCH trajectory series): matching rows — segmentation and
+// end-to-end frames/sec, journal jobs/sec, dispatch round-trip latency,
+// event-bus throughput — are reported with their deltas on stderr, and
+// any regression beyond -compare-threshold percent exits nonzero.
 //
 // -json switches to the performance mode: instead of the experiment
 // reports, it times the concurrency hot paths — per-frame segmentation at
@@ -33,10 +40,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sljmotion/sljmotion/internal/core"
 	"github.com/sljmotion/sljmotion/internal/dispatch"
+	"github.com/sljmotion/sljmotion/internal/events"
 	"github.com/sljmotion/sljmotion/internal/experiments"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/journal"
@@ -54,16 +64,18 @@ func main() {
 
 func run() error {
 	var (
-		seed     = flag.Int64("seed", 1, "workload seed")
-		figures  = flag.Bool("figures", false, "print ASCII figure artefacts")
-		only     = flag.String("only", "", "run a single experiment id")
-		jsonMode = flag.Bool("json", false, "emit machine-readable perf JSON instead of experiment reports")
-		fast     = flag.Bool("fast", false, "trim the GA budget in -json mode")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		figures   = flag.Bool("figures", false, "print ASCII figure artefacts")
+		only      = flag.String("only", "", "run a single experiment id")
+		jsonMode  = flag.Bool("json", false, "emit machine-readable perf JSON instead of experiment reports")
+		fast      = flag.Bool("fast", false, "trim the GA budget in -json mode")
+		compare   = flag.String("compare", "", "baseline perf JSON (e.g. BENCH_pipeline.json) to diff the fresh run against; implies -json")
+		threshold = flag.Float64("compare-threshold", 25, "regression threshold for -compare, in percent")
 	)
 	flag.Parse()
 
-	if *jsonMode {
-		return runPerf(*seed, *fast)
+	if *jsonMode || *compare != "" {
+		return runPerf(*seed, *fast, *compare, *threshold)
 	}
 
 	type exp struct {
@@ -144,6 +156,20 @@ type perfDoc struct {
 	EndToEnd     []perfE2E     `json:"end_to_end"`
 	Dispatch     *perfDispatch `json:"dispatch,omitempty"`
 	Journal      *perfJournal  `json:"journal,omitempty"`
+	Events       *perfEvents   `json:"events,omitempty"`
+}
+
+// perfEvents measures the job event bus: one publisher fanning events
+// over concurrent firehose subscribers (the dashboard pattern), pure
+// in-memory — the ceiling on per-stage progress streaming.
+type perfEvents struct {
+	Events          int     `json:"events"`
+	Subscribers     int     `json:"subscribers"`
+	PublishPerSec   float64 `json:"publish_per_sec"`
+	DeliveredPerSec float64 `json:"delivered_per_sec"`
+	// Delivered counts events actually received across subscribers; the
+	// drop-and-resync policy may discard under extreme pressure.
+	Delivered int `json:"delivered"`
 }
 
 // perfJournal measures the durable-journal overhead on the async job
@@ -212,8 +238,10 @@ type perfE2E struct {
 }
 
 // runPerf times the concurrent hot paths on the canonical synthetic clip
-// and prints one JSON document.
-func runPerf(seed int64, fast bool) error {
+// and prints one JSON document. With a baseline path it additionally
+// reports per-row deltas on stderr, erroring past the regression
+// threshold.
+func runPerf(seed int64, fast bool, baselinePath string, thresholdPct float64) error {
 	params := synth.DefaultJumpParams()
 	params.Seed = seed
 	v, err := synth.Generate(params)
@@ -300,9 +328,156 @@ func runPerf(seed int64, fast bool) error {
 	}
 	doc.Journal = jl
 
+	doc.Events = runEventsPerf()
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if baselinePath != "" {
+		return compareBaseline(doc, baselinePath, thresholdPct)
+	}
+	return nil
+}
+
+// runEventsPerf times the event bus: one publisher, four firehose
+// subscribers draining concurrently.
+func runEventsPerf() *perfEvents {
+	const (
+		nevents = 100000
+		subs    = 4
+	)
+	hub := events.NewHub(events.Config{SubscriberBuffer: 4096, MaxSubscribers: subs, HistoryPerJob: 8})
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for i := 0; i < subs; i++ {
+		sub, err := hub.Subscribe("", 0)
+		if err != nil {
+			return nil
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := sub.Next(ctx); err != nil {
+					return
+				}
+				delivered.Add(1)
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < nevents; i++ {
+		hub.Publish(events.Event{
+			Type:  events.TypeStage,
+			JobID: fmt.Sprintf("job-%02d", i%64),
+			Stage: "segmentation",
+		})
+	}
+	publishSecs := time.Since(start).Seconds()
+	hub.Close()
+	wg.Wait()
+	totalSecs := time.Since(start).Seconds()
+	return &perfEvents{
+		Events:          nevents,
+		Subscribers:     subs,
+		PublishPerSec:   float64(nevents) / publishSecs,
+		DeliveredPerSec: float64(delivered.Load()) / totalSecs,
+		Delivered:       int(delivered.Load()),
+	}
+}
+
+// compareRow is one comparable measurement of a perf document.
+type compareRow struct {
+	name string
+	old  float64
+	new  float64
+	// higherBetter: throughput rows regress downward, latency rows upward.
+	higherBetter bool
+}
+
+// compareBaseline diffs the fresh document against a committed baseline,
+// reporting every matching row and erroring when any regresses beyond the
+// threshold.
+func compareBaseline(doc perfDoc, path string, thresholdPct float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare baseline: %w", err)
+	}
+	var base perfDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("compare baseline %s: %w", path, err)
+	}
+	var rows []compareRow
+	for _, b := range base.Segmentation {
+		for _, n := range doc.Segmentation {
+			if n.Workers == b.Workers {
+				rows = append(rows, compareRow{
+					name: fmt.Sprintf("segmentation workers=%d frames/sec", b.Workers),
+					old:  b.FramesPerSec, new: n.FramesPerSec, higherBetter: true,
+				})
+			}
+		}
+	}
+	// End-to-end rows only compare at matching GA budgets: a -fast run
+	// against a full-budget baseline would always read as a huge "speedup".
+	if doc.Fast == base.Fast {
+		for _, b := range base.EndToEnd {
+			for _, n := range doc.EndToEnd {
+				if n.Parallelism == b.Parallelism {
+					rows = append(rows, compareRow{
+						name: fmt.Sprintf("end_to_end parallelism=%d frames/sec", b.Parallelism),
+						old:  b.FramesPerSec, new: n.FramesPerSec, higherBetter: true,
+					})
+				}
+			}
+		}
+	}
+	if base.Journal != nil && doc.Journal != nil {
+		rows = append(rows,
+			compareRow{name: "journal off jobs/sec", old: base.Journal.OffJobsPerSec, new: doc.Journal.OffJobsPerSec, higherBetter: true},
+			compareRow{name: "journal on jobs/sec", old: base.Journal.OnJobsPerSec, new: doc.Journal.OnJobsPerSec, higherBetter: true},
+			compareRow{name: "journal fsync jobs/sec", old: base.Journal.FsyncJobsPerSec, new: doc.Journal.FsyncJobsPerSec, higherBetter: true},
+		)
+	}
+	if base.Dispatch != nil && doc.Dispatch != nil {
+		rows = append(rows,
+			compareRow{name: "dispatch cold mean ms", old: base.Dispatch.ColdMS.MeanMS, new: doc.Dispatch.ColdMS.MeanMS},
+			compareRow{name: "dispatch cache-hit mean ms", old: base.Dispatch.CacheHitMS.MeanMS, new: doc.Dispatch.CacheHitMS.MeanMS},
+		)
+	}
+	if base.Events != nil && doc.Events != nil {
+		rows = append(rows,
+			compareRow{name: "events publish/sec", old: base.Events.PublishPerSec, new: doc.Events.PublishPerSec, higherBetter: true},
+			compareRow{name: "events delivered/sec", old: base.Events.DeliveredPerSec, new: doc.Events.DeliveredPerSec, higherBetter: true},
+		)
+	}
+
+	fmt.Fprintf(os.Stderr, "bench compare vs %s (threshold %.0f%%):\n", path, thresholdPct)
+	regressions := 0
+	for _, r := range rows {
+		if r.old == 0 {
+			continue
+		}
+		deltaPct := 100 * (r.new - r.old) / r.old
+		regressed := deltaPct < -thresholdPct
+		if !r.higherBetter {
+			regressed = deltaPct > thresholdPct
+		}
+		mark := "  "
+		if regressed {
+			mark = "R "
+			regressions++
+		}
+		fmt.Fprintf(os.Stderr, "%s%-38s %12.2f -> %12.2f  (%+.1f%%)\n", mark, r.name, r.old, r.new, deltaPct)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d measurement(s) regressed beyond %.0f%% vs %s", regressions, thresholdPct, path)
+	}
+	fmt.Fprintf(os.Stderr, "no regressions beyond %.0f%% across %d comparable row(s)\n", thresholdPct, len(rows))
+	return nil
 }
 
 // runJournalPerf measures jobs/sec through the async Manager with the

@@ -7,6 +7,7 @@
 //	slj-serve [-addr :8080] [-workers N] [-queue N] [-result-ttl 15m]
 //	          [-parallelism N] [-cache-size N] [-cache-ttl 15m]
 //	          [-journal path] [-worker] [-dispatch-nodes url1,url2,...]
+//	          [-event-subscribers N] [-event-buffer N]
 //
 // Endpoints (versioned under /v1; the unversioned paths remain as
 // aliases):
@@ -20,9 +21,17 @@
 //	                  200 with the cached response for a resubmitted
 //	                  identical clip, or 503 + Retry-After when the queue
 //	                  is full.
-//	GET  /v1/jobs     job history, newest-first (state=..., limit=N).
+//	GET  /v1/jobs     job history, newest-first (state=..., limit=N,
+//	                  cursor= pagination; the reply's next_cursor token
+//	                  continues the listing).
 //	GET  /v1/jobs/{id}         job lifecycle state and pipeline stage.
 //	GET  /v1/jobs/{id}/result  the AnalysisResponse once the job is done.
+//	GET  /v1/jobs/{id}/events  server-sent events: live lifecycle and
+//	                  per-stage progress (curl -N; Last-Event-ID resumes
+//	                  a dropped stream; the terminal frame embeds the
+//	                  result document).
+//	GET  /v1/events   the global event feed of every job (state= filter),
+//	                  for dashboards.
 //	GET  /v1/metrics  queue depth, throughput counters, latency stats and
 //	                  result-cache hit/miss counters.
 //	GET  /v1/rules    the encoded Tables 1-2.
@@ -33,7 +42,11 @@
 // stay pollable. -parallelism fans the per-frame hot paths of one analysis
 // out over that many goroutines (0 keeps each analysis sequential).
 // -cache-size bounds the content-addressed result cache (0 disables it)
-// and -cache-ttl its entry lifetime.
+// and -cache-ttl its entry lifetime. -event-subscribers caps concurrently
+// connected event-stream clients (excess answers 503 + Retry-After) and
+// -event-buffer sizes each subscriber's pending-event ring (a slower
+// client is resynced — snapshot + delta — never allowed to stall the
+// pipeline).
 //
 // -journal makes the job table durable (DESIGN.md §11): every submission,
 // state transition and TTL eviction is appended to a JSON-lines journal at
@@ -106,6 +119,8 @@ func run() error {
 		journalPath = flag.String("journal", "", "durable job journal path; restarts replay it (re-running interrupted jobs, restoring finished results)")
 		worker      = flag.Bool("worker", false, "run as a worker node: accept serialized job payloads at POST /v1/worker/jobs")
 		nodes       = flag.String("dispatch-nodes", "", "comma-separated worker base URLs; fan asynchronous jobs out over them instead of the in-process pool")
+		eventSubs   = flag.Int("event-subscribers", defaults.EventSubscribers, "max concurrently connected event-stream (SSE) clients; excess answers 503")
+		eventBuffer = flag.Int("event-buffer", defaults.EventBuffer, "per-subscriber pending-event ring; slower clients are resynced, never block the pipeline")
 	)
 	flag.Parse()
 
@@ -113,12 +128,14 @@ func run() error {
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = *parallelism
 	opts := server.Options{
-		Workers:      *workers,
-		QueueSize:    *queue,
-		ResultTTL:    *resultTTL,
-		CacheEntries: *cacheSize,
-		CacheTTL:     *cacheTTL,
-		Worker:       *worker,
+		Workers:          *workers,
+		QueueSize:        *queue,
+		ResultTTL:        *resultTTL,
+		CacheEntries:     *cacheSize,
+		CacheTTL:         *cacheTTL,
+		Worker:           *worker,
+		EventSubscribers: *eventSubs,
+		EventBuffer:      *eventBuffer,
 	}
 	var jrn *journal.Journal
 	if *journalPath != "" {
@@ -146,6 +163,8 @@ func run() error {
 		dcfg := dispatch.DefaultConfig()
 		dcfg.Nodes = urls
 		dcfg.ResultTTL = *resultTTL
+		dcfg.Events.MaxSubscribers = *eventSubs
+		dcfg.Events.SubscriberBuffer = *eventBuffer
 		d, err := dispatch.New(dcfg)
 		if err != nil {
 			return err

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/sljmotion/sljmotion/internal/events"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 )
 
@@ -59,14 +60,24 @@ type Config struct {
 	ResultTTL time.Duration
 	// Clock overrides time.Now, a test seam for TTL eviction.
 	Clock func() time.Time
+	// Events configures the dispatcher's local event hub (zero fields take
+	// their defaults). The hub carries the dispatcher's own observations —
+	// submissions, cache-hit completions, terminal states resolved by
+	// polls — for the global feed; per-job Watch streams are proxied from
+	// the owning worker node, not served from this hub.
+	Events events.Config
+	// WatchPollInterval paces the polling fallback of Watch when the
+	// worker's event stream cannot be (re)established.
+	WatchPollInterval time.Duration
 }
 
 // DefaultConfig returns a small-deployment default.
 func DefaultConfig() Config {
 	return Config{
-		HealthInterval: 2 * time.Second,
-		Replicas:       64,
-		ResultTTL:      15 * time.Minute,
+		HealthInterval:    2 * time.Second,
+		Replicas:          64,
+		ResultTTL:         15 * time.Minute,
+		WatchPollInterval: 250 * time.Millisecond,
 	}
 }
 
@@ -80,7 +91,7 @@ func (c Config) Validate() error {
 			return errors.New("dispatch: empty node URL")
 		}
 	}
-	if c.HealthInterval < 0 || c.Replicas < 0 || c.ResultTTL < 0 {
+	if c.HealthInterval < 0 || c.Replicas < 0 || c.ResultTTL < 0 || c.WatchPollInterval < 0 {
 		return errors.New("dispatch: negative durations/counts")
 	}
 	return nil
@@ -125,14 +136,22 @@ type entry struct {
 	status   *jobs.Status
 	result   json.RawMessage // response document, once known
 	err      error           // terminal failure, once known
+	// local marks a job born done from a node's result cache: the id
+	// exists only in this dispatcher (the node never enqueued a job), so
+	// streams are synthesized locally instead of proxied.
+	local bool
 }
 
 // Remote fans payloads out to worker nodes; it implements jobs.Dispatcher.
 type Remote struct {
 	cfg    Config
 	client *http.Client
-	clock  func() time.Time
-	ring   ring
+	// streamClient shares the transport but carries no overall timeout:
+	// an event stream legitimately outlives any request deadline.
+	streamClient *http.Client
+	clock        func() time.Time
+	ring         ring
+	hub          *events.Hub
 
 	mu        sync.Mutex
 	nodes     []*node
@@ -172,16 +191,21 @@ func New(cfg Config) (*Remote, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.WatchPollInterval == 0 {
+		cfg.WatchPollInterval = def.WatchPollInterval
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	r := &Remote{
-		cfg:     cfg,
-		client:  cfg.Client,
-		clock:   cfg.Clock,
-		ring:    buildRing(cfg.Nodes, cfg.Replicas),
-		entries: make(map[string]*entry),
-		stop:    make(chan struct{}),
+		cfg:          cfg,
+		client:       cfg.Client,
+		streamClient: &http.Client{Transport: cfg.Client.Transport},
+		clock:        cfg.Clock,
+		ring:         buildRing(cfg.Nodes, cfg.Replicas),
+		hub:          events.NewHub(cfg.Events),
+		entries:      make(map[string]*entry),
+		stop:         make(chan struct{}),
 	}
 	for _, u := range cfg.Nodes {
 		r.nodes = append(r.nodes, &node{url: strings.TrimRight(u, "/"), healthy: true})
@@ -287,8 +311,10 @@ func (r *Remote) submitTo(n *node, body []byte) (string, error) {
 		n.submitted++
 		n.cacheHits++
 		n.completed++
-		r.entries[id] = &entry{node: n, created: now, done: true, finished: now, status: st, result: raw}
+		r.entries[id] = &entry{node: n, created: now, done: true, finished: now, status: st, result: raw, local: true}
 		r.mu.Unlock()
+		// Born done: the job is immediately streamable as a terminal event.
+		r.hub.Publish(events.Event{Type: events.TypeDone, JobID: id, At: now, State: string(jobs.StateDone)})
 		return id, nil
 
 	case http.StatusAccepted:
@@ -298,10 +324,12 @@ func (r *Remote) submitTo(n *node, body []byte) (string, error) {
 		if err := json.Unmarshal(raw, &sub); err != nil || sub.ID == "" {
 			return "", fmt.Errorf("dispatch: worker %s returned a malformed submit document", n.url)
 		}
+		now := r.clock()
 		r.mu.Lock()
 		n.submitted++
-		r.entries[sub.ID] = &entry{node: n, created: r.clock()}
+		r.entries[sub.ID] = &entry{node: n, created: now}
 		r.mu.Unlock()
+		r.hub.Publish(events.Event{Type: events.TypeQueued, JobID: sub.ID, At: now, State: string(jobs.StateQueued)})
 		return sub.ID, nil
 
 	case http.StatusServiceUnavailable:
@@ -356,11 +384,11 @@ func (r *Remote) Status(id string) (jobs.Status, error) {
 	if st.State.Terminal() {
 		snap := st
 		r.mu.Lock()
-		r.finishLocked(e, st.State == jobs.StateDone)
 		// Keep the snapshot: later Status calls skip the HTTP round trip,
 		// and the Jobs listing reports the true terminal state (done vs
 		// failed) regardless of which endpoint observed it first.
 		e.status = &snap
+		r.finishLocked(id, e, st.State == jobs.StateDone)
 		r.mu.Unlock()
 	}
 	return st, nil
@@ -406,8 +434,8 @@ func (r *Remote) Result(id string) (any, error) {
 	case http.StatusOK:
 		res := json.RawMessage(raw)
 		r.mu.Lock()
-		r.finishLocked(e, true)
 		e.result = res
+		r.finishLocked(id, e, true)
 		r.mu.Unlock()
 		return res, nil
 	case http.StatusAccepted:
@@ -421,8 +449,8 @@ func (r *Remote) Result(id string) (any, error) {
 		msg := strings.TrimPrefix(envelopeError(raw, resp.StatusCode), "analysis failed: ")
 		jobErr := errors.New(msg)
 		r.mu.Lock()
-		r.finishLocked(e, false)
 		e.err = jobErr
+		r.finishLocked(id, e, false)
 		r.mu.Unlock()
 		return nil, jobErr
 	}
@@ -482,6 +510,13 @@ func (r *Remote) Jobs(f jobs.JobFilter) []jobs.Status {
 		switch {
 		case e.status != nil:
 			st = *e.status
+			// The listing position must be stable across the job's
+			// lifetime: keep the dispatcher's own submit time (what
+			// non-terminal entries already report), not the worker's
+			// CreatedAt — a job whose listed time silently shifted once
+			// its terminal status was cached could cross a pagination
+			// cursor between pages and be skipped or served twice.
+			st.CreatedAt = e.created
 		case e.done:
 			st.State = jobs.StateDone
 			if e.err != nil {
@@ -492,6 +527,9 @@ func (r *Remote) Jobs(f jobs.JobFilter) []jobs.Status {
 			st.FinishedAt = &fin
 		}
 		if f.State != "" && st.State != f.State {
+			continue
+		}
+		if !f.AfterCursor(st.CreatedAt, id) {
 			continue
 		}
 		out = append(out, st)
@@ -519,6 +557,7 @@ func (r *Remote) Close(ctx context.Context) error {
 	r.mu.Unlock()
 	close(r.stop)
 	r.health.Wait()
+	r.hub.Close()
 	return nil
 }
 
@@ -563,18 +602,27 @@ func (r *Remote) loseNode(id string, e *entry, err error) jobs.Status {
 	}
 }
 
-// finishLocked records a terminal observation exactly once. Caller holds mu.
-func (r *Remote) finishLocked(e *entry, ok bool) {
+// finishLocked records a terminal observation exactly once and publishes
+// it on the dispatcher's local event feed. Caller holds mu.
+func (r *Remote) finishLocked(id string, e *entry, ok bool) {
 	if e.done {
 		return
 	}
 	e.done = true
 	e.finished = r.clock()
+	ev := events.Event{Type: events.TypeDone, JobID: id, At: e.finished, State: string(jobs.StateDone)}
 	if ok {
 		e.node.completed++
 	} else {
 		e.node.failed++
+		ev.Type, ev.State = events.TypeFailed, string(jobs.StateFailed)
+		if e.status != nil {
+			ev.Error = e.status.Err
+		} else if e.err != nil {
+			ev.Error = e.err.Error()
+		}
 	}
+	r.hub.Publish(ev)
 	r.recordRTTLocked(e.finished.Sub(e.created))
 }
 
@@ -607,6 +655,7 @@ func (r *Remote) sweepLocked(now time.Time) {
 		if expired {
 			delete(r.entries, id)
 			r.evicted++
+			r.hub.Publish(events.Event{Type: events.TypeEvicted, JobID: id, At: now})
 		}
 	}
 }
@@ -708,8 +757,8 @@ func (r *Remote) resolvePending() {
 		if st.State.Terminal() {
 			snap := st
 			r.mu.Lock()
-			r.finishLocked(p.e, st.State == jobs.StateDone)
 			p.e.status = &snap
+			r.finishLocked(p.id, p.e, st.State == jobs.StateDone)
 			r.mu.Unlock()
 		}
 	}

@@ -1,6 +1,11 @@
 package jobs
 
-import "context"
+import (
+	"context"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/events"
+)
 
 // Dispatcher is the job-execution seam: everything the web service and the
 // public JobQueue need from a job backend, abstracted from how and where
@@ -37,6 +42,32 @@ type JobFilter struct {
 	State State
 	// Limit truncates the listing after this many jobs; 0 means no limit.
 	Limit int
+	// AfterCreated/AfterID resume a listing strictly after the job at this
+	// position in the shared newest-first order — the pagination cursor.
+	// Because the position is by value (creation time + id), not an
+	// offset, it stays stable when jobs ahead of it are TTL-evicted
+	// between pages. The zero values disable the cursor.
+	AfterCreated time.Time
+	AfterID      string
+}
+
+// HasCursor reports whether the filter carries a pagination cursor.
+func (f JobFilter) HasCursor() bool {
+	return f.AfterID != "" || !f.AfterCreated.IsZero()
+}
+
+// AfterCursor reports whether a job at (created, id) sorts strictly after
+// the filter's cursor position in the newest-first order SortStatuses
+// defines (creation time descending, ties by ascending id). Always true
+// without a cursor.
+func (f JobFilter) AfterCursor(created time.Time, id string) bool {
+	if !f.HasCursor() {
+		return true
+	}
+	if !created.Equal(f.AfterCreated) {
+		return created.Before(f.AfterCreated)
+	}
+	return id > f.AfterID
 }
 
 // Lister is the optional listing capability of a Dispatcher: a snapshot of
@@ -49,8 +80,35 @@ type Lister interface {
 	Jobs(f JobFilter) []Status
 }
 
-// Manager is the canonical in-process Dispatcher and Lister.
+// Watcher is the optional streaming capability of a Dispatcher: a live,
+// ordered feed of one job's lifecycle and per-stage progress events. The
+// server's GET /v1/jobs/{id}/events SSE route and the library's
+// JobQueue.Watch use it when the backend offers it. The Manager serves it
+// from its event hub; the remote dispatcher proxies the stream from the
+// job's worker node, falling back to polling-backed synthetic events when
+// the stream cannot be (re)established.
+type Watcher interface {
+	// Watch streams the job's events after sequence number afterSeq (0 =
+	// from the beginning, subject to the hub's retained history). The
+	// channel closes after the terminal event, on ctx cancellation, or on
+	// backend shutdown. Unknown ids return ErrNotFound; a saturated event
+	// bus returns events.ErrTooManySubscribers (retryable).
+	Watch(ctx context.Context, id string, afterSeq uint64) (<-chan events.Event, error)
+}
+
+// EventSource is the optional firehose capability of a Dispatcher: access
+// to the event hub carrying every job's events, for the global
+// GET /v1/events dashboard feed.
+type EventSource interface {
+	// EventHub returns the backend's event hub.
+	EventHub() *events.Hub
+}
+
+// Manager is the canonical in-process Dispatcher, Lister, Watcher and
+// EventSource.
 var (
-	_ Dispatcher = (*Manager)(nil)
-	_ Lister     = (*Manager)(nil)
+	_ Dispatcher  = (*Manager)(nil)
+	_ Lister      = (*Manager)(nil)
+	_ Watcher     = (*Manager)(nil)
+	_ EventSource = (*Manager)(nil)
 )

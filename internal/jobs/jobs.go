@@ -35,6 +35,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/sljmotion/sljmotion/internal/events"
 )
 
 // State is a job lifecycle state.
@@ -107,6 +109,12 @@ type Config struct {
 	// never drops work and the QueueSize bound on new submissions is
 	// unchanged.
 	Journal Journal
+	// Events, when set, is the hub every job lifecycle transition and
+	// per-stage progress tick is published into (and Watch subscriptions
+	// are served from). When nil, New creates one with
+	// events.DefaultConfig(), so streaming always works on the in-process
+	// backend. The Manager closes the hub on Close either way.
+	Events *events.Hub
 }
 
 // DefaultConfig returns a small service-oriented configuration.
@@ -139,6 +147,13 @@ type Status struct {
 	// (pointers so the JSON omits them instead of a zero timestamp).
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// QueueWaitMS is how long the job sat queued before a worker picked it
+	// up; RunMS how long its execution took. Both are the per-job samples
+	// feeding the aggregate queue_wait / run_latency metrics, surfaced so
+	// a history listing explains individual jobs, not just the fleet.
+	// Omitted until the job reaches the relevant point.
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	RunMS       float64 `json:"run_ms,omitempty"`
 	// Err carries the failure message of failed jobs.
 	Err string `json:"error,omitempty"`
 }
@@ -226,6 +241,7 @@ type Manager struct {
 	cfg   Config
 	exec  Executor
 	clock func() time.Time
+	hub   *events.Hub
 
 	runCtx  context.Context
 	cancel  context.CancelFunc
@@ -274,11 +290,16 @@ func New(cfg Config, exec Executor) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	hub := cfg.Events
+	if hub == nil {
+		hub = events.NewHub(events.DefaultConfig())
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
 		exec:    exec,
 		clock:   clock,
+		hub:     hub,
 		runCtx:  ctx,
 		cancel:  cancel,
 		queue:   make(chan *job, cfg.QueueSize),
@@ -292,6 +313,18 @@ func New(cfg Config, exec Executor) (*Manager, error) {
 			m.completed++
 		case StateFailed:
 			m.failed++
+		}
+		// Seed the event hub from the replayed table so restored jobs are
+		// streamable: a terminal job's stream opens onto its terminal event
+		// immediately (with its original timestamp), a recovered pending
+		// job's onto a queued event awaiting its re-run.
+		switch {
+		case j.state == StateDone:
+			hub.Publish(events.Event{Type: events.TypeDone, JobID: j.id, At: j.finished, State: string(StateDone)})
+		case j.state == StateFailed:
+			hub.Publish(events.Event{Type: events.TypeFailed, JobID: j.id, At: j.finished, State: string(StateFailed), Error: j.err.Error()})
+		default:
+			hub.Publish(events.Event{Type: events.TypeQueued, JobID: j.id, At: j.created, State: string(StateQueued)})
 		}
 	}
 	// Recovered pending jobs enter this process's queue now: their
@@ -336,7 +369,10 @@ func replayJournal(jrn Journal) (map[string]*job, []*job, error) {
 			if err := json.Unmarshal(e.Payload, &p); err != nil {
 				return fmt.Errorf("jobs: journal submit record %s: %w", e.ID, err)
 			}
-			table[e.ID] = &job{id: e.ID, payload: p, state: StateQueued, created: e.At}
+			// enqueued mirrors the original submission so a restored
+			// terminal job's queue_wait reports the wait it really had
+			// (pending jobs get this process's enqueue time instead).
+			table[e.ID] = &job{id: e.ID, payload: p, state: StateQueued, created: e.At, enqueued: e.At}
 			order = append(order, e.ID)
 		case OpRunning:
 			if j, ok := table[e.ID]; ok {
@@ -416,6 +452,7 @@ func (m *Manager) Submit(p Payload) (string, error) {
 		}
 		m.jobs[id] = j
 		m.submitted++
+		m.hub.Publish(events.Event{Type: events.TypeQueued, JobID: id, At: now, State: string(StateQueued)})
 		m.sweepLocked(now)
 		return id, nil
 	default:
@@ -492,6 +529,9 @@ func (m *Manager) Jobs(f JobFilter) []Status {
 		if f.State != "" && j.state != f.State {
 			continue
 		}
+		if !f.AfterCursor(j.created, j.id) {
+			continue
+		}
 		out = append(out, j.snapshotLocked())
 	}
 	SortStatuses(out)
@@ -536,9 +576,12 @@ func (m *Manager) Close(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	// Cancel tasks still running past the deadline (no-op on clean drain)
-	// and stop the janitor.
+	// and stop the janitor. The event hub closes after the workers have
+	// published their last terminal events, so subscribers drain a
+	// complete stream before seeing ErrClosed.
 	m.cancel()
 	m.janitor.Wait()
+	m.hub.Close()
 	// Flush the journal so a graceful shutdown leaves every drained
 	// transition on stable storage.
 	if m.cfg.Journal != nil {
@@ -583,11 +626,16 @@ func (m *Manager) execute(j *job) {
 	j.started = start
 	m.running++
 	m.journalLocked(JournalEntry{Op: OpRunning, ID: j.id, At: start})
+	m.hub.Publish(events.Event{Type: events.TypeRunning, JobID: j.id, At: start, State: string(StateRunning)})
 	m.mu.Unlock()
 
 	progress := func(stage string) {
 		m.mu.Lock()
 		j.stage = stage
+		m.hub.Publish(events.Event{
+			Type: events.TypeStage, JobID: j.id, At: m.clock(),
+			State: string(StateRunning), Stage: stage,
+		})
 		m.mu.Unlock()
 	}
 	val, err := m.exec.Execute(m.runCtx, j.payload, progress)
@@ -632,10 +680,17 @@ func (m *Manager) execute(j *job) {
 		j.state = StateFailed
 		j.err = err
 		m.failed++
+		m.hub.Publish(events.Event{
+			Type: events.TypeFailed, JobID: j.id, At: now,
+			State: string(StateFailed), Error: err.Error(),
+		})
 	} else {
 		j.state = StateDone
 		j.result = val
 		m.completed++
+		// Published after the terminal state is set, so a subscriber that
+		// fetches the result on seeing this event always finds it.
+		m.hub.Publish(events.Event{Type: events.TypeDone, JobID: j.id, At: now, State: string(StateDone)})
 	}
 	m.recordLocked(now.Sub(start), start.Sub(j.enqueued))
 }
@@ -687,6 +742,7 @@ func (m *Manager) sweepLocked(now time.Time) {
 			delete(m.jobs, id)
 			m.evicted++
 			m.journalLocked(JournalEntry{Op: OpEvict, ID: id, At: now})
+			m.hub.Publish(events.Event{Type: events.TypeEvicted, JobID: id, At: now, State: string(j.state)})
 		}
 	}
 }
@@ -714,10 +770,16 @@ func (j *job) snapshotLocked() Status {
 	if !j.started.IsZero() {
 		t := j.started
 		s.StartedAt = &t
+		if !j.enqueued.IsZero() {
+			s.QueueWaitMS = float64(j.started.Sub(j.enqueued)) / float64(time.Millisecond)
+		}
 	}
 	if !j.finished.IsZero() {
 		t := j.finished
 		s.FinishedAt = &t
+		if !j.started.IsZero() {
+			s.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
 	}
 	if j.err != nil {
 		s.Err = j.err.Error()

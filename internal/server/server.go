@@ -48,11 +48,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sljmotion/sljmotion/internal/cache"
 	"github.com/sljmotion/sljmotion/internal/clipio"
 	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/events"
 	"github.com/sljmotion/sljmotion/internal/imaging"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/scoring"
@@ -155,6 +157,16 @@ type Options struct {
 	// submit/poll lifecycle out. Front ends fanning work out via a remote
 	// dispatcher point it at nodes running with this enabled.
 	Worker bool
+	// EventSubscribers caps concurrently connected event-stream clients
+	// across both SSE routes; excess subscribers answer 503 + Retry-After.
+	// It also sizes the in-process event hub's subscriber limit.
+	EventSubscribers int
+	// EventBuffer bounds each subscriber's pending-event ring; a client
+	// this far behind is resynced (snapshot + delta) instead of ever
+	// blocking the pipeline.
+	EventBuffer int
+	// EventHeartbeat is the SSE keep-alive comment interval.
+	EventHeartbeat time.Duration
 }
 
 // DefaultOptions returns a small-deployment default (jobs.DefaultConfig
@@ -162,9 +174,12 @@ type Options struct {
 func DefaultOptions() Options {
 	d := jobs.DefaultConfig()
 	c := cache.DefaultConfig()
+	e := events.DefaultConfig()
 	return Options{
 		Workers: d.Workers, QueueSize: d.QueueSize, ResultTTL: d.ResultTTL,
 		CacheEntries: c.MaxEntries, CacheTTL: c.TTL,
+		EventSubscribers: e.MaxSubscribers, EventBuffer: e.SubscriberBuffer,
+		EventHeartbeat: 15 * time.Second,
 	}
 }
 
@@ -176,6 +191,12 @@ type Server struct {
 	jobs   jobs.Dispatcher
 	cache  *cache.Store // nil when caching is disabled
 	worker bool         // mounts the payload intake route
+
+	// SSE stream accounting: streams counts connected event-stream
+	// clients against streamLimit; heartbeat paces keep-alive comments.
+	streamLimit int
+	heartbeat   time.Duration
+	streams     atomic.Int64
 
 	mu       sync.Mutex
 	analyzed int // clips analysed since start, served by /healthz
@@ -212,12 +233,24 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 			return nil, err
 		}
 	}
+	def := DefaultOptions()
+	if opts.EventSubscribers <= 0 {
+		opts.EventSubscribers = def.EventSubscribers
+	}
+	if opts.EventBuffer <= 0 {
+		opts.EventBuffer = def.EventBuffer
+	}
+	if opts.EventHeartbeat <= 0 {
+		opts.EventHeartbeat = def.EventHeartbeat
+	}
 	s := &Server{
-		cfg:    cfg,
-		cfgFP:  configFingerprint(cfg),
-		logger: logger,
-		cache:  store,
-		worker: opts.Worker,
+		cfg:         cfg,
+		cfgFP:       configFingerprint(cfg),
+		logger:      logger,
+		cache:       store,
+		worker:      opts.Worker,
+		streamLimit: opts.EventSubscribers,
+		heartbeat:   opts.EventHeartbeat,
 	}
 	dispatcher := opts.Dispatcher
 	if dispatcher == nil {
@@ -235,6 +268,10 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 			QueueSize: opts.QueueSize,
 			ResultTTL: opts.ResultTTL,
 			Journal:   opts.Journal,
+			Events: events.NewHub(events.Config{
+				SubscriberBuffer: opts.EventBuffer,
+				MaxSubscribers:   opts.EventSubscribers,
+			}),
 		}, exec)
 		if err != nil {
 			if store != nil {
@@ -271,6 +308,9 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(prefix+"/rules", method(http.MethodGet, s.handleRules))
 		mux.HandleFunc(prefix+"/healthz", method(http.MethodGet, s.handleHealth))
 	}
+	// The global event feed is versioned-only, like the worker intake:
+	// it is a machine protocol with no pre-/v1 ancestor to alias.
+	mux.HandleFunc("/v1/events", method(http.MethodGet, s.handleEventFeed))
 	if s.worker {
 		// The worker intake is a machine protocol, versioned-only: no
 		// legacy alias, serialized payloads instead of multipart uploads.
@@ -430,10 +470,45 @@ func (s *Server) handleJobsRoot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// jobListResponse is the GET /v1/jobs history document.
+// jobListResponse is the GET /v1/jobs history document. NextCursor, when
+// present, is the opaque token of the next page: pass it back as cursor=
+// to continue the listing exactly where this page stopped. The position is
+// by value (creation time + id), so it stays correct even when jobs ahead
+// of it are TTL-evicted between pages.
 type jobListResponse struct {
-	Jobs  []jobs.Status `json:"jobs"`
-	Count int           `json:"count"`
+	Jobs       []jobs.Status `json:"jobs"`
+	Count      int           `json:"count"`
+	NextCursor string        `json:"next_cursor,omitempty"`
+}
+
+// cursorPrefix versions the opaque pagination token.
+const cursorPrefix = "c1:"
+
+// encodeCursor packs a listing position into the opaque page token.
+func encodeCursor(st jobs.Status) string {
+	raw := fmt.Sprintf("%s%d:%s", cursorPrefix, st.CreatedAt.UnixNano(), st.ID)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursor unpacks a page token back into a listing position.
+func decodeCursor(token string) (created time.Time, id string, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return time.Time{}, "", errors.New("malformed cursor")
+	}
+	rest, ok := strings.CutPrefix(string(raw), cursorPrefix)
+	if !ok {
+		return time.Time{}, "", errors.New("malformed cursor")
+	}
+	nanos, id, ok := strings.Cut(rest, ":")
+	if !ok || id == "" {
+		return time.Time{}, "", errors.New("malformed cursor")
+	}
+	n, err := strconv.ParseInt(nanos, 10, 64)
+	if err != nil {
+		return time.Time{}, "", errors.New("malformed cursor")
+	}
+	return time.Unix(0, n), id, nil
 }
 
 // handleJobList serves the job history: every job the backend still
@@ -468,11 +543,29 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		}
 		f.Limit = n
 	}
+	if cv := r.URL.Query().Get("cursor"); cv != "" {
+		created, id, err := decodeCursor(cv)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		f.AfterCreated, f.AfterID = created, id
+	}
+	// Ask for one job beyond the page: its presence is what proves a next
+	// page exists, without a second listing call.
+	limit := f.Limit
+	f.Limit = limit + 1
 	listed := lister.Jobs(f)
 	if listed == nil {
 		listed = []jobs.Status{}
 	}
-	writeJSON(w, http.StatusOK, jobListResponse{Jobs: listed, Count: len(listed)})
+	resp := jobListResponse{}
+	if len(listed) > limit {
+		listed = listed[:limit]
+		resp.NextCursor = encodeCursor(listed[limit-1])
+	}
+	resp.Jobs, resp.Count = listed, len(listed)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleJobs accepts the same multipart clip upload as /v1/analyze but runs
@@ -581,6 +674,8 @@ func (s *Server) handleJobPath(w http.ResponseWriter, r *http.Request) {
 		s.writeJobStatus(w, id)
 	case "result":
 		s.writeJobResult(w, id)
+	case "events":
+		s.handleJobEvents(w, r, id)
 	default:
 		writeError(w, http.StatusNotFound, "not found")
 	}

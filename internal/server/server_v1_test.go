@@ -61,6 +61,10 @@ func TestMethodNotAllowedEverywhere(t *testing.T) {
 		{http.MethodDelete, "/v1/jobs", "GET, POST"},
 		{http.MethodPost, "/jobs/deadbeef", "GET"},
 		{http.MethodPost, "/v1/jobs/deadbeef/result", "GET"},
+		{http.MethodPost, "/v1/jobs/deadbeef/events", "GET"},
+		{http.MethodDelete, "/v1/jobs/deadbeef/events", "GET"},
+		{http.MethodPost, "/v1/events", "GET"},
+		{http.MethodPut, "/v1/events", "GET"},
 		{http.MethodPost, "/metrics", "GET"},
 		{http.MethodPost, "/v1/metrics", "GET"},
 		{http.MethodPut, "/rules", "GET"},

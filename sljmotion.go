@@ -47,6 +47,31 @@
 // Real footage can be supplied as a slice of *sljmotion.Image decoded from
 // PPM files (ReadPPMFile); the synthetic generator exists because the
 // original CCD footage is unavailable (see DESIGN.md §1).
+//
+// # Streaming progress
+//
+// Asynchronous jobs are observable live instead of by polling: a JobQueue
+// streams every lifecycle transition and per-stage progress tick over
+// Watch, and the web service exposes the same feed as server-sent events
+// (DESIGN.md §12):
+//
+//	id, _ := q.SubmitJob(video.Frames, manual)
+//	ch, _ := q.Watch(context.Background(), id)
+//	for e := range ch { // queued → running → stage ... → done
+//		fmt.Printf("#%d %s %s\n", e.Seq, e.Type, e.Stage)
+//	}
+//	result, _ := q.JobResult(id) // terminal event ⇒ the result is ready
+//
+// Over HTTP the stream lives at GET /v1/jobs/{id}/events (and the global
+// dashboard feed at GET /v1/events). Try it from a shell — submit a job,
+// then:
+//
+//	curl -N http://localhost:8080/v1/jobs/<id>/events
+//
+// Frames carry the per-job sequence number as the SSE id, so a dropped
+// connection resumes losslessly with the standard Last-Event-ID header
+// (curl -N -H 'Last-Event-ID: 3' ...); the terminal frame of a finished
+// job embeds the result document, so a streaming client never polls.
 package sljmotion
 
 import (
@@ -58,6 +83,7 @@ import (
 
 	"github.com/sljmotion/sljmotion/internal/core"
 	"github.com/sljmotion/sljmotion/internal/dispatch"
+	"github.com/sljmotion/sljmotion/internal/events"
 	"github.com/sljmotion/sljmotion/internal/imaging"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/journal"
@@ -260,8 +286,27 @@ type (
 	JobJournalFile = journal.Journal
 	// JobFilter selects jobs for a history listing (JobQueue.Jobs).
 	JobFilter = jobs.JobFilter
+	// JobEvent is one streamed job event (JobQueue.Watch): lifecycle
+	// transitions, per-stage progress, snapshots after a resync. Seq is
+	// monotonic per job and doubles as the SSE resume token (DESIGN.md
+	// §12).
+	JobEvent = events.Event
+	// JobEventType names one kind of JobEvent.
+	JobEventType = events.Type
 	// PipelineStage names one of the four analysis phases.
 	PipelineStage = core.Stage
+)
+
+// Job event types.
+const (
+	JobEventQueued   = events.TypeQueued
+	JobEventRunning  = events.TypeRunning
+	JobEventStage    = events.TypeStage
+	JobEventDone     = events.TypeDone
+	JobEventFailed   = events.TypeFailed
+	JobEventEvicted  = events.TypeEvicted
+	JobEventSnapshot = events.TypeSnapshot
+	JobEventResync   = events.TypeResync
 )
 
 // Job lifecycle states and pipeline stages.
@@ -445,6 +490,27 @@ func (q *JobQueue) Jobs(f JobFilter) []JobStatus {
 		return l.Jobs(f)
 	}
 	return nil
+}
+
+// ErrWatchUnsupported marks a job backend without the streaming
+// capability (custom dispatchers may not implement it; the in-process
+// and remote backends both do).
+var ErrWatchUnsupported = errors.New("sljmotion: this job backend does not support event streaming")
+
+// Watch streams one job's lifecycle and per-stage progress events: queued
+// → running → one stage event per executed pipeline stage → done or
+// failed. The channel closes after the terminal event (the result is
+// guaranteed fetchable by then), on ctx cancellation, or on queue
+// shutdown. Watching an already-finished job delivers its terminal event
+// immediately. Remote queues proxy the stream from the job's worker node,
+// falling back to polling-backed synthetic events if the stream drops
+// (DESIGN.md §12).
+func (q *JobQueue) Watch(ctx context.Context, id string) (<-chan JobEvent, error) {
+	w, ok := q.mgr.(jobs.Watcher)
+	if !ok {
+		return nil, ErrWatchUnsupported
+	}
+	return w.Watch(ctx, id, 0)
 }
 
 // OpenJobJournal opens (or creates) the durable job journal at path with

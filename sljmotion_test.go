@@ -408,3 +408,83 @@ func TestPublicJournalBackedJobQueue(t *testing.T) {
 		t.Errorf("restored history: %+v", hist)
 	}
 }
+
+// TestPublicJobQueueWatch is the streaming e2e at the public surface: a
+// Watch client — issuing ZERO intermediate status polls — observes the
+// complete lifecycle of a real pipeline run (queued, running, all four
+// stage events in pipeline order, done), and the result is ready the
+// moment the channel closes. The result must equal what the poll path
+// would have returned (it is the same stored result object).
+func TestPublicJobQueueWatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline through the job queue")
+	}
+	video, err := sljmotion.GenerateSyntheticJump(sljmotion.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := video.ManualAnnotation(sljmotion.DefaultAnnotationError(), 1)
+
+	cfg := sljmotion.DefaultConfig()
+	cfg.Pose.Population = 40
+	cfg.Pose.Generations = 40
+	cfg.Pose.Patience = 10
+	cfg.Pose.RefineRounds = 1
+	q, err := sljmotion.NewJobQueue(cfg, sljmotion.DefaultJobQueueOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close(context.Background())
+
+	id, err := q.SubmitJob(video.Frames, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	ch, err := q.Watch(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []sljmotion.JobEventType
+	var stages []string
+	var lastSeq uint64
+	for e := range ch {
+		if e.Seq <= lastSeq {
+			t.Fatalf("event stream not monotonic: seq %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		types = append(types, e.Type)
+		if e.Type == sljmotion.JobEventStage {
+			stages = append(stages, e.Stage)
+		}
+	}
+	if len(types) == 0 || types[0] != sljmotion.JobEventQueued {
+		t.Fatalf("lifecycle events: %v", types)
+	}
+	if types[len(types)-1] != sljmotion.JobEventDone {
+		t.Fatalf("stream did not end in done: %v", types)
+	}
+	want := []string{"segmentation", "pose", "tracking", "scoring"}
+	if len(stages) != len(want) {
+		t.Fatalf("stage events %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stage events %v, want %v", stages, want)
+		}
+	}
+	// The terminal event guarantees the result without ever having polled.
+	result, err := q.JobResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Report == nil || result.Report.Total != 7 {
+		t.Errorf("watched job result incomplete: %+v", result)
+	}
+	// The poll path hands back the same stored result.
+	again, err := q.JobResult(id)
+	if err != nil || again != result {
+		t.Errorf("poll-path result differs from the watched result")
+	}
+}
