@@ -14,6 +14,7 @@
 //	slj-analyze -in DIR [-ascii]
 //	slj-analyze -synthetic -stages segmentation -ascii
 //	slj-analyze -synthetic -follow
+//	slj-analyze -synthetic -trace
 //
 // -stages selects a pipeline prefix via the request API: "segmentation"
 // stops after the silhouettes (no GA — fast, useful for inspecting the
@@ -25,6 +26,11 @@
 // the terminal equivalent of the web service's
 // GET /v1/jobs/{id}/events stream; the report prints as usual when the
 // job finishes.
+//
+// -trace also runs through the job queue, and after the report prints the
+// job's span tree — where the wall-clock time went: queue wait, each
+// pipeline stage (with per-frame GA fits under pose), journal append and
+// terminal publish — the terminal equivalent of GET /v1/jobs/{id}/trace.
 package main
 
 import (
@@ -56,6 +62,7 @@ func run() error {
 		detect    = flag.Bool("detect-windows", false, "use detected takeoff/landing windows instead of the paper's fixed windows")
 		stages    = flag.String("stages", "all", "pipeline prefix to run: all, segmentation, segmentation..pose, ...")
 		follow    = flag.Bool("follow", false, "run as an asynchronous job and stream lifecycle + per-stage progress events live")
+		trace     = flag.Bool("trace", false, "print the job's span tree after the report: queue wait, per-stage and per-frame timings")
 	)
 	flag.Parse()
 
@@ -122,8 +129,9 @@ func run() error {
 		Stages:      sel,
 	}
 	var res *sljmotion.Result
-	if *follow {
-		res, err = runFollowed(cfg, req)
+	var traceDoc *sljmotion.JobTrace
+	if *follow || *trace {
+		res, traceDoc, err = runJob(cfg, req, *follow, *trace)
 	} else {
 		var an *sljmotion.Analyzer
 		if an, err = sljmotion.NewAnalyzer(cfg); err == nil {
@@ -161,28 +169,34 @@ func run() error {
 			fmt.Print(sljmotion.ASCIIMask(s.Mask, 72))
 		}
 	}
+	if traceDoc != nil {
+		printTrace(traceDoc)
+	}
 	return nil
 }
 
-// runFollowed runs the request through an in-process job queue, printing
-// each streamed lifecycle/progress event as it happens, and returns the
-// finished result.
-func runFollowed(cfg sljmotion.Config, req sljmotion.AnalysisRequest) (*sljmotion.Result, error) {
+// runJob runs the request through an in-process job queue: with follow it
+// prints each streamed lifecycle/progress event as it happens, with trace
+// it snapshots the finished job's span tree before the queue closes.
+func runJob(cfg sljmotion.Config, req sljmotion.AnalysisRequest, follow, trace bool) (*sljmotion.Result, *sljmotion.JobTrace, error) {
 	ctx := context.Background()
 	q, err := sljmotion.NewJobQueue(cfg, sljmotion.JobQueueOptions{Workers: 1, QueueSize: 1})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer q.Close(ctx)
 	id, err := q.Submit(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ch, err := q.Watch(ctx, id)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for e := range ch {
+		if !follow {
+			continue // draining to the terminal event is the wait mechanism
+		}
 		switch e.Type {
 		case sljmotion.JobEventStage:
 			fmt.Printf("follow: #%d stage %s\n", e.Seq, e.Stage)
@@ -192,5 +206,41 @@ func runFollowed(cfg sljmotion.Config, req sljmotion.AnalysisRequest) (*sljmotio
 			fmt.Printf("follow: #%d %s\n", e.Seq, e.Type)
 		}
 	}
-	return q.JobResult(id)
+	res, err := q.JobResult(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	var doc *sljmotion.JobTrace
+	if trace {
+		if doc, err = q.Trace(id); err != nil {
+			return nil, nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return res, doc, nil
+}
+
+// printTrace renders the span tree as an indented breakdown, one line per
+// span, durations right-aligned so the hierarchy reads as a profile.
+func printTrace(doc *sljmotion.JobTrace) {
+	fmt.Printf("trace %s\n", doc.TraceID)
+	printSpan(doc.Root, 1)
+}
+
+func printSpan(s *sljmotion.TraceSpan, depth int) {
+	if s == nil {
+		return
+	}
+	name := s.Name
+	if f, ok := s.Attrs["frame"]; ok {
+		name += " #" + f
+	}
+	indent := depth * 2
+	pad := 30 - indent - len(name)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Printf("%*s%s%*s%10.2f ms\n", indent, "", name, pad, "", s.DurationMS)
+	for _, c := range s.Children {
+		printSpan(c, depth+1)
+	}
 }

@@ -142,11 +142,16 @@ func run() error {
 	return nil
 }
 
-// perfDoc is the machine-readable output of -json mode.
+// perfDoc is the machine-readable output of -json mode. NumCPU,
+// GoMaxProcs and GoVersion are measurement provenance: a row measured at
+// go_max_procs:1 reads as flat scaling however many workers it spawned,
+// and without the provenance stamped into the document such a baseline is
+// indistinguishable from a genuine scaling regression.
 type perfDoc struct {
 	Schema       string        `json:"schema"`
 	NumCPU       int           `json:"num_cpu"`
 	GoMaxProcs   int           `json:"go_max_procs"`
+	GoVersion    string        `json:"go_version"`
 	Seed         int64         `json:"seed"`
 	Fast         bool          `json:"fast"`
 	Frames       int           `json:"frames"`
@@ -223,11 +228,14 @@ func statsOf(samples []float64) perfStats {
 }
 
 // perfSample is one segmentation timing at a fixed worker count.
+// GoMaxProcs is the scheduler width the row actually ran under — workers
+// beyond it time-slice one another instead of running in parallel.
 type perfSample struct {
 	Workers        int     `json:"workers"`
 	Reps           int     `json:"reps"`
 	SecondsPerClip float64 `json:"seconds_per_clip"`
 	FramesPerSec   float64 `json:"frames_per_sec"`
+	GoMaxProcs     int     `json:"go_max_procs"`
 }
 
 // perfE2E is one end-to-end analysis timing at a fixed parallelism.
@@ -235,6 +243,7 @@ type perfE2E struct {
 	Parallelism  int     `json:"parallelism"`
 	Seconds      float64 `json:"seconds"`
 	FramesPerSec float64 `json:"frames_per_sec"`
+	GoMaxProcs   int     `json:"go_max_procs"`
 }
 
 // runPerf times the concurrent hot paths on the canonical synthetic clip
@@ -248,10 +257,12 @@ func runPerf(seed int64, fast bool, baselinePath string, thresholdPct float64) e
 	if err != nil {
 		return err
 	}
+	maxprocs := runtime.GOMAXPROCS(0)
 	doc := perfDoc{
 		Schema:     "slj-bench-perf/v1",
 		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoMaxProcs: maxprocs,
+		GoVersion:  runtime.Version(),
 		Seed:       seed,
 		Fast:       fast,
 		Frames:     len(v.Frames),
@@ -268,6 +279,11 @@ func runPerf(seed int64, fast bool, baselinePath string, thresholdPct float64) e
 		return err
 	}
 	for _, w := range workerCounts {
+		if w > maxprocs {
+			fmt.Fprintf(os.Stderr,
+				"slj-bench: warning: workers=%d exceeds GOMAXPROCS=%d; the workers time-slice instead of running in parallel, so this row will read as flat scaling\n",
+				w, maxprocs)
+		}
 		// Repeat until the sample is long enough to time reliably.
 		const minSample = 300 * time.Millisecond
 		reps := 0
@@ -284,6 +300,7 @@ func runPerf(seed int64, fast bool, baselinePath string, thresholdPct float64) e
 			Reps:           reps,
 			SecondsPerClip: perClip,
 			FramesPerSec:   float64(len(v.Frames)) / perClip,
+			GoMaxProcs:     maxprocs,
 		})
 	}
 
@@ -310,6 +327,7 @@ func runPerf(seed int64, fast bool, baselinePath string, thresholdPct float64) e
 			Parallelism:  par,
 			Seconds:      secs,
 			FramesPerSec: float64(len(v.Frames)) / secs,
+			GoMaxProcs:   maxprocs,
 		})
 		if par == runtime.NumCPU() {
 			break // single-core host: one sample is the whole story

@@ -8,6 +8,7 @@
 //	          [-parallelism N] [-cache-size N] [-cache-ttl 15m]
 //	          [-journal path] [-worker] [-dispatch-nodes url1,url2,...]
 //	          [-event-subscribers N] [-event-buffer N]
+//	          [-log-level info] [-log-format text] [-pprof]
 //
 // Endpoints (versioned under /v1; the unversioned paths remain as
 // aliases):
@@ -26,6 +27,11 @@
 //	                  continues the listing).
 //	GET  /v1/jobs/{id}         job lifecycle state and pipeline stage.
 //	GET  /v1/jobs/{id}/result  the AnalysisResponse once the job is done.
+//	GET  /v1/jobs/{id}/trace   the job's span tree: where the wall-clock
+//	                  time went (queue wait, each pipeline stage, journal
+//	                  append, publish; on a dispatching front end, the
+//	                  fan-out attempts with the worker node's tree grafted
+//	                  underneath).
 //	GET  /v1/jobs/{id}/events  server-sent events: live lifecycle and
 //	                  per-stage progress (curl -N; Last-Event-ID resumes
 //	                  a dropped stream; the terminal frame embeds the
@@ -33,7 +39,9 @@
 //	GET  /v1/events   the global event feed of every job (state= filter),
 //	                  for dashboards.
 //	GET  /v1/metrics  queue depth, throughput counters, latency stats and
-//	                  result-cache hit/miss counters.
+//	                  result-cache hit/miss counters (JSON by default;
+//	                  ?format=prometheus serves the text exposition format
+//	                  with latency histograms and runtime gauges).
 //	GET  /v1/rules    the encoded Tables 1-2.
 //	GET  /v1/healthz  liveness + clips analysed.
 //
@@ -75,6 +83,12 @@
 //	  -F truth=@/tmp/clip/truth.txt
 //	curl -s http://localhost:8080/v1/jobs/<id>/result | head
 //
+// Logging is structured (log/slog) and correlated: every job lifecycle
+// line carries its job_id and trace_id. -log-level picks the threshold
+// (debug, info, warn, error) and -log-format the encoding (text or json).
+// -pprof mounts net/http/pprof under /debug/pprof/ for live CPU and heap
+// profiles — opt-in, never on by default.
+//
 // SIGINT/SIGTERM shut the service down gracefully: the listener stops, the
 // job queue drains (up to -drain-timeout), then in-flight work is cancelled.
 package main
@@ -84,7 +98,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -95,6 +108,7 @@ import (
 	"github.com/sljmotion/sljmotion/internal/core"
 	"github.com/sljmotion/sljmotion/internal/dispatch"
 	"github.com/sljmotion/sljmotion/internal/journal"
+	"github.com/sljmotion/sljmotion/internal/obs"
 	"github.com/sljmotion/sljmotion/internal/server"
 )
 
@@ -121,10 +135,16 @@ func run() error {
 		nodes       = flag.String("dispatch-nodes", "", "comma-separated worker base URLs; fan asynchronous jobs out over them instead of the in-process pool")
 		eventSubs   = flag.Int("event-subscribers", defaults.EventSubscribers, "max concurrently connected event-stream (SSE) clients; excess answers 503")
 		eventBuffer = flag.Int("event-buffer", defaults.EventBuffer, "per-subscriber pending-event ring; slower clients are resynced, never block the pipeline")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text or json")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (live CPU/heap profiles)")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "slj-serve ", log.LstdFlags)
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = *parallelism
 	opts := server.Options{
@@ -136,6 +156,8 @@ func run() error {
 		Worker:           *worker,
 		EventSubscribers: *eventSubs,
 		EventBuffer:      *eventBuffer,
+		Log:              logger,
+		PProf:            *pprofOn,
 	}
 	var jrn *journal.Journal
 	if *journalPath != "" {
@@ -148,7 +170,7 @@ func run() error {
 		}
 		defer jrn.Close()
 		opts.Journal = jrn
-		logger.Printf("journaling jobs to %s (fsync on terminal transitions)", *journalPath)
+		logger.Info("journaling jobs (fsync on terminal transitions)", "path", *journalPath)
 	}
 	if *nodes != "" {
 		if *worker {
@@ -165,14 +187,15 @@ func run() error {
 		dcfg.ResultTTL = *resultTTL
 		dcfg.Events.MaxSubscribers = *eventSubs
 		dcfg.Events.SubscriberBuffer = *eventBuffer
+		dcfg.Log = logger
 		d, err := dispatch.New(dcfg)
 		if err != nil {
 			return err
 		}
 		opts.Dispatcher = d
-		logger.Printf("dispatching jobs over %d worker node(s): %s", len(urls), strings.Join(urls, ", "))
+		logger.Info("dispatching jobs over worker nodes", "count", len(urls), "nodes", strings.Join(urls, ", "))
 	}
-	srv, err := server.NewWithOptions(cfg, logger, opts)
+	srv, err := server.NewWithOptions(cfg, nil, opts)
 	if err != nil {
 		if opts.Dispatcher != nil {
 			_ = opts.Dispatcher.Close(context.Background())
@@ -190,8 +213,9 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers=%d queue=%d ttl=%s parallelism=%d cache=%d/%s)",
-			*addr, *workers, *queue, *resultTTL, *parallelism, *cacheSize, *cacheTTL)
+		logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue,
+			"result_ttl", *resultTTL, "parallelism", *parallelism,
+			"cache_entries", *cacheSize, "cache_ttl", *cacheTTL, "pprof", *pprofOn)
 		errCh <- httpServer.ListenAndServe()
 	}()
 
@@ -201,11 +225,11 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutting down: draining up to %s", *drain)
+	logger.Info("shutting down", "drain", *drain)
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *drain)
 	defer cancelHTTP()
 	if err := httpServer.Shutdown(httpCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	// The job queue gets its own drain budget: a slow in-flight synchronous
 	// /analyze may have consumed the whole HTTP budget above, and the queued
@@ -220,9 +244,9 @@ func run() error {
 	// Close then just closes the file descriptor.
 	if jrn != nil {
 		if err := jrn.Sync(); err != nil {
-			logger.Printf("journal sync: %v", err)
+			logger.Warn("journal sync", "err", err)
 		}
 	}
-	logger.Printf("bye")
+	logger.Info("bye")
 	return nil
 }

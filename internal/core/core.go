@@ -115,6 +115,10 @@ type Result struct {
 	Track *track.Analysis
 	// Report is the Table 2 scoring outcome with advice.
 	Report *scoring.Report
+	// StageMS records the wall-clock milliseconds spent in each stage that
+	// ran, keyed by stage name — the per-stage breakdown clients read off
+	// the result document without fetching the full trace.
+	StageMS map[string]float64
 }
 
 // Analyzer is the end-to-end system.

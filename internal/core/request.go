@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/obs"
 	"github.com/sljmotion/sljmotion/internal/pose"
 	"github.com/sljmotion/sljmotion/internal/scoring"
 	"github.com/sljmotion/sljmotion/internal/segmentation"
@@ -211,19 +213,32 @@ func (a *Analyzer) Run(ctx context.Context, req Request, progress ProgressFunc) 
 		return nil, err
 	}
 	sel := req.Stages.Normalize()
-	enter := func(s Stage) error {
+	res := &Result{Background: req.Background, Silhouettes: req.Silhouettes, StageMS: make(map[string]float64)}
+	// enter starts one stage's bookkeeping: cancellation check, progress
+	// callback, a trace span (a no-op unless ctx carries one), and the
+	// wall-clock timer behind Result.StageMS and the per-stage histogram.
+	// Each stage block must call the returned done exactly once.
+	enter := func(s Stage) (context.Context, func(), error) {
 		if err := ctx.Err(); err != nil {
-			return err
+			return ctx, nil, err
 		}
 		if progress != nil {
 			progress(s)
 		}
-		return nil
+		stageCtx, span := obs.StartSpan(ctx, string(s))
+		start := time.Now()
+		done := func() {
+			d := time.Since(start)
+			span.End()
+			res.StageMS[string(s)] = float64(d) / float64(time.Millisecond)
+			stageSeconds(s).Observe(d.Seconds())
+		}
+		return stageCtx, done, nil
 	}
 
-	res := &Result{Background: req.Background, Silhouettes: req.Silhouettes}
 	if sel.Includes(StageSegmentation) {
-		if err := enter(StageSegmentation); err != nil {
+		_, done, err := enter(StageSegmentation)
+		if err != nil {
 			return nil, err
 		}
 		seg, err := segmentation.New(a.cfg.Segmentation)
@@ -234,6 +249,7 @@ func (a *Analyzer) Run(ctx context.Context, req Request, progress ProgressFunc) 
 		if err != nil {
 			return nil, fmt.Errorf("segmentation: %w", err)
 		}
+		done()
 		res.Background = bg
 		res.Silhouettes = sils
 	}
@@ -241,7 +257,8 @@ func (a *Analyzer) Run(ctx context.Context, req Request, progress ProgressFunc) 
 	res.Poses = req.Poses
 	res.Dimensions = req.Dimensions
 	if sel.Includes(StagePose) {
-		if err := enter(StagePose); err != nil {
+		poseCtx, done, err := enter(StagePose)
+		if err != nil {
 			return nil, err
 		}
 		if len(res.Silhouettes) == 0 {
@@ -263,10 +280,11 @@ func (a *Analyzer) Run(ctx context.Context, req Request, progress ProgressFunc) 
 		if err != nil {
 			return nil, fmt.Errorf("calibrate: %w", err)
 		}
-		estimates, err := est.EstimateSequenceContext(ctx, res.Silhouettes, req.ManualFirst)
+		estimates, err := est.EstimateSequenceContext(poseCtx, res.Silhouettes, req.ManualFirst)
 		if err != nil {
 			return nil, fmt.Errorf("pose: %w", err)
 		}
+		done()
 		poses := make([]stickmodel.Pose, len(estimates))
 		for i, e := range estimates {
 			poses[i] = e.Pose
@@ -277,7 +295,8 @@ func (a *Analyzer) Run(ctx context.Context, req Request, progress ProgressFunc) 
 	}
 
 	if sel.Includes(StageTracking) {
-		if err := enter(StageTracking); err != nil {
+		_, done, err := enter(StageTracking)
+		if err != nil {
 			return nil, err
 		}
 		tracker := track.NewTracker(res.Dimensions, a.cfg.PxPerMeter)
@@ -285,11 +304,13 @@ func (a *Analyzer) Run(ctx context.Context, req Request, progress ProgressFunc) 
 		if err != nil {
 			return nil, fmt.Errorf("track: %w", err)
 		}
+		done()
 		res.Track = analysis
 	}
 
 	if sel.Includes(StageScoring) {
-		if err := enter(StageScoring); err != nil {
+		_, done, err := enter(StageScoring)
+		if err != nil {
 			return nil, err
 		}
 		var initW, airW track.Window
@@ -303,7 +324,16 @@ func (a *Analyzer) Run(ctx context.Context, req Request, progress ProgressFunc) 
 		if err != nil {
 			return nil, fmt.Errorf("scoring: %w", err)
 		}
+		done()
 		res.Report = report
 	}
 	return res, nil
+}
+
+// stageSeconds returns the per-stage latency histogram, lazily registered
+// once per stage in the process-wide registry.
+func stageSeconds(s Stage) *obs.Histogram {
+	return obs.Default.Histogram("slj_stage_seconds",
+		"Wall-clock time per pipeline stage, in seconds.",
+		obs.DefBuckets, "stage", string(s))
 }

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -41,7 +42,15 @@ import (
 
 	"github.com/sljmotion/sljmotion/internal/events"
 	"github.com/sljmotion/sljmotion/internal/jobs"
+	"github.com/sljmotion/sljmotion/internal/obs"
 )
+
+// roundtripSeconds is the submit→terminal round-trip latency histogram of
+// dispatched jobs, the bucketed companion of the rtt ring behind
+// /metrics. Bucketed histograms merge correctly across dispatch nodes
+// where percentile snapshots cannot.
+var roundtripSeconds = obs.Default.Histogram("slj_dispatch_roundtrip_seconds",
+	"Dispatch submit to observed-terminal round-trip time, in seconds.", obs.DefBuckets)
 
 // Config parameterises a Remote dispatcher.
 type Config struct {
@@ -69,6 +78,9 @@ type Config struct {
 	// WatchPollInterval paces the polling fallback of Watch when the
 	// worker's event stream cannot be (re)established.
 	WatchPollInterval time.Duration
+	// Log receives structured dispatch logs (routing, demotions, terminal
+	// observations), correlated by job_id and trace_id. Nil discards.
+	Log *slog.Logger
 }
 
 // DefaultConfig returns a small-deployment default.
@@ -140,6 +152,12 @@ type entry struct {
 	// exists only in this dispatcher (the node never enqueued a job), so
 	// streams are synthesized locally instead of proxied.
 	local bool
+	// trace is the dispatcher's span tree for the job (root "dispatch",
+	// one "submit" child per node attempt); the worker's own tree is
+	// grafted under the successful submit span by Trace. Evicted with the
+	// record.
+	trace *obs.Trace
+	root  *obs.Span
 }
 
 // Remote fans payloads out to worker nodes; it implements jobs.Dispatcher.
@@ -152,6 +170,7 @@ type Remote struct {
 	clock        func() time.Time
 	ring         ring
 	hub          *events.Hub
+	log          *slog.Logger
 
 	mu        sync.Mutex
 	nodes     []*node
@@ -197,6 +216,10 @@ func New(cfg Config) (*Remote, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	lg := cfg.Log
+	if lg == nil {
+		lg = obs.Discard()
+	}
 	r := &Remote{
 		cfg:          cfg,
 		client:       cfg.Client,
@@ -204,6 +227,7 @@ func New(cfg Config) (*Remote, error) {
 		clock:        cfg.Clock,
 		ring:         buildRing(cfg.Nodes, cfg.Replicas),
 		hub:          events.NewHub(cfg.Events),
+		log:          lg,
 		entries:      make(map[string]*entry),
 		stop:         make(chan struct{}),
 	}
@@ -225,6 +249,15 @@ func New(cfg Config) (*Remote, error) {
 // its result cache completes the job instantly without enqueueing
 // anything.
 func (r *Remote) Submit(p jobs.Payload) (string, error) {
+	return r.SubmitTraced(p, obs.SpanContext{})
+}
+
+// SubmitTraced is Submit under a caller-supplied parent span context
+// (jobs.TracedSubmitter); the zero SpanContext starts a fresh trace. The
+// dispatch trace records one "submit" span per node attempt, and the
+// traceparent of the successful attempt is what the worker node's own job
+// trace grafts under.
+func (r *Remote) SubmitTraced(p jobs.Payload, parent obs.SpanContext) (string, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -238,6 +271,9 @@ func (r *Remote) Submit(p jobs.Payload) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("dispatch: encode payload: %w", err)
 	}
+	// The trace is kept only if a node accepts the payload; a fully
+	// rejected submission has no job record to hang it on.
+	tr, root := obs.NewTraceFrom(parent, "dispatch")
 	var lastTransport error
 	var busy *BusyError
 	for _, idx := range order {
@@ -248,22 +284,30 @@ func (r *Remote) Submit(p jobs.Payload) (string, error) {
 		if !healthy {
 			continue
 		}
-		id, err := r.submitTo(n, body)
+		att := root.Start("submit")
+		att.SetAttr("node", n.url)
+		id, err := r.submitTo(n, body, tr, root, att)
+		att.End()
 		var transport *transportError
 		var be *BusyError
 		switch {
 		case errors.As(err, &transport):
 			// Node unreachable: demote it and re-hash clockwise.
+			att.SetAttr("error", transport.err.Error())
 			r.demote(n, transport.err)
 			lastTransport = transport.err
 			continue
 		case errors.As(err, &be):
 			// Saturated but alive: keep the node in the ring and try its
 			// successors; remember the smallest positive retry hint.
+			att.SetAttr("error", "busy")
 			if busy == nil || (be.After > 0 && (busy.After == 0 || be.After < busy.After)) {
 				busy = be
 			}
 			continue
+		}
+		if err == nil {
+			r.log.Debug("dispatch routed", "job_id", id, "node", n.url, "trace_id", tr.TraceID())
 		}
 		return id, err
 	}
@@ -283,9 +327,20 @@ type transportError struct{ err error }
 
 func (e *transportError) Error() string { return e.err.Error() }
 
-// submitTo posts the payload to one node and interprets the protocol.
-func (r *Remote) submitTo(n *node, body []byte) (string, error) {
-	resp, err := r.client.Post(n.url+"/v1/worker/jobs", "application/json", bytes.NewReader(body))
+// submitTo posts the payload to one node and interprets the protocol. The
+// request carries att's traceparent so the worker's job trace continues
+// this dispatch trace; on acceptance the trace is attached to the local
+// record (tr/root), on a cache hit the root is closed immediately.
+func (r *Remote) submitTo(n *node, body []byte, tr *obs.Trace, root, att *obs.Span) (string, error) {
+	req, err := http.NewRequest(http.MethodPost, n.url+"/v1/worker/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", &transportError{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if sc := att.Context(); sc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
+	resp, err := r.client.Do(req)
 	if err != nil {
 		return "", &transportError{err: err}
 	}
@@ -304,6 +359,10 @@ func (r *Remote) submitTo(n *node, body []byte) (string, error) {
 		if err != nil {
 			return "", err
 		}
+		root.SetAttr("cache", "hit")
+		root.SetAttr("node", n.url)
+		att.End()
+		root.End()
 		now := r.clock()
 		fin := now
 		st := &jobs.Status{ID: id, State: jobs.StateDone, CreatedAt: now, FinishedAt: &fin}
@@ -311,7 +370,7 @@ func (r *Remote) submitTo(n *node, body []byte) (string, error) {
 		n.submitted++
 		n.cacheHits++
 		n.completed++
-		r.entries[id] = &entry{node: n, created: now, done: true, finished: now, status: st, result: raw, local: true}
+		r.entries[id] = &entry{node: n, created: now, done: true, finished: now, status: st, result: raw, local: true, trace: tr, root: root}
 		r.mu.Unlock()
 		// Born done: the job is immediately streamable as a terminal event.
 		r.hub.Publish(events.Event{Type: events.TypeDone, JobID: id, At: now, State: string(jobs.StateDone)})
@@ -324,10 +383,11 @@ func (r *Remote) submitTo(n *node, body []byte) (string, error) {
 		if err := json.Unmarshal(raw, &sub); err != nil || sub.ID == "" {
 			return "", fmt.Errorf("dispatch: worker %s returned a malformed submit document", n.url)
 		}
+		root.SetAttr("node", n.url)
 		now := r.clock()
 		r.mu.Lock()
 		n.submitted++
-		r.entries[sub.ID] = &entry{node: n, created: now}
+		r.entries[sub.ID] = &entry{node: n, created: now, trace: tr, root: root}
 		r.mu.Unlock()
 		r.hub.Publish(events.Event{Type: events.TypeQueued, JobID: sub.ID, At: now, State: string(jobs.StateQueued)})
 		return sub.ID, nil
@@ -545,6 +605,78 @@ func (r *Remote) Jobs(f jobs.JobFilter) []jobs.Status {
 // Remote is a Lister.
 var _ jobs.Lister = (*Remote)(nil)
 
+// Remote is a Tracer and a TracedSubmitter.
+var (
+	_ jobs.Tracer          = (*Remote)(nil)
+	_ jobs.TracedSubmitter = (*Remote)(nil)
+)
+
+// Trace returns the dispatch-side span tree for a routed job with the
+// worker node's own job trace grafted under the submit span that carried
+// its traceparent (jobs.Tracer). The worker fetch is best-effort: an
+// unreachable node or a worker that no longer knows the id yields the
+// dispatch spans alone rather than an error — cache-hit jobs never had a
+// worker job to begin with.
+func (r *Remote) Trace(id string) (*obs.TraceDoc, error) {
+	r.mu.Lock()
+	r.sweepLocked(r.clock())
+	e, ok := r.entries[id]
+	if !ok || e.trace == nil {
+		r.mu.Unlock()
+		return nil, jobs.ErrNotFound
+	}
+	doc := e.trace.Doc(id)
+	local := e.local
+	url := e.node.url
+	r.mu.Unlock()
+	if local {
+		return doc, nil
+	}
+	resp, err := r.client.Get(url + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return doc, nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return doc, nil
+	}
+	var worker obs.TraceDoc
+	if json.Unmarshal(raw, &worker) != nil || worker.Root == nil {
+		return doc, nil
+	}
+	graftSpan(doc.Root, worker.Root)
+	return doc, nil
+}
+
+// graftSpan hangs a remote subtree under the span it names as its parent
+// (the propagated traceparent's span id), falling back to the local root
+// when the parent is not found — the tree stays coherent even if the
+// remote recorded no parent.
+func graftSpan(root, remote *obs.SpanDoc) {
+	if p := findSpan(root, remote.ParentID); p != nil {
+		p.Children = append(p.Children, remote)
+		return
+	}
+	root.Children = append(root.Children, remote)
+}
+
+// findSpan walks the tree for the span with the given id.
+func findSpan(s *obs.SpanDoc, id string) *obs.SpanDoc {
+	if id == "" || s == nil {
+		return nil
+	}
+	if s.SpanID == id {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := findSpan(c, id); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
 // Close stops intake and the health prober. Worker nodes drain their own
 // queues; jobs already routed remain pollable on their nodes.
 func (r *Remote) Close(ctx context.Context) error {
@@ -623,7 +755,12 @@ func (r *Remote) finishLocked(id string, e *entry, ok bool) {
 		}
 	}
 	r.hub.Publish(ev)
+	e.root.End()
 	r.recordRTTLocked(e.finished.Sub(e.created))
+	roundtripSeconds.Observe(e.finished.Sub(e.created).Seconds())
+	r.log.Debug("dispatch terminal observed", "job_id", id, "node", e.node.url,
+		"state", ev.State, "trace_id", e.trace.TraceID(),
+		"roundtrip_ms", float64(e.finished.Sub(e.created))/float64(time.Millisecond))
 }
 
 // forget drops a local record (the node no longer knows the id).

@@ -119,7 +119,7 @@ func TestTwoWorkerEndToEnd(t *testing.T) {
 	front := newFrontend(t, []string{n1.URL, n2.URL})
 
 	got := submitAndFetch(t, front.URL, v)
-	if !bytes.Equal(got, want) {
+	if !bytes.Equal(e2etest.StripVolatile(t, got), e2etest.StripVolatile(t, want)) {
 		t.Fatalf("remote result differs from the in-process Manager path:\n%s\nvs\n%s", got, want)
 	}
 
@@ -132,7 +132,7 @@ func TestTwoWorkerEndToEnd(t *testing.T) {
 
 	// Resubmission: same key → same node → answered from its cache.
 	again := submitAndFetch(t, front.URL, v)
-	if !bytes.Equal(again, want) {
+	if !bytes.Equal(e2etest.StripVolatile(t, again), e2etest.StripVolatile(t, want)) {
 		t.Fatalf("cached remote result differs:\n%s\nvs\n%s", again, want)
 	}
 	c1b, _, _ := metricsOf(t, n1.URL)
@@ -188,7 +188,7 @@ func TestNodeKillFailover(t *testing.T) {
 	// The same clip now fails over to the survivor and re-runs there —
 	// byte-identical output, served end to end through the front end.
 	second := submitAndFetch(t, front.URL, v)
-	if !bytes.Equal(second, first) {
+	if !bytes.Equal(e2etest.StripVolatile(t, second), e2etest.StripVolatile(t, first)) {
 		t.Fatalf("failover result differs:\n%s\nvs\n%s", second, first)
 	}
 	cs, _, _ := metricsOf(t, survivorURL)

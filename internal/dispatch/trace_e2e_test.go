@@ -1,0 +1,147 @@
+package dispatch_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/e2etest"
+	"github.com/sljmotion/sljmotion/internal/obs"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+// fetchTrace GETs a node's trace route for the job, returning the decoded
+// document and status code.
+func fetchTrace(t *testing.T, base, id string) (*obs.TraceDoc, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode
+	}
+	var doc obs.TraceDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return &doc, resp.StatusCode
+}
+
+// firstNamed returns the first span with the given name, depth-first.
+func firstNamed(s *obs.SpanDoc, name string) *obs.SpanDoc {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := firstNamed(c, name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// TestTracePropagationAcrossDispatch is the acceptance test of cross-node
+// tracing: a job submitted through the two-node front end yields ONE
+// coherent trace — the dispatch root's submit attempt carries the
+// traceparent header to the worker, the worker's own job tree adopts that
+// trace id, and the front end's /trace document grafts the worker tree
+// under the submit span that routed it.
+func TestTracePropagationAcrossDispatch(t *testing.T) {
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := newNode(t)
+	n2, _ := newNode(t)
+	fe := newFrontend(t, []string{n1.URL, n2.URL})
+
+	doc, raw, code := e2etest.Submit(t, fe.URL, v, "segmentation", true)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, raw)
+	}
+	e2etest.PollResult(t, fe.URL, doc.ResultURL, 30*time.Second)
+
+	trace, code := fetchTrace(t, fe.URL, doc.ID)
+	if code != http.StatusOK {
+		t.Fatalf("front-end trace route: %d", code)
+	}
+	root := trace.Root
+	if root == nil || root.Name != "dispatch" {
+		t.Fatalf("front-end root span %+v, want name \"dispatch\"", root)
+	}
+	if trace.JobID != doc.ID {
+		t.Errorf("trace job_id = %q, want %q", trace.JobID, doc.ID)
+	}
+
+	// Exactly one submit attempt carries the worker's grafted job tree.
+	var submit, workerJob *obs.SpanDoc
+	for _, c := range root.Children {
+		if c.Name != "submit" {
+			continue
+		}
+		if j := firstNamed(c, "job"); j != nil {
+			if workerJob != nil {
+				t.Fatal("worker job tree grafted under two submit attempts")
+			}
+			submit, workerJob = c, j
+		}
+	}
+	if workerJob == nil {
+		t.Fatalf("no worker job tree grafted under any submit span (root children: %d)", len(root.Children))
+	}
+	if workerJob.ParentID != submit.SpanID {
+		t.Errorf("grafted job parent_id %q, want the submit span %q (fallback graft?)", workerJob.ParentID, submit.SpanID)
+	}
+
+	// The worker tree is the full remote execution: queue wait, the run
+	// with its stage spans, and the worker-side publish.
+	for _, name := range []string{"queue_wait", "run", "publish"} {
+		if firstNamed(workerJob, name) == nil {
+			t.Errorf("worker job tree lacks a %s span", name)
+		}
+	}
+	run := firstNamed(workerJob, "run")
+	if run != nil && firstNamed(run, "segmentation") == nil {
+		t.Error("worker run span lacks the segmentation stage child")
+	}
+
+	// Duration coherence: the dispatch root brackets the whole round trip
+	// — it ends when the front end observes the terminal event, after the
+	// worker job finished — so it must cover the grafted tree's duration.
+	if root.InFlight {
+		t.Error("dispatch root still in flight after the job finished")
+	}
+	if workerJob.InFlight {
+		t.Error("worker job span still in flight after the job finished")
+	}
+	if root.DurationMS < workerJob.DurationMS-1 {
+		t.Errorf("dispatch root %.2fms shorter than the worker job %.2fms", root.DurationMS, workerJob.DurationMS)
+	}
+
+	// The worker that ran the job serves the same trace under the same id:
+	// the traceparent header propagated, no fresh trace was started.
+	var workerTrace *obs.TraceDoc
+	for _, node := range []string{n1.URL, n2.URL} {
+		if d, code := fetchTrace(t, node, doc.ID); code == http.StatusOK {
+			workerTrace = d
+			break
+		}
+	}
+	if workerTrace == nil {
+		t.Fatal("neither worker node serves the job's trace")
+	}
+	if workerTrace.TraceID != trace.TraceID {
+		t.Errorf("worker trace id %q != front-end trace id %q: traceparent not propagated", workerTrace.TraceID, trace.TraceID)
+	}
+	if workerTrace.Root.ParentID != submit.SpanID {
+		t.Errorf("worker root parent_id %q, want the submit span %q", workerTrace.Root.ParentID, submit.SpanID)
+	}
+}

@@ -144,6 +144,25 @@ func SubmitAndFetch(t *testing.T, base string, v *synth.Video) []byte {
 	return PollResult(t, base, doc.ResultURL, 30*time.Second)
 }
 
+// StripVolatile removes the timing fields from a JSON response document so
+// two runs of the same clip can be byte-compared. Everything the pipeline
+// computes is deterministic; stage_ms is wall-clock and differs run to run.
+// The re-marshalling matches the server's writeJSON (two-space indent), so
+// two stripped documents from identical analyses are byte-identical.
+func StripVolatile(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("strip volatile: malformed document: %v\n%s", err, raw)
+	}
+	delete(doc, "stage_ms")
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 // MetricsOf fetches a server's /v1/metrics document.
 func MetricsOf(t *testing.T, base string) (clips int, jm jobs.Metrics, cm cache.Metrics) {
 	t.Helper()

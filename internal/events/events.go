@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -185,11 +186,20 @@ func (js *jobState) histAt(i int) Event {
 type Hub struct {
 	cfg Config
 
+	// dropped counts events discarded by the never-block resync policy
+	// across all subscribers since the hub was built — the saturation
+	// signal exported as slj_events_dropped_total.
+	dropped atomic.Uint64
+
 	mu     sync.Mutex
 	jobs   map[string]*jobState
 	subs   map[*Subscription]struct{}
 	closed bool
 }
+
+// Dropped returns the number of events discarded because a subscriber's
+// buffer was full (each collapsed into a snapshot or resync marker).
+func (h *Hub) Dropped() uint64 { return h.dropped.Load() }
 
 // NewHub builds a hub; zero Config fields take their defaults.
 func NewHub(cfg Config) *Hub {
@@ -365,6 +375,7 @@ func (s *Subscription) push(e Event) {
 		if s.jobID != "" {
 			// Per-job stream: the newest event subsumes the backlog —
 			// collapse to its snapshot form and continue with deltas.
+			s.hub.dropped.Add(uint64(len(s.buf)))
 			s.buf = append(s.buf[:0], snapshotOf(e))
 			s.wake()
 			return
@@ -374,9 +385,11 @@ func (s *Subscription) push(e Event) {
 		if s.buf[0].Type == TypeResync {
 			s.buf[0].Dropped++
 			s.buf = append(s.buf[:1], s.buf[2:]...)
+			s.hub.dropped.Add(1)
 		} else {
 			marker := Event{Type: TypeResync, At: e.At, Dropped: 2}
 			s.buf = append([]Event{marker}, s.buf[2:]...)
+			s.hub.dropped.Add(2)
 		}
 	}
 	s.buf = append(s.buf, e)

@@ -18,7 +18,18 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/obs"
 )
+
+// fitnessEvalSeconds is the cohort fitness-evaluation latency histogram:
+// one observation per GA generation (a cohort of Population fitness
+// calls), the hot-path quantity behind the ROADMAP's "10× GA" item.
+// Registered once so the per-generation cost is a few atomic adds.
+var fitnessEvalSeconds = obs.Default.Histogram("slj_ga_fitness_eval_seconds",
+	"Wall-clock time to fitness-score one GA cohort (one generation), in seconds.",
+	obs.IOBuckets)
 
 // Genome is a real-valued chromosome.
 type Genome []float64
@@ -349,6 +360,9 @@ func (e *Engine) initialGenomes(rng *rand.Rand) ([]Genome, error) {
 // returned order — and therefore the evolution — matches the sequential
 // path exactly.
 func (e *Engine) evaluateAll(genomes []Genome, res *Result) []Individual {
+	defer func(start time.Time) {
+		fitnessEvalSeconds.Observe(time.Since(start).Seconds())
+	}(time.Now())
 	out := make([]Individual, len(genomes))
 	res.Evaluations += len(genomes)
 	workers := e.cfg.Parallelism

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/sljmotion/sljmotion/internal/events"
+	"github.com/sljmotion/sljmotion/internal/obs"
 )
 
 // Dispatcher is the job-execution seam: everything the web service and the
@@ -104,11 +105,34 @@ type EventSource interface {
 	EventHub() *events.Hub
 }
 
-// Manager is the canonical in-process Dispatcher, Lister, Watcher and
-// EventSource.
+// Tracer is the optional tracing capability of a Dispatcher: the per-job
+// span tree behind GET /v1/jobs/{id}/trace. The Manager serves the trace
+// it recorded in-process; the remote dispatcher returns its own dispatch
+// spans with the worker node's tree grafted underneath. Jobs that carry
+// no trace (journal-replayed records from before the last restart) return
+// ErrNotFound.
+type Tracer interface {
+	// Trace returns the job's span tree snapshot.
+	Trace(id string) (*obs.TraceDoc, error)
+}
+
+// TracedSubmitter is the optional trace-propagation capability of a
+// Dispatcher: Submit with an inbound parent span context, the receiving
+// half of the traceparent header carried on dispatch fan-out. The zero
+// SpanContext is valid and starts a fresh trace, making SubmitTraced a
+// strict generalisation of Submit.
+type TracedSubmitter interface {
+	// SubmitTraced enqueues one payload under the given remote parent.
+	SubmitTraced(p Payload, parent obs.SpanContext) (string, error)
+}
+
+// Manager is the canonical in-process Dispatcher, Lister, Watcher,
+// EventSource, Tracer and TracedSubmitter.
 var (
-	_ Dispatcher  = (*Manager)(nil)
-	_ Lister      = (*Manager)(nil)
-	_ Watcher     = (*Manager)(nil)
-	_ EventSource = (*Manager)(nil)
+	_ Dispatcher      = (*Manager)(nil)
+	_ Lister          = (*Manager)(nil)
+	_ Watcher         = (*Manager)(nil)
+	_ EventSource     = (*Manager)(nil)
+	_ Tracer          = (*Manager)(nil)
+	_ TracedSubmitter = (*Manager)(nil)
 )

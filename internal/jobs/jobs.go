@@ -31,12 +31,23 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/sljmotion/sljmotion/internal/events"
+	"github.com/sljmotion/sljmotion/internal/obs"
+)
+
+// Latency histograms feeding the Prometheus export, registered once so
+// the per-job cost is a few atomic adds.
+var (
+	queueWaitSeconds = obs.Default.Histogram("slj_job_queue_wait_seconds",
+		"Time jobs sat queued before a worker picked them up, in seconds.", obs.DefBuckets)
+	runSeconds = obs.Default.Histogram("slj_job_run_seconds",
+		"Payload execution time of finished jobs, in seconds.", obs.DefBuckets)
 )
 
 // State is a job lifecycle state.
@@ -115,6 +126,9 @@ type Config struct {
 	// events.DefaultConfig(), so streaming always works on the in-process
 	// backend. The Manager closes the hub on Close either way.
 	Events *events.Hub
+	// Log receives structured lifecycle logs, every line correlated by
+	// job_id (and trace_id once the job carries a trace). Nil discards.
+	Log *slog.Logger
 }
 
 // DefaultConfig returns a small service-oriented configuration.
@@ -234,6 +248,14 @@ type job struct {
 	// was already handed to the queue (the send is not undoable), so the
 	// worker drops it instead of executing unjournaled work.
 	aborted bool
+	// trace is the job's span tree, rooted at submission; queueSpan is the
+	// open queue-wait child the picking worker closes. Both nil for
+	// journal-replayed jobs (their live spans died with the old process)
+	// — Trace answers ErrNotFound for those. The trace is evicted with
+	// the record, so trace memory is bounded by the job table.
+	trace     *obs.Trace
+	root      *obs.Span
+	queueSpan *obs.Span
 }
 
 // Manager owns the queue, the worker pool and the job table.
@@ -242,6 +264,7 @@ type Manager struct {
 	exec  Executor
 	clock func() time.Time
 	hub   *events.Hub
+	log   *slog.Logger
 
 	runCtx  context.Context
 	cancel  context.CancelFunc
@@ -294,12 +317,17 @@ func New(cfg Config, exec Executor) (*Manager, error) {
 	if hub == nil {
 		hub = events.NewHub(events.DefaultConfig())
 	}
+	lg := cfg.Log
+	if lg == nil {
+		lg = obs.Discard()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
 		exec:    exec,
 		clock:   clock,
 		hub:     hub,
+		log:     lg,
 		runCtx:  ctx,
 		cancel:  cancel,
 		queue:   make(chan *job, cfg.QueueSize),
@@ -416,6 +444,14 @@ func (m *Manager) Config() Config { return m.cfg }
 // Submit enqueues a payload and returns its job id. It never blocks: a full
 // queue returns ErrQueueFull, a closed manager ErrClosed.
 func (m *Manager) Submit(p Payload) (string, error) {
+	return m.SubmitTraced(p, obs.SpanContext{})
+}
+
+// SubmitTraced is Submit carrying a remote parent span context: a worker
+// node receiving a dispatched payload passes the traceparent it was posted
+// so this job's span tree grafts under the front end's dispatch trace.
+// The zero SpanContext starts a fresh trace.
+func (m *Manager) SubmitTraced(p Payload, parent obs.SpanContext) (string, error) {
 	id, err := newID()
 	if err != nil {
 		return "", err
@@ -430,6 +466,9 @@ func (m *Manager) Submit(p Payload) (string, error) {
 	}
 	now := m.clock()
 	j := &job{id: id, payload: p, state: StateQueued, created: now, enqueued: now}
+	j.trace, j.root = obs.NewTraceFrom(parent, "job")
+	j.root.SetAttr("job_id", id)
+	j.queueSpan = j.root.Start("queue_wait")
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -453,12 +492,27 @@ func (m *Manager) Submit(p Payload) (string, error) {
 		m.jobs[id] = j
 		m.submitted++
 		m.hub.Publish(events.Event{Type: events.TypeQueued, JobID: id, At: now, State: string(StateQueued)})
+		m.log.Debug("job queued", "job_id", id, "trace_id", j.trace.TraceID())
 		m.sweepLocked(now)
 		return id, nil
 	default:
 		m.rejected++
+		m.log.Warn("job rejected, queue full", "queue_capacity", m.cfg.QueueSize)
 		return "", ErrQueueFull
 	}
+}
+
+// Trace returns the job's span tree. Jobs submitted before the last
+// restart (journal-replayed records) carry none and answer ErrNotFound.
+func (m *Manager) Trace(id string) (*obs.TraceDoc, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(m.clock())
+	j, ok := m.jobs[id]
+	if !ok || j.trace == nil {
+		return nil, ErrNotFound
+	}
+	return j.trace.Doc(id), nil
 }
 
 // Status returns a snapshot of the job, or ErrNotFound for unknown/expired
@@ -628,6 +682,11 @@ func (m *Manager) execute(j *job) {
 	m.journalLocked(JournalEntry{Op: OpRunning, ID: j.id, At: start})
 	m.hub.Publish(events.Event{Type: events.TypeRunning, JobID: j.id, At: start, State: string(StateRunning)})
 	m.mu.Unlock()
+	j.queueSpan.End()
+	queueWaitSeconds.Observe(start.Sub(j.enqueued).Seconds())
+	runSpan := j.root.Start("run")
+	m.log.Debug("job running", "job_id", j.id, "trace_id", j.trace.TraceID(),
+		"queue_wait_ms", float64(start.Sub(j.enqueued))/float64(time.Millisecond))
 
 	progress := func(stage string) {
 		m.mu.Lock()
@@ -638,8 +697,12 @@ func (m *Manager) execute(j *job) {
 		})
 		m.mu.Unlock()
 	}
-	val, err := m.exec.Execute(m.runCtx, j.payload, progress)
+	// The run span rides the execution context: the core pipeline hangs
+	// its per-stage (and per-frame GA) spans under it via obs.StartSpan.
+	val, err := m.exec.Execute(obs.ContextWithSpan(m.runCtx, runSpan), j.payload, progress)
 	now := m.clock()
+	runSpan.End()
+	runSeconds.Observe(now.Sub(start).Seconds())
 
 	// Journal the terminal record BEFORE taking the lock and before the
 	// terminal state becomes visible: the result marshal can be megabytes
@@ -662,11 +725,14 @@ func (m *Manager) execute(j *job) {
 			entry = &JournalEntry{Op: OpFailed, ID: j.id, At: now, Error: err.Error()}
 		}
 		if entry != nil {
+			jspan := j.root.Start("journal_append")
 			if aerr := m.cfg.Journal.Append(*entry); aerr != nil {
 				m.mu.Lock()
 				m.journalFailed++
 				m.mu.Unlock()
+				m.log.Error("journal append failed", "job_id", j.id, "trace_id", j.trace.TraceID(), "error", aerr)
 			}
+			jspan.End()
 		}
 	}
 
@@ -676,6 +742,7 @@ func (m *Manager) execute(j *job) {
 	j.finished = now
 	j.stage = ""
 	j.payload = Payload{} // release the payload (it may pin a whole clip)
+	pubSpan := j.root.Start("publish")
 	if err != nil {
 		j.state = StateFailed
 		j.err = err
@@ -684,6 +751,8 @@ func (m *Manager) execute(j *job) {
 			Type: events.TypeFailed, JobID: j.id, At: now,
 			State: string(StateFailed), Error: err.Error(),
 		})
+		m.log.Warn("job failed", "job_id", j.id, "trace_id", j.trace.TraceID(),
+			"run_ms", float64(now.Sub(start))/float64(time.Millisecond), "error", err)
 	} else {
 		j.state = StateDone
 		j.result = val
@@ -691,7 +760,12 @@ func (m *Manager) execute(j *job) {
 		// Published after the terminal state is set, so a subscriber that
 		// fetches the result on seeing this event always finds it.
 		m.hub.Publish(events.Event{Type: events.TypeDone, JobID: j.id, At: now, State: string(StateDone)})
+		m.log.Info("job done", "job_id", j.id, "trace_id", j.trace.TraceID(),
+			"run_ms", float64(now.Sub(start))/float64(time.Millisecond),
+			"queue_wait_ms", float64(start.Sub(j.enqueued))/float64(time.Millisecond))
 	}
+	pubSpan.End()
+	j.root.End()
 	m.recordLocked(now.Sub(start), start.Sub(j.enqueued))
 }
 

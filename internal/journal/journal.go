@@ -34,8 +34,21 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"github.com/sljmotion/sljmotion/internal/jobs"
+	"github.com/sljmotion/sljmotion/internal/obs"
+)
+
+// Durability latency histograms feeding the Prometheus export: the append
+// covers encode+write (plus any policy fsync/compaction it triggered),
+// the fsync histogram isolates the flush+fsync syscall pair — the number
+// the ROADMAP's group-commit item needs a baseline for.
+var (
+	appendSeconds = obs.Default.Histogram("slj_journal_append_seconds",
+		"Journal record append time (encode + buffered write + any policy fsync), in seconds.", obs.IOBuckets)
+	fsyncSeconds = obs.Default.Histogram("slj_journal_fsync_seconds",
+		"Journal flush+fsync time, in seconds.", obs.IOBuckets)
 )
 
 // Config parameterises a Journal.
@@ -164,6 +177,9 @@ func (j *Journal) countLocked(e jobs.JournalEntry) {
 // Append writes one record, applies the fsync policy, and rotates or
 // compacts when the thresholds say so.
 func (j *Journal) Append(e jobs.JournalEntry) error {
+	defer func(start time.Time) {
+		appendSeconds.Observe(time.Since(start).Seconds())
+	}(time.Now())
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -356,6 +372,9 @@ func (j *Journal) Sync() error {
 
 // syncLocked flushes and fsyncs. Caller holds mu.
 func (j *Journal) syncLocked() error {
+	defer func(start time.Time) {
+		fsyncSeconds.Observe(time.Since(start).Seconds())
+	}(time.Now())
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("journal: flush: %w", err)
 	}

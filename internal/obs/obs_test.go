@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	_, root := NewTrace("job")
+	sc := root.Context()
+	if !sc.Valid() {
+		t.Fatalf("fresh span context invalid: %+v", sc)
+	}
+	hdr := sc.Traceparent()
+	got, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected", hdr)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"01-0123456789abcdef0123456789abcdef-0123456789abcdef-01", // unknown version
+		"00-0123456789ABCDEF0123456789abcdef-0123456789abcdef-01", // uppercase
+		"00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace id
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span id
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef",    // missing flags
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", s)
+		}
+	}
+}
+
+func TestNewTraceFromAdoptsParent(t *testing.T) {
+	_, remote := NewTrace("dispatch")
+	parent := remote.Context()
+	tr, root := NewTraceFrom(parent, "job")
+	if tr.TraceID() != parent.TraceID {
+		t.Fatalf("child trace id %s, want parent's %s", tr.TraceID(), parent.TraceID)
+	}
+	doc := tr.Doc("j1")
+	if doc.Root.ParentID != parent.SpanID {
+		t.Fatalf("root parent id %s, want %s", doc.Root.ParentID, parent.SpanID)
+	}
+	root.End()
+}
+
+func TestSpanTreeDoc(t *testing.T) {
+	tr, root := NewTrace("job")
+	root.SetAttr("job_id", "j42")
+	q := root.Start("queue_wait")
+	time.Sleep(2 * time.Millisecond)
+	q.End()
+	run := root.Start("run")
+	seg := run.Start("segmentation")
+	seg.End()
+	run.End()
+	root.End()
+
+	doc := tr.Doc("j42")
+	if doc.JobID != "j42" || doc.Root == nil {
+		t.Fatalf("doc: %+v", doc)
+	}
+	if doc.Root.Name != "job" || doc.Root.Attrs["job_id"] != "j42" {
+		t.Fatalf("root: %+v", doc.Root)
+	}
+	if len(doc.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(doc.Root.Children))
+	}
+	if doc.Root.Children[0].Name != "queue_wait" || doc.Root.Children[0].DurationMS <= 0 {
+		t.Fatalf("queue_wait child: %+v", doc.Root.Children[0])
+	}
+	runDoc := doc.Root.Children[1]
+	if runDoc.Name != "run" || len(runDoc.Children) != 1 || runDoc.Children[0].Name != "segmentation" {
+		t.Fatalf("run child: %+v", runDoc)
+	}
+	if runDoc.ParentID != doc.Root.SpanID {
+		t.Fatalf("run parent %s, want root %s", runDoc.ParentID, doc.Root.SpanID)
+	}
+	if doc.Root.InFlight {
+		t.Fatal("ended root reported in flight")
+	}
+}
+
+func TestStartSpanNoOpWithoutParent(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "segmentation")
+	if sp != nil {
+		t.Fatal("StartSpan on bare context returned a live span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan on bare context derived a new context")
+	}
+	// All methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.End()
+	if got := sp.Context(); got.Valid() {
+		t.Fatalf("nil span context valid: %+v", got)
+	}
+}
+
+func TestStartSpanAttachesChild(t *testing.T) {
+	tr, root := NewTrace("job")
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx2, sp := StartSpan(ctx, "run")
+	if sp == nil {
+		t.Fatal("StartSpan returned nil under a live parent")
+	}
+	if SpanFromContext(ctx2) != sp {
+		t.Fatal("derived context does not carry the child span")
+	}
+	sp.End()
+	root.End()
+	doc := tr.Doc("")
+	if len(doc.Root.Children) != 1 || doc.Root.Children[0].Name != "run" {
+		t.Fatalf("children: %+v", doc.Root.Children)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr, root := NewTrace("job")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := root.Start("ga_fit")
+			s.SetAttr("frame", "x")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if n := len(tr.Doc("").Root.Children); n != 16 {
+		t.Fatalf("children = %d, want 16", n)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("slj_test_seconds", "test.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	r.WritePrometheus(pw)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE slj_test_seconds histogram",
+		`slj_test_seconds_bucket{le="0.01"} 1`,
+		`slj_test_seconds_bucket{le="0.1"} 2`,
+		`slj_test_seconds_bucket{le="1"} 3`,
+		`slj_test_seconds_bucket{le="+Inf"} 4`,
+		"slj_test_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("slj_edge_seconds", "test.", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	r.WritePrometheus(pw)
+	if !strings.Contains(buf.String(), `slj_edge_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation not in le=\"1\":\n%s", buf.String())
+	}
+}
+
+func TestLabelledHistogramFamilies(t *testing.T) {
+	r := NewRegistry()
+	seg := r.Histogram("slj_stage_seconds", "stage time.", []float64{1}, "stage", "segmentation")
+	pose := r.Histogram("slj_stage_seconds", "stage time.", []float64{1}, "stage", "pose")
+	if seg == pose {
+		t.Fatal("distinct label sets share one histogram")
+	}
+	if again := r.Histogram("slj_stage_seconds", "stage time.", []float64{1}, "stage", "segmentation"); again != seg {
+		t.Fatal("re-registration did not return the existing histogram")
+	}
+	seg.Observe(0.5)
+	pose.Observe(2)
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	r.WritePrometheus(pw)
+	out := buf.String()
+	if strings.Count(out, "# TYPE slj_stage_seconds histogram") != 1 {
+		t.Fatalf("family header repeated:\n%s", out)
+	}
+	for _, want := range []string{
+		`slj_stage_seconds_bucket{stage="segmentation",le="1"} 1`,
+		`slj_stage_seconds_bucket{stage="pose",le="1"} 0`,
+		`slj_stage_seconds_bucket{stage="pose",le="+Inf"} 1`,
+		`slj_stage_seconds_count{stage="pose"} 1`,
+		`slj_stage_seconds_sum{stage="segmentation"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromWriterFamiliesAndEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("slj_cache_requests_total", "Cache lookups.", 3, "result", "hit")
+	p.Counter("slj_cache_requests_total", "Cache lookups.", 1, "result", `mi"ss`)
+	p.Gauge("slj_jobs_queued", "Queued jobs.", 2)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE slj_cache_requests_total counter") != 1 {
+		t.Fatalf("family header not deduplicated:\n%s", out)
+	}
+	if !strings.Contains(out, `slj_cache_requests_total{result="hit"} 3`) {
+		t.Fatalf("labelled sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, `result="mi\"ss"`) {
+		t.Fatalf("label escaping missing:\n%s", out)
+	}
+	if !strings.Contains(out, "slj_jobs_queued 2\n") {
+		t.Fatalf("gauge sample missing:\n%s", out)
+	}
+}
+
+func TestWriteRuntimeEmitsGaugeSet(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.WriteRuntime()
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"slj_runtime_goroutines",
+		"slj_runtime_heap_objects_bytes",
+		"slj_runtime_gc_cycles_total",
+		"slj_runtime_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime export missing %q", want)
+		}
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.Info("shown", "job_id", "j1")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug line emitted at info level")
+	}
+	if !strings.Contains(out, `"job_id":"j1"`) {
+		t.Fatalf("json attrs missing: %s", out)
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

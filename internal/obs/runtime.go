@@ -1,0 +1,43 @@
+// Runtime health gauges for the Prometheus export, sourced from
+// runtime/metrics (plus the GC pause total, which only ReadMemStats
+// exposes as a plain cumulative number).
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// WriteRuntime emits the process runtime gauge set: live goroutines, heap
+// object bytes, completed GC cycles, and total GC stop-the-world pause
+// time. Cardinality is fixed — four families, no labels.
+func (p *PromWriter) WriteRuntime() {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	read := func(i int) float64 {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			return float64(samples[i].Value.Uint64())
+		case metrics.KindFloat64:
+			return samples[i].Value.Float64()
+		default:
+			return 0
+		}
+	}
+	p.Gauge("slj_runtime_goroutines", "Number of live goroutines.", read(0))
+	p.Gauge("slj_runtime_heap_objects_bytes", "Bytes of heap memory occupied by live and dead objects.", read(1))
+	p.Counter("slj_runtime_gc_cycles_total", "Completed garbage-collection cycles.", read(2))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.Counter("slj_runtime_gc_pause_seconds_total", "Cumulative garbage-collection stop-the-world pause time.", float64(ms.PauseTotalNs)/1e9)
+}

@@ -1,0 +1,276 @@
+// Package obs is the dependency-free observability layer threaded through
+// every tier of the pipeline: per-job span traces (submit → queue wait →
+// pipeline stages → journal append → terminal publish, crossing dispatch
+// fan-out via a traceparent-style header), a Prometheus-text metrics
+// registry of counters/gauges/bucketed histograms, runtime gauges, and
+// log/slog construction helpers with job-id/trace-id correlation.
+//
+// Everything here is stdlib-only and safe on hot paths: span creation is
+// context-gated (no span in the context → StartSpan is a nil no-op), and
+// histogram observation is a handful of atomic adds.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanContext identifies one span within one trace, in W3C trace-context
+// dimensions: a 16-byte trace id and an 8-byte span id, both lowercase hex.
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether both ids have the expected widths and are non-zero.
+func (sc SpanContext) Valid() bool {
+	return len(sc.TraceID) == 32 && len(sc.SpanID) == 16 &&
+		isHex(sc.TraceID) && isHex(sc.SpanID) &&
+		sc.TraceID != strings.Repeat("0", 32) && sc.SpanID != strings.Repeat("0", 16)
+}
+
+// Traceparent renders the propagation header value carried on dispatch
+// fan-out requests: version 00, sampled flag always set.
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// TraceparentHeader is the HTTP header name used to propagate trace
+// context across dispatch fan-out, after the W3C trace-context draft.
+const TraceparentHeader = "Traceparent"
+
+// ParseTraceparent parses a traceparent header value. The second return
+// is false for anything malformed; unknown versions are rejected.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: parts[1], SpanID: parts[2]}
+	if !sc.Valid() || len(parts[3]) != 2 || !isHex(parts[3]) {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is unrecoverable; fall back to a fixed
+		// non-zero id rather than panicking on a telemetry path.
+		for i := range b {
+			b[i] = byte(i + 1)
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// Trace is one job's span tree. All spans of a trace share one mutex, so
+// concurrent stage goroutines may start/end children freely.
+type Trace struct {
+	mu      sync.Mutex
+	traceID string
+	root    *Span
+}
+
+// Span is one timed operation within a Trace. A nil *Span is a valid
+// no-op receiver for every method, which is what StartSpan returns when
+// the context carries no trace — instrumented code never branches.
+type Span struct {
+	trace    *Trace
+	id       string
+	parentID string
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    map[string]string
+	children []*Span
+}
+
+// NewTrace starts a fresh trace whose root span begins now.
+func NewTrace(rootName string) (*Trace, *Span) {
+	return newTrace(randHex(16), "", rootName)
+}
+
+// NewTraceFrom starts a trace continuing a remote parent: the new root
+// adopts the parent's trace id and records its span id, so grafting the
+// resulting span tree under the remote caller's tree yields one coherent
+// trace. An invalid parent degrades to NewTrace.
+func NewTraceFrom(parent SpanContext, rootName string) (*Trace, *Span) {
+	if !parent.Valid() {
+		return NewTrace(rootName)
+	}
+	return newTrace(parent.TraceID, parent.SpanID, rootName)
+}
+
+func newTrace(traceID, parentSpanID, rootName string) (*Trace, *Span) {
+	t := &Trace{traceID: traceID}
+	t.root = &Span{
+		trace:    t,
+		id:       randHex(8),
+		parentID: parentSpanID,
+		name:     rootName,
+		start:    time.Now(),
+	}
+	return t, t.root
+}
+
+// TraceID returns the trace's 32-hex-char id.
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// Start opens a child span beginning now. Nil-safe.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{
+		trace:    s.trace,
+		id:       randHex(8),
+		parentID: s.id,
+		name:     name,
+		start:    time.Now(),
+	}
+	s.trace.mu.Lock()
+	s.children = append(s.children, c)
+	s.trace.mu.Unlock()
+	return c
+}
+
+// End closes the span. Ending twice keeps the first end time. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.trace.mu.Unlock()
+}
+
+// SetAttr attaches a key/value annotation. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.trace.mu.Unlock()
+}
+
+// Context returns the span's propagation identity. Zero for nil spans.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.trace.traceID, SpanID: s.id}
+}
+
+// TraceDoc is the JSON form of a trace served at /v1/jobs/{id}/trace.
+type TraceDoc struct {
+	TraceID string   `json:"trace_id"`
+	JobID   string   `json:"job_id,omitempty"`
+	Root    *SpanDoc `json:"root"`
+}
+
+// SpanDoc is one span of a TraceDoc. Fields are fully exported so a
+// dispatcher can graft a worker node's tree under its own submit span.
+type SpanDoc struct {
+	Name        string            `json:"name"`
+	SpanID      string            `json:"span_id"`
+	ParentID    string            `json:"parent_id,omitempty"`
+	StartUnixNS int64             `json:"start_unix_ns"`
+	DurationMS  float64           `json:"duration_ms"`
+	InFlight    bool              `json:"in_flight,omitempty"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Children    []*SpanDoc        `json:"children,omitempty"`
+}
+
+// Doc snapshots the trace as a serializable span tree. Spans still open
+// are reported with their duration so far and InFlight set.
+func (t *Trace) Doc(jobID string) *TraceDoc {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	return &TraceDoc{TraceID: t.traceID, JobID: jobID, Root: t.root.docLocked(now)}
+}
+
+func (s *Span) docLocked(now time.Time) *SpanDoc {
+	d := &SpanDoc{
+		Name:        s.name,
+		SpanID:      s.id,
+		ParentID:    s.parentID,
+		StartUnixNS: s.start.UnixNano(),
+	}
+	end := s.end
+	if end.IsZero() {
+		end = now
+		d.InFlight = true
+	}
+	d.DurationMS = float64(end.Sub(s.start)) / float64(time.Millisecond)
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			d.Attrs[k] = v
+		}
+	}
+	for _, c := range s.children {
+		d.Children = append(d.Children, c.docLocked(now))
+	}
+	return d
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span, making downstream
+// StartSpan calls attach children to it.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the context's span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's span and returns a derived
+// context carrying it. When the context has no span — the un-traced
+// synchronous and benchmark paths — it returns the context unchanged and
+// a nil span whose End/SetAttr are no-ops, costing one context lookup.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.Start(name)
+	return ContextWithSpan(ctx, c), c
+}

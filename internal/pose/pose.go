@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"github.com/sljmotion/sljmotion/internal/ga"
 	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/obs"
 	"github.com/sljmotion/sljmotion/internal/segmentation"
 	"github.com/sljmotion/sljmotion/internal/stickmodel"
 )
@@ -551,12 +553,15 @@ func (e *Estimator) EstimateSequenceContext(ctx context.Context, sils []segmenta
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		_, span := obs.StartSpan(ctx, "ga_fit")
+		span.SetAttr("frame", strconv.Itoa(k))
 		var est *Estimate
 		if havePrev2 {
 			est, err = e.EstimateNextTracked(sils[k], prev, prev2)
 		} else {
 			est, err = e.EstimateNext(sils[k], prev)
 		}
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("frame %d: %w", k, err)
 		}

@@ -1,0 +1,97 @@
+// Prometheus text exposition for GET /v1/metrics?format=prometheus.
+//
+// The exposition composes three sources into one scrape:
+//
+//   - counter/gauge families derived from the same snapshot structs the
+//     JSON document serves (jobs.Metrics, cache.Metrics, the event hub's
+//     drop counter) — the numbers agree between the two formats by
+//     construction;
+//   - the process-wide histogram registry (obs.Default): queue wait, run
+//     time, per-stage wall clock, journal append/fsync, dispatch round
+//     trips, GA fitness evaluation;
+//   - runtime gauges sampled from runtime/metrics (heap, GC, goroutines).
+//
+// Label cardinality is bounded by design (DESIGN.md §13): the only label
+// values are the five pipeline stage names, worker-node URLs (deployment
+// sized, not request sized) and two cache-eviction reasons. Nothing
+// per-job or per-clip ever becomes a label.
+package server
+
+import (
+	"net/http"
+
+	"github.com/sljmotion/sljmotion/internal/jobs"
+	"github.com/sljmotion/sljmotion/internal/obs"
+)
+
+// writePrometheus renders the full scrape document.
+func (s *Server) writePrometheus(w http.ResponseWriter) {
+	s.mu.Lock()
+	analyzed := s.analyzed
+	s.mu.Unlock()
+	jm := s.jobs.Metrics()
+
+	w.Header().Set("Content-Type", obs.ContentType)
+	p := obs.NewPromWriter(w)
+
+	p.Counter("slj_clips_analyzed_total",
+		"Clips analysed since process start, across the sync and async routes.",
+		float64(analyzed))
+
+	p.Gauge("slj_jobs_workers", "Analysis worker pool size.", float64(jm.Workers))
+	p.Gauge("slj_jobs_queue_capacity", "Job queue capacity beyond the running jobs.", float64(jm.QueueCapacity))
+	p.Gauge("slj_jobs_queue_depth", "Jobs currently waiting in the queue.", float64(jm.QueueDepth))
+	p.Gauge("slj_jobs_running", "Jobs currently executing.", float64(jm.Running))
+	p.Counter("slj_jobs_submitted_total", "Jobs accepted into the queue.", float64(jm.Submitted))
+	p.Counter("slj_jobs_rejected_total", "Submissions refused by a full queue.", float64(jm.Rejected))
+	p.Counter("slj_jobs_completed_total", "Jobs finished successfully.", float64(jm.Completed))
+	p.Counter("slj_jobs_failed_total", "Jobs finished in failure.", float64(jm.Failed))
+	p.Counter("slj_jobs_evicted_total", "Finished jobs evicted after their result TTL.", float64(jm.Evicted))
+	p.Counter("slj_journal_append_failures_total",
+		"Journal appends that errored after the job was accepted (durability degraded).",
+		float64(jm.JournalFailures))
+
+	for _, n := range jm.Nodes {
+		healthy := 0.0
+		if n.Healthy {
+			healthy = 1
+		}
+		p.Gauge("slj_dispatch_node_healthy", "Whether the worker node's last probe or submit succeeded.",
+			healthy, "node", n.URL)
+		p.Counter("slj_dispatch_node_submitted_total", "Payloads accepted by the worker node.",
+			float64(n.Submitted), "node", n.URL)
+		p.Counter("slj_dispatch_node_rejected_total", "Backpressure (503) answers from the worker node.",
+			float64(n.Rejected), "node", n.URL)
+		p.Counter("slj_dispatch_node_completed_total", "Successful terminal results observed on the worker node.",
+			float64(n.Completed), "node", n.URL)
+		p.Counter("slj_dispatch_node_failed_total", "Failed terminal results observed on the worker node.",
+			float64(n.Failed), "node", n.URL)
+		p.Counter("slj_dispatch_node_cache_hits_total", "Submissions the worker node answered from its result cache.",
+			float64(n.CacheHits), "node", n.URL)
+	}
+
+	if s.cache != nil {
+		cm := s.cache.Metrics()
+		p.Gauge("slj_cache_entries", "Entries currently in the result cache.", float64(cm.Entries))
+		p.Gauge("slj_cache_capacity", "Result cache capacity.", float64(cm.Capacity))
+		p.Counter("slj_cache_hits_total", "Result cache hits.", float64(cm.Hits))
+		p.Counter("slj_cache_misses_total", "Result cache misses.", float64(cm.Misses))
+		p.Counter("slj_cache_stored_total", "Responses stored in the result cache.", float64(cm.Stored))
+		p.Counter("slj_cache_evicted_total", "Result cache evictions by reason.",
+			float64(cm.EvictedTTL), "reason", "ttl")
+		p.Counter("slj_cache_evicted_total", "Result cache evictions by reason.",
+			float64(cm.EvictedLRU), "reason", "lru")
+	}
+
+	if es, ok := s.jobs.(jobs.EventSource); ok {
+		p.Counter("slj_events_dropped_total",
+			"Events dropped by the hub's never-block policy (slow subscribers are resynced instead).",
+			float64(es.EventHub().Dropped()))
+	}
+
+	obs.Default.WritePrometheus(p)
+	p.WriteRuntime()
+	if err := p.Err(); err != nil {
+		s.log.Warn("prometheus exposition write failed", "err", err)
+	}
+}

@@ -1,0 +1,446 @@
+package server
+
+// Tests for the observability surface: the /v1/jobs/{id}/trace span tree,
+// the Prometheus text exposition (a conformance lint over the scrape), and
+// the byte-compatibility pin of the default JSON /v1/metrics document.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/e2etest"
+	"github.com/sljmotion/sljmotion/internal/obs"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+// metricsJSONGolden pins the exact bytes of GET /v1/metrics for a fresh
+// server with Workers:2 QueueSize:4 CacheEntries:8 (TTLs 15m). The JSON
+// document is the scrape format of record since PR 2; the Prometheus
+// exposition rides on ?format=prometheus only, and this golden is the
+// regression tripwire for any accidental change to the default bytes —
+// field renames, ordering, indentation, new keys.
+const metricsJSONGolden = `{
+  "cache": {
+    "entries": 0,
+    "capacity": 8,
+    "hits": 0,
+    "misses": 0,
+    "stored": 0,
+    "evicted_ttl": 0,
+    "evicted_lru": 0
+  },
+  "clips_analyzed": 0,
+  "jobs": {
+    "workers": 2,
+    "queue_capacity": 4,
+    "queue_depth": 0,
+    "running": 0,
+    "jobs_submitted": 0,
+    "jobs_rejected": 0,
+    "jobs_completed": 0,
+    "jobs_failed": 0,
+    "jobs_evicted": 0,
+    "run_latency": {
+      "count": 0,
+      "mean_ms": 0,
+      "p50_ms": 0,
+      "p95_ms": 0,
+      "max_ms": 0
+    },
+    "queue_wait": {
+      "count": 0,
+      "mean_ms": 0,
+      "p50_ms": 0,
+      "p95_ms": 0,
+      "max_ms": 0
+    }
+  }
+}
+`
+
+func TestMetricsJSONByteCompat(t *testing.T) {
+	s := fastServerWithOptions(t, Options{
+		Workers: 2, QueueSize: 4, ResultTTL: 15 * time.Minute,
+		CacheEntries: 8, CacheTTL: 15 * time.Minute,
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// No format parameter and format=json must serve identical bytes: the
+	// parameter only exists to divert to the Prometheus exposition.
+	for _, q := range []string{"", "?format=json"} {
+		resp, err := http.Get(srv.URL + "/v1/metrics" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/metrics%s: %d", q, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type %q, want application/json", ct)
+		}
+		if string(raw) != metricsJSONGolden {
+			t.Errorf("JSON metrics document diverged from the pinned bytes (query %q):\ngot:\n%s\nwant:\n%s", q, raw, metricsJSONGolden)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format answered %d, want 400", resp.StatusCode)
+	}
+}
+
+var hexID = regexp.MustCompile(`^[0-9a-f]+$`)
+
+// walkSpans visits every span of the tree depth-first.
+func walkSpans(s *obs.SpanDoc, fn func(*obs.SpanDoc)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children {
+		walkSpans(c, fn)
+	}
+}
+
+// childNamed returns the first direct child with the given name.
+func childNamed(s *obs.SpanDoc, name string) *obs.SpanDoc {
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+func TestJobTraceRoute(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc, raw, code := e2etest.Submit(t, srv.URL, v, "segmentation", true)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, raw)
+	}
+	e2etest.PollResult(t, srv.URL, doc.ResultURL, 30*time.Second)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + doc.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace route: %d", resp.StatusCode)
+	}
+	var trace obs.TraceDoc
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatal(err)
+	}
+
+	if trace.JobID != doc.ID {
+		t.Errorf("trace job_id = %q, want %q", trace.JobID, doc.ID)
+	}
+	if len(trace.TraceID) != 32 || !hexID.MatchString(trace.TraceID) {
+		t.Errorf("trace_id %q is not 32 hex chars", trace.TraceID)
+	}
+	root := trace.Root
+	if root == nil || root.Name != "job" {
+		t.Fatalf("root span = %+v, want name \"job\"", root)
+	}
+
+	// Structural invariants: ids well-formed, parent links coherent, and —
+	// the job being done — no span still in flight.
+	walkSpans(root, func(s *obs.SpanDoc) {
+		if len(s.SpanID) != 16 || !hexID.MatchString(s.SpanID) {
+			t.Errorf("span %q id %q is not 16 hex chars", s.Name, s.SpanID)
+		}
+		if s.InFlight {
+			t.Errorf("span %q still in flight on a finished job", s.Name)
+		}
+		for _, c := range s.Children {
+			if c.ParentID != s.SpanID {
+				t.Errorf("span %q parent_id %q, want %q", c.Name, c.ParentID, s.SpanID)
+			}
+			if c.StartUnixNS < s.StartUnixNS {
+				t.Errorf("span %q starts before its parent %q", c.Name, s.Name)
+			}
+		}
+	})
+
+	wait := childNamed(root, "queue_wait")
+	run := childNamed(root, "run")
+	publish := childNamed(root, "publish")
+	if wait == nil || run == nil || publish == nil {
+		t.Fatalf("root children %v, want queue_wait + run + publish", spanNames(root.Children))
+	}
+	// No journal is configured, so no append span may appear.
+	if childNamed(root, "journal_append") != nil {
+		t.Error("journal_append span present without a journal")
+	}
+	if childNamed(run, "segmentation") == nil {
+		t.Errorf("run children %v, want the segmentation stage span", spanNames(run.Children))
+	}
+
+	// The acceptance bound: the root covers exactly the job's lifecycle,
+	// so its duration matches the status document's queue_wait_ms + run_ms
+	// (plus the publish tail) within scheduling tolerance.
+	var st struct {
+		QueueWaitMS float64 `json:"queue_wait_ms"`
+		RunMS       float64 `json:"run_ms"`
+	}
+	sresp, err := http.Get(srv.URL + "/v1/jobs/" + doc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := st.QueueWaitMS + st.RunMS
+	if root.DurationMS < sum-1 || root.DurationMS > sum+500 {
+		t.Errorf("root duration %.2fms vs queue_wait+run %.2fms: outside [-1ms, +500ms]", root.DurationMS, sum)
+	}
+	if run.DurationMS > root.DurationMS || wait.DurationMS > root.DurationMS {
+		t.Errorf("child durations (wait %.2f, run %.2f) exceed the root's %.2f", wait.DurationMS, run.DurationMS, root.DurationMS)
+	}
+
+	// Unknown ids answer 404 like every other job route.
+	nresp, err := http.Get(srv.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, nresp.Body)
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace: %d, want 404", nresp.StatusCode)
+	}
+}
+
+func spanNames(spans []*obs.SpanDoc) []string {
+	var names []string
+	for _, s := range spans {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+var (
+	promMetricRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRE  = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
+	promSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$`)
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// labelKey canonicalizes the label set minus `le`, for bucket grouping.
+func (s promSample) labelKey() string {
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// TestPrometheusConformance lints the whole scrape against the text
+// exposition format: well-formed names and labels, HELP/TYPE exactly once
+// per family and before its samples, counters named *_total, histogram
+// buckets cumulative and monotone with the +Inf bucket equal to _count.
+func TestPrometheusConformance(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finished job populates the queue-wait, run and stage histograms.
+	e2etest.SubmitAndFetch(t, srv.URL, v)
+
+	resp, err := http.Get(srv.URL + "/v1/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("content type %q, want %q", ct, obs.ContentType)
+	}
+
+	types := map[string]string{} // family -> counter|gauge|histogram
+	helps := map[string]bool{}
+	var samples []promSample
+	for i, line := range strings.Split(string(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if !promMetricRE.MatchString(parts[0]) {
+				t.Errorf("line %d: malformed HELP name %q", i+1, parts[0])
+			}
+			if helps[parts[0]] {
+				t.Errorf("line %d: duplicate HELP for %s", i+1, parts[0])
+			}
+			helps[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || !promMetricRE.MatchString(parts[0]) {
+				t.Fatalf("line %d: malformed TYPE line %q", i+1, line)
+			}
+			name, typ := parts[0], parts[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Errorf("line %d: unknown type %q", i+1, typ)
+			}
+			if _, dup := types[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", i+1, name)
+			}
+			if !helps[name] {
+				t.Errorf("line %d: TYPE %s has no preceding HELP", i+1, name)
+			}
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				t.Errorf("line %d: counter %s not named *_total", i+1, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("line %d: unexpected comment %q", i+1, line)
+			continue
+		}
+		m := promSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		s := promSample{name: m[1], labels: map[string]string{}}
+		for _, kv := range promLabelRE.FindAllStringSubmatch(m[2], -1) {
+			s.labels[kv[1]] = kv[2]
+		}
+		val, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("line %d: unparseable value %q", i+1, m[3])
+		}
+		s.value = val
+
+		// Every sample must follow a TYPE for its family (histogram
+		// samples carry the _bucket/_sum/_count suffixes).
+		family := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.name, suf)
+			if types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			t.Errorf("line %d: sample %s precedes (or lacks) its TYPE declaration", i+1, s.name)
+		}
+		samples = append(samples, s)
+	}
+
+	// Histogram shape: buckets monotone non-decreasing in le order, the
+	// +Inf bucket present and equal to the series' _count.
+	buckets := map[string][]promSample{} // family|labelKey -> bucket samples
+	counts := map[string]float64{}
+	for _, s := range samples {
+		if base := strings.TrimSuffix(s.name, "_bucket"); base != s.name && types[base] == "histogram" {
+			key := base + "|" + s.labelKey()
+			buckets[key] = append(buckets[key], s)
+		}
+		if base := strings.TrimSuffix(s.name, "_count"); base != s.name && types[base] == "histogram" {
+			counts[base+"|"+s.labelKey()] = s.value
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram series in the scrape")
+	}
+	for key, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return leBound(t, bs[i]) < leBound(t, bs[j]) })
+		var prev float64
+		for _, b := range bs {
+			if b.value < prev {
+				t.Errorf("series %s: bucket counts not monotone (%.0f after %.0f)", key, b.value, prev)
+			}
+			prev = b.value
+		}
+		last := bs[len(bs)-1]
+		if le := last.labels["le"]; le != "+Inf" {
+			t.Errorf("series %s: final bucket le=%q, want +Inf", key, le)
+		}
+		cnt, ok := counts[key]
+		if !ok {
+			t.Errorf("series %s: no _count sample", key)
+		} else if last.value != cnt {
+			t.Errorf("series %s: +Inf bucket %.0f != count %.0f", key, last.value, cnt)
+		}
+	}
+
+	// The families the document promises must actually be there, with at
+	// least one observation in the latency histograms after the job above.
+	for _, want := range []string{
+		"slj_clips_analyzed_total", "slj_jobs_submitted_total", "slj_jobs_queue_depth",
+		"slj_cache_hits_total", "slj_cache_evicted_total", "slj_events_dropped_total",
+		"slj_job_queue_wait_seconds", "slj_job_run_seconds", "slj_stage_seconds",
+		"slj_runtime_goroutines", "slj_runtime_gc_cycles_total",
+	} {
+		if _, ok := types[want]; !ok {
+			t.Errorf("family %s missing from the scrape", want)
+		}
+	}
+	for key, cnt := range counts {
+		if strings.HasPrefix(key, "slj_job_run_seconds|") && cnt < 1 {
+			t.Errorf("series %s has no observations after a finished job", key)
+		}
+	}
+}
+
+// leBound parses a bucket's le label as its sort key.
+func leBound(t *testing.T, s promSample) float64 {
+	t.Helper()
+	le := s.labels["le"]
+	if le == "+Inf" {
+		return 1e308
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		t.Fatalf("bucket of %s: unparseable le %q", s.name, le)
+	}
+	return v
+}

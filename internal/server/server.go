@@ -42,8 +42,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"mime/multipart"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,6 +59,7 @@ import (
 	"github.com/sljmotion/sljmotion/internal/events"
 	"github.com/sljmotion/sljmotion/internal/imaging"
 	"github.com/sljmotion/sljmotion/internal/jobs"
+	"github.com/sljmotion/sljmotion/internal/obs"
 	"github.com/sljmotion/sljmotion/internal/scoring"
 	"github.com/sljmotion/sljmotion/internal/stickmodel"
 )
@@ -83,6 +86,10 @@ type AnalysisResponse struct {
 	Phases       []string        `json:"phases"`
 	Stages       []string        `json:"stages,omitempty"`
 	Silhouettes  []SilhouetteOut `json:"silhouettes,omitempty"`
+	// StageMS records wall-clock milliseconds per executed pipeline stage.
+	// It is the one non-deterministic field of the document: cross-run
+	// byte-comparisons must strip it (e2etest.StripVolatile) before diffing.
+	StageMS map[string]float64 `json:"stage_ms,omitempty"`
 }
 
 // RuleOut is one scored rule in the response.
@@ -167,6 +174,14 @@ type Options struct {
 	EventBuffer int
 	// EventHeartbeat is the SSE keep-alive comment interval.
 	EventHeartbeat time.Duration
+	// Log receives the server's structured logs (and is threaded into the
+	// in-process job manager so lifecycle lines correlate by job_id and
+	// trace_id). When nil, the legacy *log.Logger passed to New is wrapped
+	// as a plain text handler; if that is nil too, logs are discarded.
+	Log *slog.Logger
+	// PProf mounts net/http/pprof under /debug/pprof/ (slj-serve -pprof).
+	// Off by default: the profiling surface is opt-in, never public.
+	PProf bool
 }
 
 // DefaultOptions returns a small-deployment default (jobs.DefaultConfig
@@ -187,10 +202,11 @@ func DefaultOptions() Options {
 type Server struct {
 	cfg    core.Config
 	cfgFP  string // config fingerprint folded into cache keys
-	logger *log.Logger
+	log    *slog.Logger
 	jobs   jobs.Dispatcher
 	cache  *cache.Store // nil when caching is disabled
 	worker bool         // mounts the payload intake route
+	pprof  bool         // mounts /debug/pprof/
 
 	// SSE stream accounting: streams counts connected event-stream
 	// clients against streamLimit; heartbeat paces keep-alive comments.
@@ -219,8 +235,13 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
+	lg := opts.Log
+	if lg == nil {
+		if logger != nil {
+			lg = slog.New(slog.NewTextHandler(logger.Writer(), nil))
+		} else {
+			lg = obs.Discard()
+		}
 	}
 	// The cache is built before the dispatcher so a config error here never
 	// leaves a started worker pool (or a caller-supplied dispatcher the
@@ -246,9 +267,10 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 	s := &Server{
 		cfg:         cfg,
 		cfgFP:       configFingerprint(cfg),
-		logger:      logger,
+		log:         lg,
 		cache:       store,
 		worker:      opts.Worker,
+		pprof:       opts.PProf,
 		streamLimit: opts.EventSubscribers,
 		heartbeat:   opts.EventHeartbeat,
 	}
@@ -272,6 +294,7 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 				SubscriberBuffer: opts.EventBuffer,
 				MaxSubscribers:   opts.EventSubscribers,
 			}),
+			Log: lg,
 		}, exec)
 		if err != nil {
 			if store != nil {
@@ -315,6 +338,13 @@ func (s *Server) Handler() http.Handler {
 		// The worker intake is a machine protocol, versioned-only: no
 		// legacy alias, serialized payloads instead of multipart uploads.
 		mux.HandleFunc("/v1/worker/jobs", method(http.MethodPost, s.handleWorkerJobs))
+	}
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }
@@ -422,7 +452,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	key, cached := s.lookup(req)
 	if cached != nil {
 		writeJSON(w, http.StatusOK, cached)
-		s.logger.Printf("analyze: cache hit %s", key)
+		s.log.Debug("analyze cache hit", "key", key.String())
 		return
 	}
 
@@ -444,7 +474,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	resp := buildResponse(result, len(req.Frames), req)
 	s.store(key, resp)
 	writeJSON(w, http.StatusOK, resp)
-	s.logger.Printf("analyzed %d-frame clip: score %s", len(req.Frames), resp.Score)
+	s.log.Info("clip analyzed", "frames", len(req.Frames), "score", resp.Score)
 }
 
 // submitResponse acknowledges an accepted asynchronous job.
@@ -590,7 +620,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		if key, ok := p.Key(); ok {
 			if cached := s.cachedResponse(key); cached != nil {
 				writeJSON(w, http.StatusOK, cached)
-				s.logger.Printf("jobs: cache hit %s", key)
+				s.log.Debug("jobs cache hit", "key", key.String())
 				return
 			}
 		}
@@ -600,9 +630,20 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 // submitPayload pushes one payload into the dispatcher and answers the
-// submit/backpressure protocol shared by the upload and worker routes.
+// submit/backpressure protocol shared by the upload and worker routes. An
+// inbound Traceparent header (a front end fanning out over worker nodes
+// stamps one on the payload POST) makes this job's trace a child of the
+// remote dispatch span, so the front end can graft the worker's span tree
+// under its own.
 func (s *Server) submitPayload(w http.ResponseWriter, r *http.Request, p jobs.Payload) {
-	id, err := s.jobs.Submit(p)
+	var id string
+	var err error
+	parent, fromRemote := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	if ts, ok := s.jobs.(jobs.TracedSubmitter); ok && fromRemote {
+		id, err = ts.SubmitTraced(p, parent)
+	} else {
+		id, err = s.jobs.Submit(p)
+	}
 	switch {
 	case jobs.Retryable(err):
 		// Propagate the backend's retry hint (a remote dispatcher carries
@@ -614,7 +655,7 @@ func (s *Server) submitPayload(w http.ResponseWriter, r *http.Request, p jobs.Pa
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	s.logger.Printf("job %s queued", id)
+	s.log.Info("job accepted", "job_id", id, "remote_trace", fromRemote)
 	base := "/jobs/"
 	if strings.HasPrefix(r.URL.Path, "/v1/") {
 		base = "/v1/jobs/"
@@ -676,8 +717,32 @@ func (s *Server) handleJobPath(w http.ResponseWriter, r *http.Request) {
 		s.writeJobResult(w, id)
 	case "events":
 		s.handleJobEvents(w, r, id)
+	case "trace":
+		s.writeJobTrace(w, id)
 	default:
 		writeError(w, http.StatusNotFound, "not found")
+	}
+}
+
+// writeJobTrace serves GET /v1/jobs/{id}/trace: the job's span tree, from
+// submission to terminal publish. On a remote-dispatch backend the tree
+// includes the fan-out spans with the worker node's own tree grafted under
+// the winning submit attempt. Jobs that carry no trace — journal-replayed
+// records from before the last restart — answer 404 like unknown ids.
+func (s *Server) writeJobTrace(w http.ResponseWriter, id string) {
+	tracer, ok := s.jobs.(jobs.Tracer)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "job tracing is not supported by this backend")
+		return
+	}
+	doc, err := tracer.Trace(id)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadGateway, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, doc)
 	}
 }
 
@@ -723,8 +788,20 @@ func (s *Server) writeJobResult(w http.ResponseWriter, id string) {
 }
 
 // handleMetrics exposes queue, throughput and cache statistics for
-// scrapers.
+// scrapers. The default document is JSON, byte-identical to earlier
+// releases; format=prometheus selects the text exposition format instead
+// (counters, gauges and the latency histograms — see metrics_prom.go).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+	case "prometheus":
+		s.writePrometheus(w)
+		return
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown format %q; use json or prometheus", f))
+		return
+	}
 	s.mu.Lock()
 	analyzed := s.analyzed
 	s.mu.Unlock()
@@ -915,6 +992,12 @@ func buildResponse(result *core.Result, nFrames int, req core.Request) *Analysis
 	if req.IncludePoses {
 		for k, p := range result.Poses {
 			resp.Poses = append(resp.Poses, PoseOut{Frame: k, X: p.X, Y: p.Y, Rho: p.Rho})
+		}
+	}
+	if len(result.StageMS) > 0 {
+		resp.StageMS = make(map[string]float64, len(result.StageMS))
+		for k, v := range result.StageMS {
+			resp.StageMS[k] = v
 		}
 	}
 	if req.IncludeSilhouettes {

@@ -56,7 +56,7 @@ func (s *Server) handleWorkerJobs(w http.ResponseWriter, r *http.Request) {
 	if cached != nil {
 		w.Header().Set(CacheHeader, "hit")
 		writeJSON(w, http.StatusOK, cached)
-		s.logger.Printf("worker: cache hit %s", key)
+		s.log.Debug("worker cache hit", "key", key.String())
 		return
 	}
 	if err := req.Validate(s.cfg.Windows); err != nil {

@@ -14,6 +14,7 @@ import (
 
 	"github.com/sljmotion/sljmotion/internal/clipio"
 	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/e2etest"
 	"github.com/sljmotion/sljmotion/internal/imaging"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/synth"
@@ -117,7 +118,9 @@ func TestWorkerIntakeRoundTrip(t *testing.T) {
 	if rresp.StatusCode != http.StatusOK {
 		t.Fatalf("result status %d: %s", rresp.StatusCode, jobRaw)
 	}
-	if !bytes.Equal(jobRaw, refRaw) {
+	// Fresh execution on a cold node: identical up to the wall-clock
+	// stage_ms timings.
+	if !bytes.Equal(e2etest.StripVolatile(t, jobRaw), e2etest.StripVolatile(t, refRaw)) {
 		t.Errorf("worker job result differs from /v1/analyze:\n%s\nvs\n%s", jobRaw, refRaw)
 	}
 }

@@ -88,6 +88,7 @@ import (
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/journal"
 	"github.com/sljmotion/sljmotion/internal/metrics"
+	"github.com/sljmotion/sljmotion/internal/obs"
 	"github.com/sljmotion/sljmotion/internal/pose"
 	"github.com/sljmotion/sljmotion/internal/scoring"
 	"github.com/sljmotion/sljmotion/internal/segmentation"
@@ -295,6 +296,13 @@ type (
 	JobEventType = events.Type
 	// PipelineStage names one of the four analysis phases.
 	PipelineStage = core.Stage
+	// JobTrace is one job's span tree snapshot (JobQueue.Trace): the
+	// lifecycle from submission through queue wait, the executed pipeline
+	// stages and the terminal publish, each with wall-clock timings
+	// (DESIGN.md §13).
+	JobTrace = obs.TraceDoc
+	// TraceSpan is one node of a JobTrace.
+	TraceSpan = obs.SpanDoc
 )
 
 // Job event types.
@@ -490,6 +498,22 @@ func (q *JobQueue) Jobs(f JobFilter) []JobStatus {
 		return l.Jobs(f)
 	}
 	return nil
+}
+
+// Trace returns the span tree of a job the queue still remembers: where
+// its wall-clock time went, from submission through queue wait, the
+// executed pipeline stages and the terminal publish. Remote queues include
+// the dispatch fan-out spans with the worker node's tree grafted under the
+// winning submit attempt. It returns ErrJobNotFound for unknown or expired
+// ids, for journal-replayed jobs of an earlier process (their execution
+// was not observed by this one), and for backends without the tracing
+// capability (DESIGN.md §13).
+func (q *JobQueue) Trace(id string) (*JobTrace, error) {
+	t, ok := q.mgr.(jobs.Tracer)
+	if !ok {
+		return nil, ErrJobNotFound
+	}
+	return t.Trace(id)
 }
 
 // ErrWatchUnsupported marks a job backend without the streaming
