@@ -31,6 +31,14 @@
 // job's span tree — where the wall-clock time went: queue wait, each
 // pipeline stage (with per-frame GA fits under pose), journal append and
 // terminal publish — the terminal equivalent of GET /v1/jobs/{id}/trace.
+//
+// -clip-session URL streams the clip to a running slj-serve through the
+// chunked ingest protocol instead of analysing in-process: frames upload
+// in small chunks (the server segments them while later chunks are still
+// in flight), the session is sealed into content-addressed artifacts, and
+// the analysis runs by hash — the printed document is the web service's
+// JSON response. A second run of the same clip re-uses the stored
+// artifacts and the server's result cache without re-uploading anything.
 package main
 
 import (
@@ -63,6 +71,8 @@ func run() error {
 		stages    = flag.String("stages", "all", "pipeline prefix to run: all, segmentation, segmentation..pose, ...")
 		follow    = flag.Bool("follow", false, "run as an asynchronous job and stream lifecycle + per-stage progress events live")
 		trace     = flag.Bool("trace", false, "print the job's span tree after the report: queue wait, per-stage and per-frame timings")
+		clipURL   = flag.String("clip-session", "", "server base URL: stream the clip up in chunks via an ingest session and analyse it by hash")
+		chunkSize = flag.Int("chunk-frames", 4, "frames per upload chunk for -clip-session")
 	)
 	flag.Parse()
 
@@ -118,6 +128,10 @@ func run() error {
 		return fmt.Errorf("need -in DIR or -synthetic")
 	}
 
+	if *clipURL != "" {
+		return streamClip(*clipURL, frames, manual, sel, *chunkSize)
+	}
+
 	cfg := sljmotion.DefaultConfig()
 	cfg.PxPerMeter = pxPerMeter
 	if *detect {
@@ -171,6 +185,45 @@ func run() error {
 	}
 	if traceDoc != nil {
 		printTrace(traceDoc)
+	}
+	return nil
+}
+
+// streamClip uploads the clip to a running slj-serve through a chunked
+// ingest session, seals it into content-addressed artifacts, then analyses
+// it by hash and prints the service's JSON response document.
+func streamClip(base string, frames []*sljmotion.Image, manual sljmotion.Pose, sel sljmotion.StageSelection, chunkFrames int) error {
+	if chunkFrames < 1 {
+		chunkFrames = 1
+	}
+	cs, err := sljmotion.OpenClipSession(base, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "clip session %s: uploading %d frames in chunks of %d\n",
+		cs.ID(), len(frames), chunkFrames)
+	for i := 0; i < len(frames); i += chunkFrames {
+		end := i + chunkFrames
+		if end > len(frames) {
+			end = len(frames)
+		}
+		if err := cs.AppendFrames(frames[i:end]); err != nil {
+			return err
+		}
+	}
+	seal, err := cs.Seal()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sealed: frames %s (%d eagerly segmented and reused, %d re-segmented)\n",
+		seal.FramesHash, seal.EagerReused, seal.EagerResegmented)
+	raw, err := cs.Analyze(seal, manual, sljmotion.ClipAnalyzeOptions{Stages: sel.String()})
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(raw)
+	if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+		fmt.Println()
 	}
 	return nil
 }

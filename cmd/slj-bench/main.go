@@ -22,32 +22,42 @@
 // increasing worker counts, the end-to-end analysis sequential vs.
 // parallel, the remote dispatch round trip over an in-process two-node
 // worker pool (submit → hash-route → poll → result, cold and cache-hit),
-// and the durable-journal overhead on the async job path (jobs/sec with
-// the journal off, on, and on with fsync-per-terminal) — and emits one
+// the durable-journal overhead on the async job path (jobs/sec with
+// the journal off, on, and on with fsync-per-terminal), and the streaming
+// clip-ingest path (chunked upload + seal wall clock, eager-segmentation
+// reuse, inline vs by-hash dispatch payload bytes, and the by-hash
+// analyze round trip cold and cache-hit) — and emits one
 // machine-readable JSON document (schema slj-bench-perf/v1, frames/sec
 // per configuration) on stdout, the data behind BENCH_*.json trajectory
 // tracking. -fast trims the GA budget for quick comparisons.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/sljmotion/sljmotion/internal/artifacts"
 	"github.com/sljmotion/sljmotion/internal/core"
 	"github.com/sljmotion/sljmotion/internal/dispatch"
 	"github.com/sljmotion/sljmotion/internal/events"
 	"github.com/sljmotion/sljmotion/internal/experiments"
+	"github.com/sljmotion/sljmotion/internal/imaging"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/journal"
 	"github.com/sljmotion/sljmotion/internal/segmentation"
@@ -162,6 +172,28 @@ type perfDoc struct {
 	Dispatch     *perfDispatch `json:"dispatch,omitempty"`
 	Journal      *perfJournal  `json:"journal,omitempty"`
 	Events       *perfEvents   `json:"events,omitempty"`
+	Ingest       *perfIngest   `json:"ingest,omitempty"`
+}
+
+// perfIngest measures the streaming clip-ingest path against the inline
+// upload it replaces: the chunked upload + seal wall clock (with the
+// eager-segmentation reuse accounting the overlap buys), the dispatch
+// payload size of a by-hash submission versus the same clip inline, and
+// the by-hash analyze round trip cold (memo-assisted pipeline run) and
+// resubmitted (result-cache hit).
+type perfIngest struct {
+	Frames           int     `json:"frames"`
+	Chunks           int     `json:"chunks"`
+	UploadSealMS     float64 `json:"upload_seal_ms"`
+	EagerReused      int     `json:"eager_reused"`
+	EagerResegmented int     `json:"eager_resegmented"`
+	// InlinePayloadBytes vs ByHashPayloadBytes is the point of the
+	// artifact store: the by-hash dispatch payload carries two content
+	// hashes and a pose where the inline one carries every pixel.
+	InlinePayloadBytes int       `json:"inline_payload_bytes"`
+	ByHashPayloadBytes int       `json:"byhash_payload_bytes"`
+	ByHashColdMS       perfStats `json:"byhash_cold_ms"`
+	ByHashCacheHitMS   perfStats `json:"byhash_cache_hit_ms"`
 }
 
 // perfEvents measures the job event bus: one publisher fanning events
@@ -348,6 +380,12 @@ func runPerf(seed int64, fast bool, baselinePath string, thresholdPct float64) e
 
 	doc.Events = runEventsPerf()
 
+	ing, err := runIngestPerf(v)
+	if err != nil {
+		return err
+	}
+	doc.Ingest = ing
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -464,6 +502,14 @@ func compareBaseline(doc perfDoc, path string, thresholdPct float64) error {
 		rows = append(rows,
 			compareRow{name: "dispatch cold mean ms", old: base.Dispatch.ColdMS.MeanMS, new: doc.Dispatch.ColdMS.MeanMS},
 			compareRow{name: "dispatch cache-hit mean ms", old: base.Dispatch.CacheHitMS.MeanMS, new: doc.Dispatch.CacheHitMS.MeanMS},
+		)
+	}
+	if base.Ingest != nil && doc.Ingest != nil {
+		rows = append(rows,
+			compareRow{name: "ingest upload+seal ms", old: base.Ingest.UploadSealMS, new: doc.Ingest.UploadSealMS},
+			compareRow{name: "ingest byhash payload bytes", old: float64(base.Ingest.ByHashPayloadBytes), new: float64(doc.Ingest.ByHashPayloadBytes)},
+			compareRow{name: "ingest byhash cold mean ms", old: base.Ingest.ByHashColdMS.MeanMS, new: doc.Ingest.ByHashColdMS.MeanMS},
+			compareRow{name: "ingest byhash cache-hit mean ms", old: base.Ingest.ByHashCacheHitMS.MeanMS, new: doc.Ingest.ByHashCacheHitMS.MeanMS},
 		)
 	}
 	if base.Events != nil && doc.Events != nil {
@@ -699,5 +745,165 @@ func runDispatchPerf(seed int64) (*perfDispatch, error) {
 		ColdMS:     statsOf(cold),
 		CacheHitMS: statsOf(hit),
 		NodeStats:  d.Metrics().Nodes,
+	}, nil
+}
+
+// ingestJSON posts a JSON document (nil for an empty body) and decodes the
+// JSON response into out, erroring on any status other than want.
+func ingestJSON(method, url string, body io.Reader, contentType string, want int, out any) error {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s %s: %d %s", method, url, resp.StatusCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("%s %s: malformed document: %w", method, url, err)
+		}
+	}
+	return nil
+}
+
+// runIngestPerf measures the streaming clip-ingest path on an in-process
+// server: the canonical clip uploaded over a chunked ingest session and
+// sealed into content-addressed artifacts, then analysed by hash. The
+// payload-size rows marshal the actual dispatch wire forms: the inline
+// payload carries every frame base64-encoded, the by-hash payload two
+// content hashes and the manual pose.
+func runIngestPerf(v *synth.Video) (*perfIngest, error) {
+	cfg := core.DefaultConfig()
+	s, err := server.NewWithOptions(cfg, nil, server.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	}()
+
+	const chunkFrames = 4
+	var open struct {
+		ClipID string `json:"clip_id"`
+	}
+	start := time.Now()
+	if err := ingestJSON(http.MethodPost, hs.URL+"/v1/clips", nil, "", http.StatusCreated, &open); err != nil {
+		return nil, err
+	}
+	chunks := 0
+	for i := 0; i < len(v.Frames); i += chunkFrames {
+		end := i + chunkFrames
+		if end > len(v.Frames) {
+			end = len(v.Frames)
+		}
+		var body bytes.Buffer
+		mw := multipart.NewWriter(&body)
+		if err := mw.WriteField("chunk", strconv.Itoa(chunks)); err != nil {
+			return nil, err
+		}
+		for k, f := range v.Frames[i:end] {
+			fw, err := mw.CreateFormFile("frames", fmt.Sprintf("frame_%04d.ppm", k))
+			if err != nil {
+				return nil, err
+			}
+			if err := imaging.EncodePPM(fw, f); err != nil {
+				return nil, err
+			}
+		}
+		mw.Close()
+		if err := ingestJSON(http.MethodPut, hs.URL+"/v1/clips/"+open.ClipID+"/frames",
+			&body, mw.FormDataContentType(), http.StatusOK, nil); err != nil {
+			return nil, err
+		}
+		chunks++
+	}
+	var seal artifacts.SealDoc
+	if err := ingestJSON(http.MethodPost, hs.URL+"/v1/clips/"+open.ClipID+"/seal",
+		nil, "", http.StatusOK, &seal); err != nil {
+		return nil, err
+	}
+	uploadSealMS := time.Since(start).Seconds() * 1000
+
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 1)
+	fp := jobs.ConfigFingerprint(cfg)
+	inlineReq := core.Request{
+		Frames:             v.Frames,
+		ManualFirst:        manual,
+		Stages:             core.OnlyStage(core.StageSegmentation),
+		IncludeSilhouettes: true,
+	}
+	inlineP, err := jobs.NewAnalysisPayload(fp, inlineReq)
+	if err != nil {
+		return nil, err
+	}
+	inlineRaw, err := json.Marshal(inlineP)
+	if err != nil {
+		return nil, err
+	}
+	refReq := inlineReq
+	refReq.Frames = nil
+	refReq.FramesRef = seal.FramesHash
+	refP, err := jobs.NewArtifactPayload(fp, refReq, inlineReq)
+	if err != nil {
+		return nil, err
+	}
+	refRaw, err := json.Marshal(refP)
+	if err != nil {
+		return nil, err
+	}
+
+	analyzeDoc, err := json.Marshal(map[string]any{
+		"frames_ref":   seal.FramesHash,
+		"manual_first": map[string]any{"x": manual.X, "y": manual.Y, "rho": manual.Rho[:]},
+		"stages":       "segmentation",
+		"silhouettes":  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	roundTrip := func() (float64, error) {
+		t0 := time.Now()
+		if err := ingestJSON(http.MethodPost, hs.URL+"/v1/analyze",
+			bytes.NewReader(analyzeDoc), "application/json", http.StatusOK, nil); err != nil {
+			return 0, err
+		}
+		return time.Since(t0).Seconds() * 1000, nil
+	}
+	coldMS, err := roundTrip()
+	if err != nil {
+		return nil, fmt.Errorf("ingest bench (cold): %w", err)
+	}
+	var hit []float64
+	for i := 0; i < 4; i++ {
+		ms, err := roundTrip()
+		if err != nil {
+			return nil, fmt.Errorf("ingest bench (hit): %w", err)
+		}
+		hit = append(hit, ms)
+	}
+
+	return &perfIngest{
+		Frames:             seal.Frames,
+		Chunks:             chunks,
+		UploadSealMS:       uploadSealMS,
+		EagerReused:        seal.EagerReused,
+		EagerResegmented:   seal.EagerResegmented,
+		InlinePayloadBytes: len(inlineRaw),
+		ByHashPayloadBytes: len(refRaw),
+		ByHashColdMS:       statsOf([]float64{coldMS}),
+		ByHashCacheHitMS:   statsOf(hit),
 	}, nil
 }

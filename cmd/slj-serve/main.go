@@ -45,6 +45,19 @@
 //	GET  /v1/rules    the encoded Tables 1-2.
 //	GET  /v1/healthz  liveness + clips analysed.
 //
+// Streaming ingest + content-addressed artifacts (DESIGN.md §14): POST
+// /v1/clips opens a chunked upload session, PUT /v1/clips/{id}/frames
+// appends ordered frame chunks (segmentation starts speculatively as
+// chunks arrive), POST /v1/clips/{id}/seal yields content hashes, and an
+// application/json POST to /v1/analyze or /v1/jobs naming frames_ref
+// analyses the stored clip without re-uploading a byte. Artifact blobs are
+// stored/served at /v1/artifacts (-artifact-blobs/-artifact-bytes/
+// -artifact-ttl bound the store, -artifact-spill adds a disk tier,
+// -clip-ttl expires idle sessions). A dispatching front end sets
+// -artifact-origin to its own public base URL so worker nodes can pull
+// referenced artifacts by hash (-max-payload-bytes caps the worker intake
+// body; by-reference payloads skip the base64 headroom).
+//
 // -workers sizes the analysis worker pool and -queue the submission queue
 // (backpressure beyond it). -result-ttl bounds how long finished results
 // stay pollable. -parallelism fans the per-frame hot paths of one analysis
@@ -138,6 +151,14 @@ func run() error {
 		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 		logFormat   = flag.String("log-format", "text", "log encoding: text or json")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (live CPU/heap profiles)")
+
+		maxPayload    = flag.Int64("max-payload-bytes", defaults.MaxPayloadBytes, "worker-intake payload body cap; inline payloads get double this (base64 headroom), by-reference payloads exactly this")
+		artifactBlobs = flag.Int("artifact-blobs", 0, "artifact store blob-count bound (0 = default)")
+		artifactBytes = flag.Int64("artifact-bytes", 0, "artifact store byte bound (0 = default)")
+		artifactTTL   = flag.Duration("artifact-ttl", 0, "artifact lifetime after last store (0 = default)")
+		artifactSpill = flag.String("artifact-spill", "", "directory to write-through-spill artifact blobs to (survives LRU eviction and restarts)")
+		clipTTL       = flag.Duration("clip-ttl", 0, "idle clip-ingest session lifetime (0 = default)")
+		artOrigin     = flag.String("artifact-origin", "", "this front end's public base URL, stamped into by-reference payloads so workers know where to pull artifacts (front ends with -dispatch-nodes)")
 	)
 	flag.Parse()
 
@@ -158,6 +179,12 @@ func run() error {
 		EventBuffer:      *eventBuffer,
 		Log:              logger,
 		PProf:            *pprofOn,
+		MaxPayloadBytes:  *maxPayload,
+		ArtifactBlobs:    *artifactBlobs,
+		ArtifactBytes:    *artifactBytes,
+		ArtifactTTL:      *artifactTTL,
+		ArtifactSpillDir: *artifactSpill,
+		ClipTTL:          *clipTTL,
 	}
 	var jrn *journal.Journal
 	if *journalPath != "" {
@@ -188,6 +215,7 @@ func run() error {
 		dcfg.Events.MaxSubscribers = *eventSubs
 		dcfg.Events.SubscriberBuffer = *eventBuffer
 		dcfg.Log = logger
+		dcfg.ArtifactOrigin = strings.TrimRight(*artOrigin, "/")
 		d, err := dispatch.New(dcfg)
 		if err != nil {
 			return err

@@ -1,0 +1,871 @@
+// Package artifacts is the content-addressed blob store behind the
+// streaming ingest path: frames, silhouettes and pose sequences are stored
+// once under the SHA-256 of their canonical binary encoding, and every
+// later consumer — a re-score, a worker node, a by-hash analysis request —
+// names them by that hash instead of re-shipping the bytes.
+//
+// Three typed artifact kinds exist, each with a deterministic, versioned
+// binary encoding (a four-byte magic plus a kind byte, then little-endian
+// fields): a clip's frames, the segmentation output (background plus
+// per-frame silhouettes, bundled so one hash covers the whole stage), and
+// a pose sequence with its calibrated dimensions. The encodings round-trip
+// exactly, so a request resolved from hashes is bit-identical to the same
+// request built inline — and therefore hashes to the same cache key.
+//
+// The Store is a bounded two-tier cache: an in-memory LRU limited by blob
+// count and total bytes, with TTL expiry (janitor plus lazy checks, the
+// same pattern as internal/cache), and an optional content-addressed disk
+// spill directory. Puts write through to the spill; an LRU eviction drops
+// only the memory copy (the spill is the overflow tier and survives
+// restarts), while a TTL expiry removes both. The Resolver seam — local
+// store first, then an HTTP pull from the originating front end — is how
+// worker nodes materialise by-hash payloads.
+package artifacts
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/cache"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/segmentation"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// Kind names an artifact type; the version suffix changes whenever the
+// binary encoding does, so stale blobs can never be mis-decoded.
+type Kind string
+
+// The typed artifact kinds.
+const (
+	KindFrames      Kind = "frames/v1"
+	KindSilhouettes Kind = "silhouettes/v1"
+	KindPoses       Kind = "poses/v1"
+)
+
+// magic prefixes every artifact blob; the byte after it is the kind tag.
+var magic = []byte("SLJA")
+
+const (
+	tagFrames      byte = 1
+	tagSilhouettes byte = 2
+	tagPoses       byte = 3
+)
+
+// Encoding sanity bounds: dimensions and counts beyond these are corrupt
+// blobs, not plausible clips, and are rejected before any allocation.
+const (
+	maxDim    = 1 << 15 // frames wider/taller than 32768 px are rejected
+	maxItems  = 1 << 20 // per-blob frame/silhouette/pose count bound
+	headerLen = 5       // len(magic) + 1 kind byte
+)
+
+// ErrNotFound is returned by resolvers for hashes they cannot materialise.
+var ErrNotFound = errors.New("artifacts: artifact not found")
+
+// HashOf returns the content address of a blob: its SHA-256, lowercase hex.
+func HashOf(blob []byte) string {
+	sum := sha256.Sum256(blob)
+	return cache.Key(sum).String()
+}
+
+// KindOf inspects a blob's header. ok is false for anything that is not a
+// versioned artifact encoding.
+func KindOf(blob []byte) (Kind, bool) {
+	if len(blob) < headerLen || !bytes.Equal(blob[:len(magic)], magic) {
+		return "", false
+	}
+	switch blob[len(magic)] {
+	case tagFrames:
+		return KindFrames, true
+	case tagSilhouettes:
+		return KindSilhouettes, true
+	case tagPoses:
+		return KindPoses, true
+	}
+	return "", false
+}
+
+// enc accumulates the little-endian binary encoding of one artifact.
+type enc struct {
+	buf []byte
+}
+
+func newEnc(tag byte, sizeHint int) *enc {
+	e := &enc{buf: make([]byte, 0, headerLen+sizeHint)}
+	e.buf = append(e.buf, magic...)
+	e.buf = append(e.buf, tag)
+	return e
+}
+
+func (e *enc) u32(v int) { e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(v)) }
+func (e *enc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *enc) raw(b []byte)   { e.buf = append(e.buf, b...) }
+func (e *enc) byteVal(b byte) { e.buf = append(e.buf, b) }
+func (e *enc) image(img *imaging.Image) {
+	e.u32(img.W)
+	e.u32(img.H)
+	for _, px := range img.Pix {
+		e.buf = append(e.buf, px.R, px.G, px.B)
+	}
+}
+
+// dec walks a blob during decoding, failing on any truncation.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail("artifacts: truncated blob (need %d bytes at offset %d of %d)", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u32() int {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(b))
+}
+
+func (d *dec) f64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (d *dec) byteVal() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) image() *imaging.Image {
+	w, h := d.u32(), d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if w <= 0 || h <= 0 || w > maxDim || h > maxDim {
+		d.fail("artifacts: invalid image size %dx%d", w, h)
+		return nil
+	}
+	rgb := d.take(3 * w * h)
+	if rgb == nil {
+		return nil
+	}
+	img := imaging.NewImage(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = imaging.Color{R: rgb[3*i], G: rgb[3*i+1], B: rgb[3*i+2]}
+	}
+	return img
+}
+
+// done checks that the blob was consumed exactly.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("artifacts: %d trailing bytes after blob body", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func open(blob []byte, want Kind) (*dec, error) {
+	k, ok := KindOf(blob)
+	if !ok {
+		return nil, errors.New("artifacts: not an artifact blob")
+	}
+	if k != want {
+		return nil, fmt.Errorf("artifacts: blob is %s, want %s", k, want)
+	}
+	return &dec{buf: blob, off: headerLen}, nil
+}
+
+// EncodeFrames encodes a clip as a frames/v1 blob: a frame count, then per
+// frame its dimensions and raw interleaved RGB. The encoding is canonical —
+// the same frames always produce the same bytes, hence the same hash.
+func EncodeFrames(frames []*imaging.Image) ([]byte, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("artifacts: no frames to encode")
+	}
+	size := 4
+	for _, f := range frames {
+		size += 8 + 3*len(f.Pix)
+	}
+	e := newEnc(tagFrames, size)
+	e.u32(len(frames))
+	for _, f := range frames {
+		e.image(f)
+	}
+	return e.buf, nil
+}
+
+// DecodeFrames reverses EncodeFrames exactly.
+func DecodeFrames(blob []byte) ([]*imaging.Image, error) {
+	d, err := open(blob, KindFrames)
+	if err != nil {
+		return nil, err
+	}
+	n := d.u32()
+	if d.err == nil && (n <= 0 || n > maxItems) {
+		d.fail("artifacts: invalid frame count %d", n)
+	}
+	var frames []*imaging.Image
+	for i := 0; i < n && d.err == nil; i++ {
+		frames = append(frames, d.image())
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}
+
+// EncodeSilhouettes encodes one segmentation output — the Step 1 background
+// estimate plus every frame's silhouette mask (bit-packed row-major, MSB
+// first) — as a silhouettes/v1 blob. Bundling the background keeps the whole
+// stage output under a single hash, so a by-hash re-score reproduces the
+// batch path's response exactly.
+func EncodeSilhouettes(bg *imaging.Image, sils []segmentation.Silhouette) ([]byte, error) {
+	if len(sils) == 0 {
+		return nil, errors.New("artifacts: no silhouettes to encode")
+	}
+	size := 5
+	if bg != nil {
+		size += 8 + 3*len(bg.Pix)
+	}
+	for _, s := range sils {
+		size += 12 + (len(s.Mask.Bits)+7)/8
+	}
+	e := newEnc(tagSilhouettes, size)
+	if bg != nil {
+		e.byteVal(1)
+		e.image(bg)
+	} else {
+		e.byteVal(0)
+	}
+	e.u32(len(sils))
+	for _, s := range sils {
+		e.u32(s.Frame)
+		e.u32(s.Mask.W)
+		e.u32(s.Mask.H)
+		e.raw(packMask(s.Mask))
+	}
+	return e.buf, nil
+}
+
+// DecodeSilhouettes reverses EncodeSilhouettes; silhouette statistics are
+// rederived from the masks, so they cannot drift from them.
+func DecodeSilhouettes(blob []byte) (*imaging.Image, []segmentation.Silhouette, error) {
+	d, err := open(blob, KindSilhouettes)
+	if err != nil {
+		return nil, nil, err
+	}
+	var bg *imaging.Image
+	if d.byteVal() == 1 {
+		bg = d.image()
+	}
+	n := d.u32()
+	if d.err == nil && (n <= 0 || n > maxItems) {
+		d.fail("artifacts: invalid silhouette count %d", n)
+	}
+	var sils []segmentation.Silhouette
+	for i := 0; i < n && d.err == nil; i++ {
+		frame, w, h := d.u32(), d.u32(), d.u32()
+		if d.err != nil {
+			break
+		}
+		if w <= 0 || h <= 0 || w > maxDim || h > maxDim {
+			d.fail("artifacts: invalid mask size %dx%d", w, h)
+			break
+		}
+		packed := d.take((w*h + 7) / 8)
+		if packed == nil {
+			break
+		}
+		sils = append(sils, segmentation.NewSilhouette(frame, unpackMask(w, h, packed)))
+	}
+	if err := d.done(); err != nil {
+		return nil, nil, err
+	}
+	return bg, sils, nil
+}
+
+// EncodePoses encodes a pose sequence plus its calibrated stick dimensions
+// as a poses/v1 blob (IEEE-754 bits, so float round-trips are exact).
+func EncodePoses(poses []stickmodel.Pose, dims stickmodel.Dimensions) ([]byte, error) {
+	if len(poses) == 0 {
+		return nil, errors.New("artifacts: no poses to encode")
+	}
+	e := newEnc(tagPoses, 4+len(poses)*(2+stickmodel.NumSticks)*8+2*stickmodel.NumSticks*8)
+	e.u32(len(poses))
+	for _, p := range poses {
+		e.f64(p.X)
+		e.f64(p.Y)
+		for _, rho := range p.Rho {
+			e.f64(rho)
+		}
+	}
+	for i := 0; i < stickmodel.NumSticks; i++ {
+		e.f64(dims.Length[i])
+		e.f64(dims.Thick[i])
+	}
+	return e.buf, nil
+}
+
+// DecodePoses reverses EncodePoses exactly.
+func DecodePoses(blob []byte) ([]stickmodel.Pose, stickmodel.Dimensions, error) {
+	d, err := open(blob, KindPoses)
+	if err != nil {
+		return nil, stickmodel.Dimensions{}, err
+	}
+	n := d.u32()
+	if d.err == nil && (n <= 0 || n > maxItems) {
+		d.fail("artifacts: invalid pose count %d", n)
+	}
+	var poses []stickmodel.Pose
+	for i := 0; i < n && d.err == nil; i++ {
+		var p stickmodel.Pose
+		p.X, p.Y = d.f64(), d.f64()
+		for j := 0; j < stickmodel.NumSticks; j++ {
+			p.Rho[j] = d.f64()
+		}
+		poses = append(poses, p)
+	}
+	var dims stickmodel.Dimensions
+	for i := 0; i < stickmodel.NumSticks; i++ {
+		dims.Length[i], dims.Thick[i] = d.f64(), d.f64()
+	}
+	if err := d.done(); err != nil {
+		return nil, stickmodel.Dimensions{}, err
+	}
+	return poses, dims, nil
+}
+
+// packMask bit-packs a mask row-major, MSB first within each byte — the
+// same layout as jobs.PackMask and the web service's mask_b64 field.
+func packMask(m *imaging.Mask) []byte {
+	packed := make([]byte, (len(m.Bits)+7)/8)
+	for i, b := range m.Bits {
+		if b {
+			packed[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return packed
+}
+
+func unpackMask(w, h int, packed []byte) *imaging.Mask {
+	m := imaging.NewMask(w, h)
+	for i := range m.Bits {
+		m.Bits[i] = packed[i/8]&(1<<(7-i%8)) != 0
+	}
+	return m
+}
+
+// Config parameterises a Store.
+type Config struct {
+	// MaxBlobs bounds the in-memory blob count; must be >= 1.
+	MaxBlobs int
+	// MaxBytes bounds the total in-memory blob bytes; must be >= 1.
+	MaxBytes int64
+	// TTL expires blobs this long after their last store; 0 disables expiry.
+	TTL time.Duration
+	// SpillDir, when set, write-through-spills every blob to a
+	// content-addressed file (<dir>/<hash>) and serves memory misses from
+	// it. LRU evictions keep the spill copy (it is the overflow tier, and
+	// it survives restarts); TTL expiry removes it.
+	SpillDir string
+	// Clock overrides time.Now, a test seam for TTL expiry.
+	Clock func() time.Time
+}
+
+// DefaultConfig bounds the store for a small deployment: enough for a few
+// dozen clips in flight, with an hour to re-reference them.
+func DefaultConfig() Config {
+	return Config{MaxBlobs: 256, MaxBytes: 512 << 20, TTL: time.Hour}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.MaxBlobs < 1 {
+		return fmt.Errorf("artifacts: MaxBlobs must be >= 1, got %d", c.MaxBlobs)
+	}
+	if c.MaxBytes < 1 {
+		return fmt.Errorf("artifacts: MaxBytes must be >= 1, got %d", c.MaxBytes)
+	}
+	if c.TTL < 0 {
+		return fmt.Errorf("artifacts: TTL must be >= 0, got %v", c.TTL)
+	}
+	return nil
+}
+
+// Metrics is a point-in-time snapshot of the store.
+type Metrics struct {
+	Blobs         int    `json:"blobs"`
+	Bytes         int64  `json:"bytes"`
+	CapacityBlobs int    `json:"capacity_blobs"`
+	CapacityBytes int64  `json:"capacity_bytes"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Stored        uint64 `json:"stored"`
+	EvictedTTL    uint64 `json:"evicted_ttl"`
+	EvictedLRU    uint64 `json:"evicted_lru"`
+	SpillWrites   uint64 `json:"spill_writes"`
+	SpillReads    uint64 `json:"spill_reads"`
+	// Pulls / PullFailures count worker round-trips fetching artifacts from
+	// their originating front end (HTTPResolver).
+	Pulls        uint64 `json:"pulls"`
+	PullFailures uint64 `json:"pull_failures"`
+}
+
+// blobEntry is one stored blob; expires is zero when TTL is disabled.
+type blobEntry struct {
+	key     cache.Key
+	blob    []byte
+	kind    Kind
+	expires time.Time
+	elem    *list.Element
+}
+
+// Store is the bounded content-addressed blob store.
+type Store struct {
+	cfg   Config
+	clock func() time.Time
+
+	mu      sync.Mutex
+	entries map[cache.Key]*blobEntry
+	lru     *list.List // front = most recently used; values are *blobEntry
+	bytes   int64
+	closed  bool
+
+	hits         uint64
+	misses       uint64
+	stored       uint64
+	evictedTTL   uint64
+	evictedLRU   uint64
+	spillWrites  uint64
+	spillReads   uint64
+	pulls        uint64
+	pullFailures uint64
+
+	janitorStop chan struct{}
+	janitor     sync.WaitGroup
+}
+
+// NewStore starts a store (plus a TTL janitor when expiry is enabled),
+// creating the spill directory if configured.
+func NewStore(cfg Config) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SpillDir != "" {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("artifacts: spill dir: %w", err)
+		}
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Store{
+		cfg:         cfg,
+		clock:       clock,
+		entries:     make(map[cache.Key]*blobEntry),
+		lru:         list.New(),
+		janitorStop: make(chan struct{}),
+	}
+	if cfg.TTL > 0 {
+		s.janitor.Add(1)
+		go s.runJanitor()
+	}
+	return s, nil
+}
+
+// Config returns the store configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Put stores a blob under its content address, returning the hash. The blob
+// must carry a valid artifact header. Storing an already-present hash
+// refreshes its TTL and recency. Blobs larger than the byte capacity are
+// rejected (they could never be admitted).
+func (s *Store) Put(blob []byte) (string, error) {
+	kind, ok := KindOf(blob)
+	if !ok {
+		return "", errors.New("artifacts: blob has no valid artifact header")
+	}
+	if int64(len(blob)) > s.cfg.MaxBytes {
+		return "", fmt.Errorf("artifacts: blob of %d bytes exceeds the store's %d-byte capacity", len(blob), s.cfg.MaxBytes)
+	}
+	sum := sha256.Sum256(blob)
+	key := cache.Key(sum)
+	now := s.clock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", errors.New("artifacts: store is closed")
+	}
+	var expires time.Time
+	if s.cfg.TTL > 0 {
+		expires = now.Add(s.cfg.TTL)
+	}
+	if e, ok := s.entries[key]; ok {
+		e.expires = expires
+		s.lru.MoveToFront(e.elem)
+		s.stored++
+		s.mu.Unlock()
+		return key.String(), nil
+	}
+	for len(s.entries) >= s.cfg.MaxBlobs || s.bytes+int64(len(blob)) > s.cfg.MaxBytes {
+		oldest := s.lru.Back()
+		if oldest == nil {
+			break
+		}
+		s.removeLocked(oldest.Value.(*blobEntry), false)
+		s.evictedLRU++
+	}
+	e := &blobEntry{key: key, blob: blob, kind: kind, expires: expires}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	s.bytes += int64(len(blob))
+	s.stored++
+	spill := s.cfg.SpillDir
+	s.mu.Unlock()
+
+	if spill != "" {
+		if err := s.writeSpill(key.String(), blob); err != nil {
+			return "", err
+		}
+	}
+	return key.String(), nil
+}
+
+// Get returns the blob stored under the given hex hash, consulting the
+// spill tier on a memory miss (spilled blobs are verified against their
+// hash and re-admitted). ok is false when the hash is unknown or expired.
+func (s *Store) Get(hash string) ([]byte, Kind, bool) {
+	key, ok := cache.ParseKey(hash)
+	if !ok {
+		return nil, "", false
+	}
+	now := s.clock()
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok && s.cfg.TTL > 0 && !e.expires.After(now) {
+		s.removeLocked(e, true)
+		s.evictedTTL++
+		ok = false
+	}
+	if ok {
+		s.lru.MoveToFront(e.elem)
+		s.hits++
+		blob, kind := e.blob, e.kind
+		s.mu.Unlock()
+		return blob, kind, true
+	}
+	spill := s.cfg.SpillDir
+	s.mu.Unlock()
+
+	if spill != "" {
+		if blob, kind, ok := s.readSpill(key, hash); ok {
+			return blob, kind, true
+		}
+	}
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+	return nil, "", false
+}
+
+// Artifact implements Resolver over the local store.
+func (s *Store) Artifact(hash string) ([]byte, error) {
+	if blob, _, ok := s.Get(hash); ok {
+		return blob, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, hash)
+}
+
+// RecordPull counts one worker pull round-trip against the store's metrics.
+func (s *Store) RecordPull(ok bool) {
+	s.mu.Lock()
+	s.pulls++
+	if !ok {
+		s.pullFailures++
+	}
+	s.mu.Unlock()
+}
+
+// Metrics returns a consistent snapshot of occupancy and counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(s.clock())
+	return Metrics{
+		Blobs:         len(s.entries),
+		Bytes:         s.bytes,
+		CapacityBlobs: s.cfg.MaxBlobs,
+		CapacityBytes: s.cfg.MaxBytes,
+		Hits:          s.hits,
+		Misses:        s.misses,
+		Stored:        s.stored,
+		EvictedTTL:    s.evictedTTL,
+		EvictedLRU:    s.evictedLRU,
+		SpillWrites:   s.spillWrites,
+		SpillReads:    s.spillReads,
+		Pulls:         s.pulls,
+		PullFailures:  s.pullFailures,
+	}
+}
+
+// Close stops the janitor and drops all in-memory blobs (spill files
+// persist — they are the restart-survival tier). Idempotent.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.entries = make(map[cache.Key]*blobEntry)
+	s.lru.Init()
+	s.bytes = 0
+	s.mu.Unlock()
+	close(s.janitorStop)
+	s.janitor.Wait()
+}
+
+// writeSpill persists one blob content-addressed, atomically via a rename
+// so a crashed write never leaves a corrupt hash-named file.
+func (s *Store) writeSpill(hash string, blob []byte) error {
+	path := filepath.Join(s.cfg.SpillDir, hash)
+	if _, err := os.Stat(path); err == nil {
+		return nil // content-addressed: an existing file is already correct
+	}
+	tmp, err := os.CreateTemp(s.cfg.SpillDir, hash+".tmp*")
+	if err != nil {
+		return fmt.Errorf("artifacts: spill: %w", err)
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("artifacts: spill: %w", werr)
+	}
+	s.mu.Lock()
+	s.spillWrites++
+	s.mu.Unlock()
+	return nil
+}
+
+// readSpill serves a memory miss from the spill tier, verifying the file
+// against its hash (a corrupt file is removed, never served) and
+// re-admitting the blob into memory.
+func (s *Store) readSpill(key cache.Key, hash string) ([]byte, Kind, bool) {
+	path := filepath.Join(s.cfg.SpillDir, hash)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", false
+	}
+	if sha256.Sum256(blob) != key {
+		_ = os.Remove(path)
+		return nil, "", false
+	}
+	kind, ok := KindOf(blob)
+	if !ok {
+		_ = os.Remove(path)
+		return nil, "", false
+	}
+	now := s.clock()
+	s.mu.Lock()
+	if !s.closed {
+		if _, present := s.entries[key]; !present {
+			for len(s.entries) >= s.cfg.MaxBlobs || s.bytes+int64(len(blob)) > s.cfg.MaxBytes {
+				oldest := s.lru.Back()
+				if oldest == nil {
+					break
+				}
+				s.removeLocked(oldest.Value.(*blobEntry), false)
+				s.evictedLRU++
+			}
+			var expires time.Time
+			if s.cfg.TTL > 0 {
+				expires = now.Add(s.cfg.TTL)
+			}
+			e := &blobEntry{key: key, blob: blob, kind: kind, expires: expires}
+			e.elem = s.lru.PushFront(e)
+			s.entries[key] = e
+			s.bytes += int64(len(blob))
+		}
+	}
+	s.spillReads++
+	s.hits++
+	s.mu.Unlock()
+	return blob, kind, true
+}
+
+// runJanitor periodically expires blobs, mirroring the result cache.
+func (s *Store) runJanitor() {
+	defer s.janitor.Done()
+	interval := s.cfg.TTL / 4
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.sweepLocked(s.clock())
+			s.mu.Unlock()
+		}
+	}
+}
+
+// sweepLocked drops expired blobs (and their spill files). Caller holds mu.
+func (s *Store) sweepLocked(now time.Time) {
+	if s.cfg.TTL <= 0 {
+		return
+	}
+	for _, e := range s.entries {
+		if !e.expires.After(now) {
+			s.removeLocked(e, true)
+			s.evictedTTL++
+		}
+	}
+}
+
+// removeLocked unlinks one blob; dropSpill also removes its spill file
+// (TTL expiry — the artifact is genuinely gone), while LRU evictions keep
+// it as the overflow tier. Caller holds mu.
+func (s *Store) removeLocked(e *blobEntry, dropSpill bool) {
+	s.lru.Remove(e.elem)
+	delete(s.entries, e.key)
+	s.bytes -= int64(len(e.blob))
+	if dropSpill && s.cfg.SpillDir != "" {
+		_ = os.Remove(filepath.Join(s.cfg.SpillDir, e.key.String()))
+	}
+}
+
+// Resolver materialises an artifact blob from its content hash. The local
+// Store implements it directly; HTTPResolver adds the worker pull protocol.
+type Resolver interface {
+	// Artifact returns the blob stored under the hex hash, or an error
+	// wrapping ErrNotFound when it cannot be materialised.
+	Artifact(hash string) ([]byte, error)
+}
+
+// HTTPResolver resolves hashes against the local store first, then pulls
+// misses from the originating front end (GET {origin}/v1/artifacts/{hash}),
+// verifies them against the hash, and caches them locally — the second
+// by-hash job for the same clip never leaves the node.
+type HTTPResolver struct {
+	// Local is the node's own store; consulted first, populated on pull.
+	Local *Store
+	// Origin is the front end's base URL; empty disables pulling.
+	Origin string
+	// Client overrides http.DefaultClient.
+	Client *http.Client
+}
+
+// Artifact implements Resolver.
+func (h *HTTPResolver) Artifact(hash string) ([]byte, error) {
+	if h.Local != nil {
+		if blob, _, ok := h.Local.Get(hash); ok {
+			return blob, nil
+		}
+	}
+	if h.Origin == "" {
+		return nil, fmt.Errorf("%w: %s (no artifact origin to pull from)", ErrNotFound, hash)
+	}
+	key, ok := cache.ParseKey(hash)
+	if !ok {
+		return nil, fmt.Errorf("artifacts: malformed hash %q", hash)
+	}
+	blob, err := h.pull(hash)
+	if h.Local != nil {
+		h.Local.RecordPull(err == nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sha256.Sum256(blob) != key {
+		return nil, fmt.Errorf("artifacts: pulled blob does not hash to %s", hash)
+	}
+	if h.Local != nil {
+		if _, err := h.Local.Put(blob); err != nil {
+			return nil, err
+		}
+	}
+	return blob, nil
+}
+
+func (h *HTTPResolver) pull(hash string) ([]byte, error) {
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(h.Origin + "/v1/artifacts/" + hash)
+	if err != nil {
+		return nil, fmt.Errorf("artifacts: pull %s: %w", hash, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s (origin %s)", ErrNotFound, hash, h.Origin)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("artifacts: pull %s: origin answered %s", hash, resp.Status)
+	}
+	var limit int64 = 1 << 30
+	if h.Local != nil && h.Local.cfg.MaxBytes < limit {
+		limit = h.Local.cfg.MaxBytes
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, fmt.Errorf("artifacts: pull %s: %w", hash, err)
+	}
+	if int64(len(blob)) > limit {
+		return nil, fmt.Errorf("artifacts: pull %s: blob exceeds the %d-byte pull limit", hash, limit)
+	}
+	return blob, nil
+}

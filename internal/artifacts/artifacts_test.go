@@ -1,0 +1,366 @@
+package artifacts
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/segmentation"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// testFrames builds a small deterministic clip: a dark block marching over
+// a light background, one block-width per frame.
+func testFrames(n, w, h int) []*imaging.Image {
+	bg := imaging.Color{R: 200, G: 200, B: 200}
+	fg := imaging.Color{R: 20, G: 20, B: 20}
+	frames := make([]*imaging.Image, n)
+	for k := range frames {
+		f := imaging.NewImageFilled(w, h, bg)
+		for y := h / 4; y < h/2; y++ {
+			for x := k * 8; x < k*8+4 && x < w; x++ {
+				f.Set(x, y, fg)
+			}
+		}
+		frames[k] = f
+	}
+	return frames
+}
+
+func sameImage(a, b *imaging.Image) bool {
+	if !a.SameSize(b) {
+		return false
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMask(a, b *imaging.Mask) bool {
+	if !a.SameSize(b) {
+		return false
+	}
+	for i := range a.Bits {
+		if a.Bits[i] != b.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFramesRoundTrip(t *testing.T) {
+	frames := testFrames(3, 32, 16)
+	blob, err := EncodeFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := KindOf(blob); !ok || k != KindFrames {
+		t.Fatalf("KindOf = %q, %v; want %q, true", k, ok, KindFrames)
+	}
+	got, err := DecodeFrames(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for i := range got {
+		if !sameImage(got[i], frames[i]) {
+			t.Fatalf("frame %d changed across the round trip", i)
+		}
+	}
+	// Content addressing is deterministic: re-encoding yields the same hash.
+	blob2, err := EncodeFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HashOf(blob) != HashOf(blob2) {
+		t.Fatal("re-encoding the same frames produced a different hash")
+	}
+}
+
+func TestSilhouettesRoundTrip(t *testing.T) {
+	frames := testFrames(3, 32, 16)
+	sils := make([]segmentation.Silhouette, len(frames))
+	for i := range sils {
+		m := imaging.NewMask(32, 16)
+		for y := 4; y < 8; y++ {
+			for x := i * 8; x < i*8+4; x++ {
+				m.Set(x, y, true)
+			}
+		}
+		sils[i] = segmentation.NewSilhouette(i, m)
+	}
+	bg := imaging.NewImageFilled(32, 16, imaging.Color{R: 200, G: 200, B: 200})
+
+	for _, withBG := range []bool{true, false} {
+		var in *imaging.Image
+		if withBG {
+			in = bg
+		}
+		blob, err := EncodeSilhouettes(in, sils)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k, ok := KindOf(blob); !ok || k != KindSilhouettes {
+			t.Fatalf("KindOf = %q, %v; want %q, true", k, ok, KindSilhouettes)
+		}
+		gotBG, got, err := DecodeSilhouettes(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withBG != (gotBG != nil) {
+			t.Fatalf("background presence: got %v, want %v", gotBG != nil, withBG)
+		}
+		if withBG && !sameImage(gotBG, bg) {
+			t.Fatal("background changed across the round trip")
+		}
+		if len(got) != len(sils) {
+			t.Fatalf("decoded %d silhouettes, want %d", len(got), len(sils))
+		}
+		for i := range got {
+			if got[i].Frame != sils[i].Frame || !sameMask(got[i].Mask, sils[i].Mask) {
+				t.Fatalf("silhouette %d changed across the round trip", i)
+			}
+			// Derived statistics are recomputed, not stored: they must agree.
+			if got[i].Area != sils[i].Area || got[i].Centroid != sils[i].Centroid || got[i].BBox != sils[i].BBox {
+				t.Fatalf("silhouette %d statistics diverged", i)
+			}
+		}
+	}
+}
+
+func TestPosesRoundTrip(t *testing.T) {
+	dims := stickmodel.ChildDimensions(60)
+	poses := make([]stickmodel.Pose, 4)
+	for i := range poses {
+		poses[i].X = 10 + float64(i)*3.5
+		poses[i].Y = 20.25
+		for j := 0; j < stickmodel.NumSticks; j++ {
+			poses[i].Rho[j] = float64(i*10+j) + 0.125
+		}
+	}
+	blob, err := EncodePoses(poses, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := KindOf(blob); !ok || k != KindPoses {
+		t.Fatalf("KindOf = %q, %v; want %q, true", k, ok, KindPoses)
+	}
+	gotPoses, gotDims, err := DecodePoses(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDims != dims {
+		t.Fatalf("dimensions changed: got %+v, want %+v", gotDims, dims)
+	}
+	if len(gotPoses) != len(poses) {
+		t.Fatalf("decoded %d poses, want %d", len(gotPoses), len(poses))
+	}
+	for i := range gotPoses {
+		if gotPoses[i] != poses[i] {
+			t.Fatalf("pose %d changed: got %+v, want %+v", i, gotPoses[i], poses[i])
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptBlobs(t *testing.T) {
+	frames := testFrames(2, 16, 8)
+	blob, err := EncodeFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := KindOf([]byte("not an artifact")); ok {
+		t.Fatal("KindOf accepted garbage")
+	}
+	if _, err := DecodeFrames(blob[:len(blob)-3]); err == nil {
+		t.Fatal("DecodeFrames accepted a truncated blob")
+	}
+	if _, err := DecodeFrames(append(bytes.Clone(blob), 0xFF)); err == nil {
+		t.Fatal("DecodeFrames accepted trailing bytes")
+	}
+	// A frames blob is not a poses blob: the kind tag must be honoured.
+	if _, _, err := DecodePoses(blob); err == nil {
+		t.Fatal("DecodePoses accepted a frames blob")
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s, err := NewStore(Config{MaxBlobs: 8, MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	blob, err := EncodeFrames(testFrames(2, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := s.Put(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != HashOf(blob) {
+		t.Fatalf("Put returned %s, want the content hash %s", hash, HashOf(blob))
+	}
+	got, kind, ok := s.Get(hash)
+	if !ok || kind != KindFrames || !bytes.Equal(got, blob) {
+		t.Fatalf("Get(%s) = %d bytes, %q, %v", hash, len(got), kind, ok)
+	}
+	if _, _, ok := s.Get(strings.Repeat("0", 64)); ok {
+		t.Fatal("Get answered for an unknown hash")
+	}
+	if _, err := s.Put([]byte("no header")); err == nil {
+		t.Fatal("Put accepted a blob without an artifact header")
+	}
+	m := s.Metrics()
+	if m.Blobs != 1 || m.Stored != 1 || m.Hits != 1 || m.Misses != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Bytes != int64(len(blob)) {
+		t.Fatalf("metrics bytes = %d, want %d", m.Bytes, len(blob))
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s, err := NewStore(Config{MaxBlobs: 2, MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var hashes []string
+	for n := 1; n <= 3; n++ {
+		blob, err := EncodeFrames(testFrames(n, 16, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := s.Put(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+	}
+	if _, _, ok := s.Get(hashes[0]); ok {
+		t.Fatal("oldest blob survived past the blob capacity")
+	}
+	for _, h := range hashes[1:] {
+		if _, _, ok := s.Get(h); !ok {
+			t.Fatalf("recent blob %s was evicted", h)
+		}
+	}
+	if m := s.Metrics(); m.EvictedLRU != 1 || m.Blobs != 2 {
+		t.Fatalf("metrics = %+v, want one LRU eviction and two blobs", m)
+	}
+}
+
+func TestStoreTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s, err := NewStore(Config{MaxBlobs: 8, MaxBytes: 1 << 20, TTL: time.Minute, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	blob, err := EncodeFrames(testFrames(2, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := s.Put(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(59 * time.Second)
+	if _, _, ok := s.Get(hash); !ok {
+		t.Fatal("blob expired before its TTL")
+	}
+	now = now.Add(2 * time.Minute) // Get refreshed nothing: TTL runs from Put
+	if _, _, ok := s.Get(hash); ok {
+		t.Fatal("blob survived past its TTL")
+	}
+	if m := s.Metrics(); m.EvictedTTL != 1 || m.Blobs != 0 {
+		t.Fatalf("metrics = %+v, want one TTL eviction and zero blobs", m)
+	}
+}
+
+func TestStoreSpillServesMemoryEvictions(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(Config{MaxBlobs: 1, MaxBytes: 1 << 20, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	first, err := EncodeFrames(testFrames(1, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := EncodeFrames(testFrames(2, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := s.Put(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(second); err != nil {
+		t.Fatal(err) // evicts h1 from memory; its spill file stays
+	}
+	if _, err := os.Stat(filepath.Join(dir, h1)); err != nil {
+		t.Fatalf("spill file for the evicted blob: %v", err)
+	}
+	got, kind, ok := s.Get(h1)
+	if !ok || kind != KindFrames || !bytes.Equal(got, first) {
+		t.Fatalf("Get after LRU eviction = %d bytes, %q, %v; want the spilled blob", len(got), kind, ok)
+	}
+	m := s.Metrics()
+	if m.SpillWrites != 2 || m.SpillReads != 1 {
+		t.Fatalf("metrics = %+v, want 2 spill writes and 1 spill read", m)
+	}
+}
+
+func TestStoreRejectsOversizedBlob(t *testing.T) {
+	s, err := NewStore(Config{MaxBlobs: 4, MaxBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blob, err := EncodeFrames(testFrames(2, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(blob); err == nil {
+		t.Fatal("Put accepted a blob larger than the store's byte capacity")
+	}
+}
+
+func TestStoreArtifactResolver(t *testing.T) {
+	s, err := NewStore(Config{MaxBlobs: 8, MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blob, err := EncodeFrames(testFrames(2, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := s.Put(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Artifact(hash); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Artifact(%s) = %d bytes, %v", hash, len(got), err)
+	}
+	if _, err := s.Artifact(strings.Repeat("a", 64)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Artifact(unknown) error = %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,351 @@
+package artifacts
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/segmentation"
+)
+
+func newTestSessions(t *testing.T, cfg SessionConfig) (*Sessions, *Store) {
+	t.Helper()
+	if cfg.Store == nil {
+		store, err := NewStore(Config{MaxBlobs: 32, MaxBytes: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(store.Close)
+		cfg.Store = store
+	}
+	if cfg.Seg == (segmentation.Config{}) {
+		cfg.Seg = segmentation.DefaultConfig()
+	}
+	s, err := NewSessions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, cfg.Store
+}
+
+func TestSessionRejectsOutOfOrderChunk(t *testing.T) {
+	s, _ := newTestSessions(t, SessionConfig{})
+	sess, err := s.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := testFrames(2, 16, 8)
+
+	err = sess.Append(1, frames)
+	var ooo *OutOfOrderError
+	if !errors.As(err, &ooo) {
+		t.Fatalf("Append(1) on a fresh session: %v, want OutOfOrderError", err)
+	}
+	if ooo.Got != 1 || ooo.Expected != 0 {
+		t.Fatalf("OutOfOrderError = %+v, want Got=1 Expected=0", ooo)
+	}
+	if err := sess.Append(0, frames); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying an already-accepted chunk is also out of order.
+	if err := sess.Append(0, frames); !errors.As(err, &ooo) || ooo.Expected != 1 {
+		t.Fatalf("replayed chunk: %v, want OutOfOrderError with Expected=1", err)
+	}
+	if err := sess.Append(2, nil); err == nil {
+		t.Fatal("empty chunk accepted")
+	}
+}
+
+func TestSessionRejectsMismatchedFrameSize(t *testing.T) {
+	s, _ := newTestSessions(t, SessionConfig{})
+	sess, err := s.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Append(0, testFrames(2, 16, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Append(1, testFrames(1, 32, 8)); !errors.Is(err, imaging.ErrSizeMismatch) {
+		t.Fatalf("mismatched frame size: %v, want ErrSizeMismatch", err)
+	}
+}
+
+func TestSealIdempotentAndAppendAfterSealRejected(t *testing.T) {
+	s, store := newTestSessions(t, SessionConfig{})
+	sess, err := s.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := testFrames(5, 64, 16)
+	if err := sess.Append(0, frames[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Append(1, frames[3:]); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sess.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Frames != 5 || doc.FramesHash == "" || doc.SilhouettesHash == "" {
+		t.Fatalf("seal doc = %+v", doc)
+	}
+	// The frames artifact is the canonical encoding of what was appended.
+	blob, kind, ok := store.Get(doc.FramesHash)
+	if !ok || kind != KindFrames {
+		t.Fatalf("frames artifact: kind %q, ok %v", kind, ok)
+	}
+	want, err := EncodeFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatal("frames artifact differs from the appended frames")
+	}
+	if _, kind, ok := store.Get(doc.SilhouettesHash); !ok || kind != KindSilhouettes {
+		t.Fatalf("silhouettes artifact: kind %q, ok %v", kind, ok)
+	}
+
+	// Sealing again returns the same document without re-running anything.
+	again, err := sess.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again != *doc {
+		t.Fatalf("second seal = %+v, want %+v", again, doc)
+	}
+	if m := s.Metrics(); m.Sealed != 1 {
+		t.Fatalf("sealed counter = %d after an idempotent reseal, want 1", m.Sealed)
+	}
+	if err := sess.Append(2, frames[:1]); !errors.Is(err, ErrSessionSealed) {
+		t.Fatalf("append after seal: %v, want ErrSessionSealed", err)
+	}
+	// The frames→silhouettes memo is registered for by-hash analyses.
+	if h, ok := s.Memo(doc.FramesHash); !ok || h != doc.SilhouettesHash {
+		t.Fatalf("memo = %q, %v; want the silhouettes hash", h, ok)
+	}
+}
+
+func TestSealConcurrentCallsAgree(t *testing.T) {
+	s, _ := newTestSessions(t, SessionConfig{})
+	sess, err := s.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Append(0, testFrames(4, 64, 16)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	docs := make([]*SealDoc, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			docs[i], _ = sess.Seal()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if docs[i] == nil || *docs[i] != *docs[0] {
+			t.Fatalf("concurrent seal %d = %+v, want %+v", i, docs[i], docs[0])
+		}
+	}
+	if m := s.Metrics(); m.Sealed != 1 {
+		t.Fatalf("sealed counter = %d after concurrent seals, want 1", m.Sealed)
+	}
+}
+
+func TestSealEmptySessionFails(t *testing.T) {
+	s, _ := newTestSessions(t, SessionConfig{})
+	sess, err := s.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Seal(); err == nil {
+		t.Fatal("sealed a session with no frames")
+	}
+}
+
+func TestSessionTTLExpiryMidUpload(t *testing.T) {
+	now := time.Unix(5000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	s, _ := newTestSessions(t, SessionConfig{TTL: time.Minute, Clock: clock})
+	sess, err := s.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Append(0, testFrames(2, 16, 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Each append refreshes the deadline: half a TTL later the session is
+	// still reachable...
+	advance(30 * time.Second)
+	if _, ok := s.Get(sess.ID()); !ok {
+		t.Fatal("session expired with half its TTL remaining")
+	}
+	// ...but a full idle TTL mid-upload expires it, frames and all.
+	advance(2 * time.Minute)
+	if _, ok := s.Get(sess.ID()); ok {
+		t.Fatal("session survived past its idle TTL")
+	}
+	m := s.Metrics()
+	if m.Expired != 1 || m.Open != 0 {
+		t.Fatalf("metrics = %+v, want one expired session and none open", m)
+	}
+}
+
+func TestOpenAfterCloseFails(t *testing.T) {
+	store, err := NewStore(Config{MaxBlobs: 4, MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	s, err := NewSessions(SessionConfig{Store: store, Seg: segmentation.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Open(); err == nil {
+		t.Fatal("Open succeeded on a closed ingest layer")
+	}
+}
+
+// TestEagerSegmentationOverlapsUpload is the overlap proof: the first
+// chunk's speculative segmentation completes while later chunks have not
+// been appended yet, and — because the test clip's prefix background
+// converges immediately — seal keeps every speculative silhouette and
+// still produces exactly the batch pipeline's output.
+func TestEagerSegmentationOverlapsUpload(t *testing.T) {
+	s, store := newTestSessions(t, SessionConfig{})
+	sess, err := s.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := testFrames(7, 64, 16)
+
+	if err := sess.Append(0, frames[:3]); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first chunk's speculation to finish BEFORE uploading the
+	// rest: segmentation demonstrably overlapped the (still unfinished)
+	// upload.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := sess.Status()
+		if st.EagerSegmented >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("speculative segmentation never completed: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := sess.Append(1, frames[3:5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Append(2, frames[5:]); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sess.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clip is built so every >=3-frame prefix background equals the
+	// final background (the figure clears its own footprint every frame),
+	// so nothing needs re-segmenting at seal.
+	if doc.EagerReused != 7 || doc.EagerResegmented != 0 {
+		t.Fatalf("seal doc = %+v, want all 7 frames eagerly reused", doc)
+	}
+
+	// Bit-identity with the batch pipeline: same background, same masks.
+	pipe, err := segmentation.New(segmentation.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBG, err := pipe.EstimateBackground(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _, ok := store.Get(doc.SilhouettesHash)
+	if !ok {
+		t.Fatal("silhouettes artifact missing")
+	}
+	gotBG, sils, err := DecodeSilhouettes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameImage(gotBG, wantBG) {
+		t.Fatal("sealed background differs from the batch estimate")
+	}
+	if len(sils) != len(frames) {
+		t.Fatalf("sealed %d silhouettes, want %d", len(sils), len(frames))
+	}
+	for i, f := range frames {
+		st, err := pipe.SegmentFrame(f, wantBG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameMask(sils[i].Mask, st.Object) {
+			t.Fatalf("frame %d: sealed silhouette differs from the batch segmentation", i)
+		}
+	}
+	m := s.Metrics()
+	if m.EagerSegmented < 7 || m.EagerReused != 7 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// reqWithFramesRef builds the minimal valid by-reference request.
+func reqWithFramesRef(hash string) core.Request {
+	req := core.Request{FramesRef: hash}
+	req.Stages = core.AllStages()
+	return req
+}
+
+func TestResolveRequestMaterialisesRefs(t *testing.T) {
+	store, err := NewStore(Config{MaxBlobs: 8, MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	frames := testFrames(3, 32, 16)
+	blob, err := EncodeFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := store.Put(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := ResolveRequest(store, reqWithFramesRef(hash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.FramesRef != "" || len(req.Frames) != 3 {
+		t.Fatalf("resolved request: ref %q, %d frames", req.FramesRef, len(req.Frames))
+	}
+	for i := range frames {
+		if !sameImage(req.Frames[i], frames[i]) {
+			t.Fatalf("frame %d differs after resolution", i)
+		}
+	}
+	if _, err := ResolveRequest(store, reqWithFramesRef("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown ref: %v, want ErrNotFound", err)
+	}
+	conflicted := reqWithFramesRef(hash)
+	conflicted.Frames = frames
+	if _, err := ResolveRequest(store, conflicted); err == nil {
+		t.Fatal("accepted a request with both inline frames and a frames ref")
+	}
+}

@@ -1,0 +1,66 @@
+package artifacts
+
+import (
+	"fmt"
+
+	"github.com/sljmotion/sljmotion/internal/core"
+)
+
+// ResolveRequest materialises every artifact reference of a request into
+// its inline field and clears the reference, so the returned request is
+// indistinguishable from one built inline — same Validate outcome, same
+// cache key, same analysis. A request carrying both a reference and the
+// corresponding inline artifact is rejected: the two could disagree, and
+// there is no principled winner.
+func ResolveRequest(r Resolver, req core.Request) (core.Request, error) {
+	if req.FramesRef != "" {
+		if len(req.Frames) > 0 {
+			return core.Request{}, fmt.Errorf("artifacts: request carries both inline frames and frames ref %s", req.FramesRef)
+		}
+		blob, err := r.Artifact(req.FramesRef)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("frames ref: %w", err)
+		}
+		frames, err := DecodeFrames(blob)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("frames ref %s: %w", req.FramesRef, err)
+		}
+		req.Frames = frames
+		req.FramesRef = ""
+	}
+	if req.SilhouettesRef != "" {
+		if len(req.Silhouettes) > 0 {
+			return core.Request{}, fmt.Errorf("artifacts: request carries both inline silhouettes and silhouettes ref %s", req.SilhouettesRef)
+		}
+		blob, err := r.Artifact(req.SilhouettesRef)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("silhouettes ref: %w", err)
+		}
+		bg, sils, err := DecodeSilhouettes(blob)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("silhouettes ref %s: %w", req.SilhouettesRef, err)
+		}
+		req.Silhouettes = sils
+		if req.Background == nil {
+			req.Background = bg
+		}
+		req.SilhouettesRef = ""
+	}
+	if req.PosesRef != "" {
+		if len(req.Poses) > 0 {
+			return core.Request{}, fmt.Errorf("artifacts: request carries both inline poses and poses ref %s", req.PosesRef)
+		}
+		blob, err := r.Artifact(req.PosesRef)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("poses ref: %w", err)
+		}
+		poses, dims, err := DecodePoses(blob)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("poses ref %s: %w", req.PosesRef, err)
+		}
+		req.Poses = poses
+		req.Dimensions = dims
+		req.PosesRef = ""
+	}
+	return req, nil
+}

@@ -81,6 +81,12 @@ type Config struct {
 	// Log receives structured dispatch logs (routing, demotions, terminal
 	// observations), correlated by job_id and trace_id. Nil discards.
 	Log *slog.Logger
+	// ArtifactOrigin is this front end's public base URL (e.g.
+	// "http://10.0.0.1:8080"), stamped into by-reference payloads so worker
+	// nodes know where to pull artifacts they do not hold. Empty leaves
+	// payloads unstamped; workers can then only serve references they have
+	// already cached.
+	ArtifactOrigin string
 }
 
 // DefaultConfig returns a small-deployment default.
@@ -267,6 +273,11 @@ func (r *Remote) SubmitTraced(p jobs.Payload, parent obs.SpanContext) (string, e
 	order := r.ring.walk(r.placementHash(p))
 	r.mu.Unlock()
 
+	byRef := p.ByReference()
+	if byRef && p.ArtifactOrigin == "" {
+		// Tell the worker where to pull referenced artifacts it lacks.
+		p.ArtifactOrigin = r.cfg.ArtifactOrigin
+	}
 	body, err := json.Marshal(p)
 	if err != nil {
 		return "", fmt.Errorf("dispatch: encode payload: %w", err)
@@ -286,7 +297,7 @@ func (r *Remote) SubmitTraced(p jobs.Payload, parent obs.SpanContext) (string, e
 		}
 		att := root.Start("submit")
 		att.SetAttr("node", n.url)
-		id, err := r.submitTo(n, body, tr, root, att)
+		id, err := r.submitTo(n, body, byRef, tr, root, att)
 		att.End()
 		var transport *transportError
 		var be *BusyError
@@ -331,12 +342,15 @@ func (e *transportError) Error() string { return e.err.Error() }
 // request carries att's traceparent so the worker's job trace continues
 // this dispatch trace; on acceptance the trace is attached to the local
 // record (tr/root), on a cache hit the root is closed immediately.
-func (r *Remote) submitTo(n *node, body []byte, tr *obs.Trace, root, att *obs.Span) (string, error) {
+func (r *Remote) submitTo(n *node, body []byte, byRef bool, tr *obs.Trace, root, att *obs.Span) (string, error) {
 	req, err := http.NewRequest(http.MethodPost, n.url+"/v1/worker/jobs", bytes.NewReader(body))
 	if err != nil {
 		return "", &transportError{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if byRef {
+		req.Header.Set(jobs.ArtifactPayloadHeader, "1")
+	}
 	if sc := att.Context(); sc.Valid() {
 		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
 	}

@@ -1,6 +1,8 @@
 package jobs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 
@@ -15,6 +17,12 @@ import (
 // version suffix lets worker nodes reject payloads from incompatible
 // front ends instead of mis-decoding them.
 const KindAnalysis = "slj-analysis/v1"
+
+// ArtifactPayloadHeader marks a worker submission whose payload names its
+// bulk artifacts by content hash (Payload.ByReference). The worker intake
+// reads it before the body, so by-reference submissions get a tight body
+// cap instead of the base64-inflation headroom inline clips need.
+const ArtifactPayloadHeader = "X-SLJ-Artifact-Payload"
 
 // Payload is one unit of asynchronous work as *data*: a typed,
 // JSON-serializable description of a staged analysis request. Unlike the
@@ -56,6 +64,17 @@ type Payload struct {
 	Poses      []PoseWire      `json:"poses,omitempty"`
 	Dimensions *DimensionsWire `json:"dimensions,omitempty"`
 
+	// FramesRef / SilhouettesRef / PosesRef reference the corresponding
+	// artifacts by content hash instead of carrying them inline, shrinking
+	// a megabytes payload to a few hundred bytes. A worker that does not
+	// hold a referenced artifact pulls it from ArtifactOrigin — the
+	// submitting front end's base URL, stamped by the dispatcher — via
+	// GET /v1/artifacts/{hash}, and caches it locally.
+	FramesRef      string `json:"frames_ref,omitempty"`
+	SilhouettesRef string `json:"silhouettes_ref,omitempty"`
+	PosesRef       string `json:"poses_ref,omitempty"`
+	ArtifactOrigin string `json:"artifact_origin,omitempty"`
+
 	// decoded short-circuits AnalysisRequest for payloads that never left
 	// the process: the in-process Manager executes the exact request the
 	// submitter built, skipping a full decode copy of the clip. Unexported,
@@ -94,13 +113,17 @@ type DimensionsWire struct {
 	Thick  []float64 `json:"thick"`
 }
 
-// ConfigFingerprint renders the analyzer configuration deterministically.
-// The config tree is plain data (ints, floats, bools, fixed arrays), so the
-// formatted form is stable and any config change — a different threshold, a
-// different GA budget — changes the fingerprint and therefore every cache
-// key derived from it.
+// ConfigFingerprint renders the analyzer configuration deterministically
+// and hashes it down to a fixed-width token. The config tree is plain data
+// (ints, floats, bools, fixed arrays), so the formatted form is stable and
+// any config change — a different threshold, a different GA budget —
+// changes the fingerprint and therefore every cache key derived from it.
+// The fingerprint travels in every dispatch payload and is only ever
+// compared or hashed, never parsed, so the compact form keeps by-reference
+// payloads small.
 func ConfigFingerprint(cfg core.Config) string {
-	return fmt.Sprintf("%+v", cfg)
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", cfg)))
+	return hex.EncodeToString(sum[:])
 }
 
 // RequestKey computes the content address of one analysis request: the
@@ -115,6 +138,15 @@ func ConfigFingerprint(cfg core.Config) string {
 // requests must be covered too: two tracking..scoring re-scores over
 // different poses may never collide.
 func RequestKey(cfgFP string, req core.Request) cache.Key {
+	// A segmentation memo is a server-injected replay of what segmentation
+	// would compute over Frames anyway — bit-identical by determinism — so
+	// it must not shift the key: a memo-assisted request and the equivalent
+	// cold request are the same work and must share one cache entry and one
+	// ring placement. req is a by-value copy, so stripping is local.
+	if req.SegmentationMemo {
+		req.Silhouettes = nil
+		req.Background = nil
+	}
 	k := cache.NewKeyer()
 	k.WriteString("slj-analysis-response/v2")
 	k.WriteString(cfgFP)
@@ -231,6 +263,9 @@ func (p Payload) AnalysisRequest() (core.Request, error) {
 		Stages:             sel,
 		IncludePoses:       p.IncludePoses,
 		IncludeSilhouettes: p.IncludeSilhouettes,
+		FramesRef:          p.FramesRef,
+		SilhouettesRef:     p.SilhouettesRef,
+		PosesRef:           p.PosesRef,
 	}
 	if p.Manual != nil {
 		pose, err := decodePose(*p.Manual)
@@ -275,6 +310,51 @@ func (p Payload) AnalysisRequest() (core.Request, error) {
 		copy(req.Dimensions.Thick[:], p.Dimensions.Thick)
 	}
 	return req, nil
+}
+
+// NewArtifactPayload encodes a by-reference analysis request: refReq names
+// its bulk artifacts by content hash, and resolved is the same request with
+// those references materialised (the submitting front end resolves against
+// its own store). The payload carries only the references plus the small
+// inline fields, but its cache key — and its in-process decoded shortcut —
+// come from the resolved request, so by-reference and inline submissions of
+// the same clip share one cache entry and one dispatch-ring placement.
+func NewArtifactPayload(cfgFP string, refReq, resolved core.Request) (Payload, error) {
+	if err := refReq.Stages.Validate(); err != nil {
+		return Payload{}, err
+	}
+	p := Payload{
+		Kind:               KindAnalysis,
+		ConfigFP:           cfgFP,
+		CacheKey:           RequestKey(cfgFP, resolved).String(),
+		IncludePoses:       refReq.IncludePoses,
+		IncludeSilhouettes: refReq.IncludeSilhouettes,
+		FramesRef:          refReq.FramesRef,
+		SilhouettesRef:     refReq.SilhouettesRef,
+		PosesRef:           refReq.PosesRef,
+	}
+	if !refReq.Stages.Normalize().IsFull() {
+		p.Stages = refReq.Stages.String()
+	}
+	if refReq.ManualFirst != (stickmodel.Pose{}) {
+		p.Manual = encodePose(refReq.ManualFirst)
+	}
+	p.decoded = &resolved
+	return p, nil
+}
+
+// ByReference reports whether the payload names any artifact by hash
+// instead of carrying it inline.
+func (p Payload) ByReference() bool {
+	return p.FramesRef != "" || p.SilhouettesRef != "" || p.PosesRef != ""
+}
+
+// WithResolved returns the payload with req installed as its decoded
+// request: executors that resolved the payload's artifact references stash
+// the materialised request here so AnalysisRequest stops re-decoding.
+func (p Payload) WithResolved(req core.Request) Payload {
+	p.decoded = &req
+	return p
 }
 
 // Key parses the payload's cache key. ok is false when the payload carries

@@ -83,6 +83,35 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 			float64(cm.EvictedLRU), "reason", "lru")
 	}
 
+	am := s.artifacts.Metrics()
+	p.Gauge("slj_artifacts_blobs", "Blobs currently in the artifact store.", float64(am.Blobs))
+	p.Gauge("slj_artifacts_bytes", "Bytes currently held by the artifact store.", float64(am.Bytes))
+	p.Counter("slj_artifact_hits_total", "Artifact store lookups answered.", float64(am.Hits))
+	p.Counter("slj_artifact_misses_total", "Artifact store lookups that found nothing.", float64(am.Misses))
+	p.Counter("slj_artifact_stored_total", "Blobs stored in the artifact store.", float64(am.Stored))
+	p.Counter("slj_artifact_evicted_total", "Artifact evictions by reason.",
+		float64(am.EvictedTTL), "reason", "ttl")
+	p.Counter("slj_artifact_evicted_total", "Artifact evictions by reason.",
+		float64(am.EvictedLRU), "reason", "lru")
+	p.Counter("slj_artifact_spill_writes_total", "Blobs written to the spill directory.", float64(am.SpillWrites))
+	p.Counter("slj_artifact_spill_reads_total", "Memory misses served from the spill directory.", float64(am.SpillReads))
+	p.Counter("slj_artifact_pulls_total",
+		"Artifact pull round-trips to the originating front end (worker nodes).", float64(am.Pulls))
+	p.Counter("slj_artifact_pull_failures_total", "Artifact pulls that failed.", float64(am.PullFailures))
+
+	sm := s.clips.Metrics()
+	p.Gauge("slj_clip_sessions_open", "Clip-ingest sessions currently open.", float64(sm.Open))
+	p.Counter("slj_clip_sessions_opened_total", "Clip-ingest sessions opened.", float64(sm.Opened))
+	p.Counter("slj_clip_sessions_sealed_total", "Clip-ingest sessions sealed.", float64(sm.Sealed))
+	p.Counter("slj_clip_sessions_expired_total", "Clip-ingest sessions expired unsealed.", float64(sm.Expired))
+	p.Counter("slj_clip_frames_ingested_total", "Frames appended across all ingest sessions.", float64(sm.FramesIngested))
+	p.Counter("slj_clip_eager_segmented_total",
+		"Frames speculatively segmented while their clip was still uploading.", float64(sm.EagerSegmented))
+	p.Counter("slj_clip_eager_reused_total",
+		"Speculative segmentations kept at seal (background tag matched).", float64(sm.EagerReused))
+	p.Counter("slj_clip_eager_resegmented_total",
+		"Frames re-segmented at seal (speculation missed or stale).", float64(sm.EagerResegmented))
+
 	if es, ok := s.jobs.(jobs.EventSource); ok {
 		p.Counter("slj_events_dropped_total",
 			"Events dropped by the hub's never-block policy (slow subscribers are resynced instead).",

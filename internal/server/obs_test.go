@@ -28,6 +28,21 @@ import (
 // regression tripwire for any accidental change to the default bytes —
 // field renames, ordering, indentation, new keys.
 const metricsJSONGolden = `{
+  "artifacts": {
+    "blobs": 0,
+    "bytes": 0,
+    "capacity_blobs": 256,
+    "capacity_bytes": 536870912,
+    "hits": 0,
+    "misses": 0,
+    "stored": 0,
+    "evicted_ttl": 0,
+    "evicted_lru": 0,
+    "spill_writes": 0,
+    "spill_reads": 0,
+    "pulls": 0,
+    "pull_failures": 0
+  },
   "cache": {
     "entries": 0,
     "capacity": 8,
@@ -36,6 +51,16 @@ const metricsJSONGolden = `{
     "stored": 0,
     "evicted_ttl": 0,
     "evicted_lru": 0
+  },
+  "clip_sessions": {
+    "open": 0,
+    "opened": 0,
+    "sealed": 0,
+    "expired": 0,
+    "frames_ingested": 0,
+    "eager_segmented": 0,
+    "eager_reused": 0,
+    "eager_resegmented": 0
   },
   "clips_analyzed": 0,
   "jobs": {
@@ -419,6 +444,11 @@ func TestPrometheusConformance(t *testing.T) {
 		"slj_cache_hits_total", "slj_cache_evicted_total", "slj_events_dropped_total",
 		"slj_job_queue_wait_seconds", "slj_job_run_seconds", "slj_stage_seconds",
 		"slj_runtime_goroutines", "slj_runtime_gc_cycles_total",
+		"slj_artifacts_blobs", "slj_artifacts_bytes", "slj_artifact_hits_total",
+		"slj_artifact_misses_total", "slj_artifact_evicted_total",
+		"slj_artifact_pulls_total", "slj_artifact_pull_failures_total",
+		"slj_clip_sessions_open", "slj_clip_sessions_sealed_total",
+		"slj_clip_frames_ingested_total", "slj_clip_eager_reused_total",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("family %s missing from the scrape", want)

@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/sljmotion/sljmotion/internal/artifacts"
 	"github.com/sljmotion/sljmotion/internal/cache"
 	"github.com/sljmotion/sljmotion/internal/clipio"
 	"github.com/sljmotion/sljmotion/internal/core"
@@ -126,10 +127,14 @@ type SilhouetteOut struct {
 // errorResponse is the JSON error envelope shared by every route. State is
 // set only where a job lifecycle state disambiguates the error (the result
 // route of a failed job reports state "failed"); everywhere else it is
-// omitted and the envelope is unchanged.
+// omitted and the envelope is unchanged. Code, likewise optional, is a
+// stable machine-readable discriminator for errors clients react to
+// programmatically (e.g. "chunk_out_of_order" → resync the chunk counter),
+// where matching the prose would be brittle.
 type errorResponse struct {
 	Error string `json:"error"`
 	State string `json:"state,omitempty"`
+	Code  string `json:"code,omitempty"`
 }
 
 // Options configure the asynchronous job path and the result cache.
@@ -182,6 +187,22 @@ type Options struct {
 	// PProf mounts net/http/pprof under /debug/pprof/ (slj-serve -pprof).
 	// Off by default: the profiling surface is opt-in, never public.
 	PProf bool
+	// MaxPayloadBytes bounds one serialized payload on the worker intake
+	// route (slj-serve -max-payload-bytes); 0 selects MaxUploadBytes.
+	// Inline payloads get double this (base64 inflation headroom);
+	// by-reference payloads get exactly this.
+	MaxPayloadBytes int64
+	// ArtifactBlobs / ArtifactBytes / ArtifactTTL bound the content-
+	// addressed artifact store; zero fields take artifacts.DefaultConfig.
+	ArtifactBlobs int
+	ArtifactBytes int64
+	ArtifactTTL   time.Duration
+	// ArtifactSpillDir, when set, spills artifact blobs to disk so LRU
+	// pressure demotes them instead of dropping them.
+	ArtifactSpillDir string
+	// ClipTTL expires idle clip-ingest sessions; 0 selects
+	// artifacts.DefaultSessionTTL.
+	ClipTTL time.Duration
 }
 
 // DefaultOptions returns a small-deployment default (jobs.DefaultConfig
@@ -194,7 +215,8 @@ func DefaultOptions() Options {
 		Workers: d.Workers, QueueSize: d.QueueSize, ResultTTL: d.ResultTTL,
 		CacheEntries: c.MaxEntries, CacheTTL: c.TTL,
 		EventSubscribers: e.MaxSubscribers, EventBuffer: e.SubscriberBuffer,
-		EventHeartbeat: 15 * time.Second,
+		EventHeartbeat:  15 * time.Second,
+		MaxPayloadBytes: MaxUploadBytes,
 	}
 }
 
@@ -207,6 +229,13 @@ type Server struct {
 	cache  *cache.Store // nil when caching is disabled
 	worker bool         // mounts the payload intake route
 	pprof  bool         // mounts /debug/pprof/
+
+	// artifacts is the content-addressed blob store behind /v1/artifacts
+	// and the by-reference request path; clips is the chunked-ingest
+	// session layer over it; maxPayload is the worker-intake body cap.
+	artifacts  *artifacts.Store
+	clips      *artifacts.Sessions
+	maxPayload int64
 
 	// SSE stream accounting: streams counts connected event-stream
 	// clients against streamLimit; heartbeat paces keep-alive comments.
@@ -264,6 +293,41 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 	if opts.EventHeartbeat <= 0 {
 		opts.EventHeartbeat = def.EventHeartbeat
 	}
+	if opts.MaxPayloadBytes <= 0 {
+		opts.MaxPayloadBytes = def.MaxPayloadBytes
+	}
+	// The artifact store and ingest sessions are built next, still before
+	// the dispatcher, for the same error-path ownership reason as the cache.
+	acfg := artifacts.DefaultConfig()
+	if opts.ArtifactBlobs > 0 {
+		acfg.MaxBlobs = opts.ArtifactBlobs
+	}
+	if opts.ArtifactBytes > 0 {
+		acfg.MaxBytes = opts.ArtifactBytes
+	}
+	if opts.ArtifactTTL > 0 {
+		acfg.TTL = opts.ArtifactTTL
+	}
+	acfg.SpillDir = opts.ArtifactSpillDir
+	blobs, err := artifacts.NewStore(acfg)
+	if err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
+	clips, err := artifacts.NewSessions(artifacts.SessionConfig{
+		Store: blobs,
+		Seg:   cfg.Segmentation,
+		TTL:   opts.ClipTTL,
+	})
+	if err != nil {
+		blobs.Close()
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
 	s := &Server{
 		cfg:         cfg,
 		cfgFP:       configFingerprint(cfg),
@@ -273,6 +337,9 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 		pprof:       opts.PProf,
 		streamLimit: opts.EventSubscribers,
 		heartbeat:   opts.EventHeartbeat,
+		artifacts:   blobs,
+		clips:       clips,
+		maxPayload:  opts.MaxPayloadBytes,
 	}
 	dispatcher := opts.Dispatcher
 	if dispatcher == nil {
@@ -297,6 +364,8 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 			Log: lg,
 		}, exec)
 		if err != nil {
+			clips.Close()
+			blobs.Close()
 			if store != nil {
 				store.Close()
 			}
@@ -312,6 +381,8 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 // drain and hard-cancel semantics) and releases the result cache.
 func (s *Server) Close(ctx context.Context) error {
 	err := s.jobs.Close(ctx)
+	s.clips.Close()
+	s.artifacts.Close()
 	if s.cache != nil {
 		s.cache.Close()
 	}
@@ -334,6 +405,12 @@ func (s *Server) Handler() http.Handler {
 	// The global event feed is versioned-only, like the worker intake:
 	// it is a machine protocol with no pre-/v1 ancestor to alias.
 	mux.HandleFunc("/v1/events", method(http.MethodGet, s.handleEventFeed))
+	// The artifact store and clip-ingest sessions are likewise versioned-
+	// only machine protocols (DESIGN.md §14).
+	mux.HandleFunc("/v1/artifacts", method(http.MethodPost, s.handleArtifactPut))
+	mux.HandleFunc("/v1/artifacts/", method(http.MethodGet, s.handleArtifactGet))
+	mux.HandleFunc("/v1/clips", method(http.MethodPost, s.handleClipOpen))
+	mux.HandleFunc("/v1/clips/", s.handleClipPath)
 	if s.worker {
 		// The worker intake is a machine protocol, versioned-only: no
 		// legacy alias, serialized payloads instead of multipart uploads.
@@ -434,6 +511,60 @@ func (s *Server) store(key cache.Key, resp *AnalysisResponse) {
 	}
 }
 
+// materialize resolves a by-reference request against the server's own
+// artifact store and, when a sealed ingest session memoised this exact
+// clip's segmentation, injects the stored silhouettes so Run replays them
+// instead of recomputing (bit-identical by determinism; see core.Request.
+// SegmentationMemo). Inline requests pass through untouched.
+func (s *Server) materialize(req core.Request) (core.Request, error) {
+	framesRef := req.FramesRef
+	if framesRef == "" && req.SilhouettesRef == "" && req.PosesRef == "" {
+		return req, nil
+	}
+	resolved, err := artifacts.ResolveRequest(s.artifacts, req)
+	if err != nil {
+		return core.Request{}, err
+	}
+	return s.injectMemo(framesRef, resolved), nil
+}
+
+// injectMemo fills the segmentation memo for a resolved request whose
+// frames arrived by reference, when the ingest layer recorded one.
+func (s *Server) injectMemo(framesRef string, req core.Request) core.Request {
+	if framesRef == "" || req.SegmentationMemo ||
+		len(req.Silhouettes) > 0 || req.Background != nil ||
+		!req.Stages.Normalize().Includes(core.StageSegmentation) {
+		return req
+	}
+	silsHash, ok := s.clips.Memo(framesRef)
+	if !ok {
+		return req
+	}
+	blob, _, ok := s.artifacts.Get(silsHash)
+	if !ok {
+		return req
+	}
+	bg, sils, err := artifacts.DecodeSilhouettes(blob)
+	if err != nil || len(sils) != len(req.Frames) {
+		return req
+	}
+	req.Silhouettes = sils
+	req.Background = bg
+	req.SegmentationMemo = true
+	return req
+}
+
+// writeResolveError maps a reference-resolution failure onto the error
+// envelope: unknown hashes are 404 with a machine-readable code, anything
+// else (conflicting inline+ref, corrupt blob) is a 400.
+func writeResolveError(w http.ResponseWriter, err error) {
+	if errors.Is(err, artifacts.ErrNotFound) {
+		writeErrorCode(w, http.StatusNotFound, "artifact_not_found", err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
 // handleAnalyze accepts a multipart POST with fields:
 //
 //	frames      — one or more PPM files named frame_NN.ppm (order by name);
@@ -447,6 +578,11 @@ func (s *Server) store(key cache.Key, resp *AnalysisResponse) {
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	req, ok := requestFromHTTP(w, r)
 	if !ok {
+		return
+	}
+	req, err := s.materialize(req)
+	if err != nil {
+		writeResolveError(w, err)
 		return
 	}
 	key, cached := s.lookup(req)
@@ -608,11 +744,23 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	var payload jobs.Payload
 	if s.testExec == nil {
-		req, ok := requestFromHTTP(w, r)
+		refReq, ok := requestFromHTTP(w, r)
 		if !ok {
 			return
 		}
-		p, err := jobs.NewAnalysisPayload(s.cfgFP, req)
+		req, err := s.materialize(refReq)
+		if err != nil {
+			writeResolveError(w, err)
+			return
+		}
+		var p jobs.Payload
+		if refReq.FramesRef != "" || refReq.SilhouettesRef != "" || refReq.PosesRef != "" {
+			// By-reference submissions dispatch thin: the payload carries the
+			// hashes, keyed and short-circuited via the resolved request.
+			p, err = jobs.NewArtifactPayload(s.cfgFP, refReq, req)
+		} else {
+			p, err = jobs.NewAnalysisPayload(s.cfgFP, req)
+		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -676,6 +824,18 @@ func (s *Server) executeAnalysis(ctx context.Context, p jobs.Payload, progress f
 	req, err := p.AnalysisRequest()
 	if err != nil {
 		return nil, err
+	}
+	if req.FramesRef != "" || req.SilhouettesRef != "" || req.PosesRef != "" {
+		// The payload crossed the wire (worker intake without a stashed
+		// resolution, or a journal replay) still naming artifacts by hash:
+		// materialise them — pulling from the originating front end when the
+		// local store misses — before keying and running.
+		framesRef := req.FramesRef
+		req, err = artifacts.ResolveRequest(s.resolver(p.ArtifactOrigin), req)
+		if err != nil {
+			return nil, err
+		}
+		req = s.injectMemo(framesRef, req)
 	}
 	// Always re-address the decoded request under this server's own config
 	// fingerprint: the stamped CacheKey is a routing hint, and trusting it
@@ -808,6 +968,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc := map[string]any{
 		"clips_analyzed": analyzed,
 		"jobs":           s.jobs.Metrics(),
+		"artifacts":      s.artifacts.Metrics(),
+		"clip_sessions":  s.clips.Metrics(),
 	}
 	if s.cache != nil {
 		doc["cache"] = s.cache.Metrics()
@@ -845,12 +1007,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "clips_analyzed": n})
 }
 
-// requestFromHTTP parses the multipart clip upload into a staged analysis
-// request. On any problem it writes the HTTP error itself and returns
-// ok=false. HTTP requests always enter the pipeline at segmentation (the
-// upload carries frames, not intermediate artifacts); stages may select a
-// shorter prefix of it.
+// requestFromHTTP parses one analysis request off the HTTP request. Two
+// content types are accepted: the multipart clip upload (frames inline),
+// and an application/json document naming previously stored artifacts by
+// content hash (see requestFromJSON). On any problem it writes the HTTP
+// error itself and returns ok=false. Multipart requests always enter the
+// pipeline at segmentation (the upload carries frames, not intermediate
+// artifacts); stages may select a shorter prefix of it. By-reference JSON
+// requests are exempt — a silhouettes or poses artifact is exactly the
+// mid-pipeline entry the store exists to feed.
 func requestFromHTTP(w http.ResponseWriter, r *http.Request) (core.Request, bool) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		return requestFromJSON(w, r)
+	}
 	frames, manual, ok := clipFromRequest(w, r)
 	if !ok {
 		return core.Request{}, false
@@ -1037,4 +1206,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// writeErrorCode writes the error envelope with a machine-readable code.
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Code: code})
 }

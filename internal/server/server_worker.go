@@ -16,6 +16,13 @@
 // Because the worker executes the payload through the same executor and
 // response builder as the front end, the result document is byte-identical
 // to the in-process path.
+//
+// A payload may name its bulk artifacts by content hash instead of
+// carrying them inline (jobs.Payload.ByReference, marked by the
+// X-SLJ-Artifact-Payload header). The intake resolves the references —
+// from the node's own artifact store, pulling misses from the originating
+// front end (payload.ArtifactOrigin) and caching them locally — before the
+// cache lookup, so a by-hash resubmission still short-circuits here.
 package server
 
 import (
@@ -23,22 +30,30 @@ import (
 	"fmt"
 	"net/http"
 
+	"github.com/sljmotion/sljmotion/internal/artifacts"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 )
 
 // CacheHeader marks worker responses served from the node's result cache.
 const CacheHeader = "X-SLJ-Cache"
 
-// maxPayloadBytes bounds one payload upload. A clip that fits the
-// front end's MaxUploadBytes grows ~4/3 under the payload's base64 frame
-// encoding (plus JSON overhead), so the intake allows double the raw cap —
-// anything the front accepted must also fit here.
-const maxPayloadBytes = 2 * MaxUploadBytes
+// payloadCap bounds one payload upload. An inline clip that fits the front
+// end's upload cap grows ~4/3 under the payload's base64 frame encoding
+// (plus JSON overhead), so inline payloads get double the configured cap —
+// anything the front accepted must also fit here. A by-reference payload
+// carries hashes instead of frames and needs no such headroom: it gets
+// exactly the configured cap.
+func (s *Server) payloadCap(r *http.Request) int64 {
+	if r.Header.Get(jobs.ArtifactPayloadHeader) == "1" {
+		return s.maxPayload
+	}
+	return 2 * s.maxPayload
+}
 
 // handleWorkerJobs accepts one serialized job payload from a remote
 // dispatcher.
 func (s *Server) handleWorkerJobs(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxPayloadBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, s.payloadCap(r))
 	var p jobs.Payload
 	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode payload: %v", err))
@@ -48,6 +63,18 @@ func (s *Server) handleWorkerJobs(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if p.ByReference() {
+		framesRef := req.FramesRef
+		req, err = artifacts.ResolveRequest(s.resolver(p.ArtifactOrigin), req)
+		if err != nil {
+			writeResolveError(w, err)
+			return
+		}
+		req = s.injectMemo(framesRef, req)
+		// Stash the materialised request so the executor (and the keying
+		// below) never re-resolves what this intake already pulled.
+		p = p.WithResolved(req)
 	}
 	// Consult the node's own result cache under the node's own config
 	// fingerprint — a hash-routed resubmission of an identical clip is
