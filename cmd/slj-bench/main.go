@@ -23,7 +23,9 @@
 // parallel, the remote dispatch round trip over an in-process two-node
 // worker pool (submit → hash-route → poll → result, cold and cache-hit),
 // the durable-journal overhead on the async job path (jobs/sec with
-// the journal off, on, and on with fsync-per-terminal), and the streaming
+// the journal off, on, and on with fsync-per-terminal), the GA fit
+// profiles (the clip analysed under the default and fast pose.FitProfile,
+// with the fast row's fitness excess and memo hit rate), and the streaming
 // clip-ingest path (chunked upload + seal wall clock, eager-segmentation
 // reuse, inline vs by-hash dispatch payload bytes, and the by-hash
 // analyze round trip cold and cache-hit) — and emits one
@@ -60,6 +62,7 @@ import (
 	"github.com/sljmotion/sljmotion/internal/imaging"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/journal"
+	"github.com/sljmotion/sljmotion/internal/pose"
 	"github.com/sljmotion/sljmotion/internal/segmentation"
 	"github.com/sljmotion/sljmotion/internal/server"
 	"github.com/sljmotion/sljmotion/internal/synth"
@@ -158,22 +161,50 @@ func run() error {
 // and without the provenance stamped into the document such a baseline is
 // indistinguishable from a genuine scaling regression.
 type perfDoc struct {
-	Schema       string        `json:"schema"`
-	NumCPU       int           `json:"num_cpu"`
-	GoMaxProcs   int           `json:"go_max_procs"`
-	GoVersion    string        `json:"go_version"`
-	Seed         int64         `json:"seed"`
-	Fast         bool          `json:"fast"`
-	Frames       int           `json:"frames"`
-	Width        int           `json:"width"`
-	Height       int           `json:"height"`
-	Segmentation []perfSample  `json:"segmentation"`
-	EndToEnd     []perfE2E     `json:"end_to_end"`
-	Dispatch     *perfDispatch `json:"dispatch,omitempty"`
-	Journal      *perfJournal  `json:"journal,omitempty"`
-	Events       *perfEvents   `json:"events,omitempty"`
-	Ingest       *perfIngest   `json:"ingest,omitempty"`
+	Schema       string          `json:"schema"`
+	NumCPU       int             `json:"num_cpu"`
+	GoMaxProcs   int             `json:"go_max_procs"`
+	GoVersion    string          `json:"go_version"`
+	Seed         int64           `json:"seed"`
+	Fast         bool            `json:"fast"`
+	Frames       int             `json:"frames"`
+	Width        int             `json:"width"`
+	Height       int             `json:"height"`
+	Segmentation []perfSample    `json:"segmentation"`
+	EndToEnd     []perfE2E       `json:"end_to_end"`
+	GAProfiles   []perfGAProfile `json:"ga_profiles,omitempty"`
+	Dispatch     *perfDispatch   `json:"dispatch,omitempty"`
+	Journal      *perfJournal    `json:"journal,omitempty"`
+	Events       *perfEvents     `json:"events,omitempty"`
+	Ingest       *perfIngest     `json:"ingest,omitempty"`
 }
+
+// perfGAProfile is one fit-profile row: the canonical clip analysed
+// end-to-end under the named pose.FitProfile. The default row is the
+// byte-identity reference; the fast row's worth is its frames/sec multiple,
+// and its cost is FitnessDeltaVsDefault — the mean full-resolution Eq. (3)
+// fitness excess over the default profile's poses, which the fidelity
+// tolerance of DESIGN.md §15 bounds.
+type perfGAProfile struct {
+	Profile      string  `json:"profile"`
+	Seconds      float64 `json:"seconds"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	// MeanFitness averages Estimate.Fitness over the tracked frames
+	// (lower is a tighter silhouette fit).
+	MeanFitness           float64 `json:"mean_fitness"`
+	FitnessDeltaVsDefault float64 `json:"fitness_delta_vs_default"`
+	// Evaluations counts fitness scores the GA requested across all
+	// frames; MemoHitRate is the fraction answered from the memo table.
+	Evaluations int     `json:"evaluations"`
+	MemoHitRate float64 `json:"memo_hit_rate"`
+}
+
+// gaFitnessToleranceAbs is the determinism-sensitive compare guard: a
+// fresh fast-profile row whose mean fitness exceeds the default profile's
+// by more than this absolute amount fails -compare regardless of the
+// percentage threshold (it means the speed profile started returning
+// materially worse poses).
+const gaFitnessToleranceAbs = 0.05
 
 // perfIngest measures the streaming clip-ingest path against the inline
 // upload it replaces: the chunked upload + seal wall clock (with the
@@ -366,6 +397,12 @@ func runPerf(seed int64, fast bool, baselinePath string, thresholdPct float64) e
 		}
 	}
 
+	gps, err := runGAProfilePerf(v, fast)
+	if err != nil {
+		return err
+	}
+	doc.GAProfiles = gps
+
 	disp, err := runDispatchPerf(seed)
 	if err != nil {
 		return err
@@ -395,6 +432,70 @@ func runPerf(seed int64, fast bool, baselinePath string, thresholdPct float64) e
 		return compareBaseline(doc, baselinePath, thresholdPct)
 	}
 	return nil
+}
+
+// runGAProfilePerf analyses the canonical clip under each fit profile and
+// reports the speed/fidelity trade: wall clock, mean Eq. (3) fitness (with
+// the fast row's excess over the default row), and the GA's evaluation and
+// memo-hit accounting. fast trims the GA budget the same way the e2e rows
+// do, so the two sections stay comparable.
+func runGAProfilePerf(v *synth.Video, fast bool) ([]perfGAProfile, error) {
+	manual := v.ManualAnnotation(synth.DefaultAnnotationError(), 1)
+	var rows []perfGAProfile
+	for _, name := range []string{"default", "fast"} {
+		profile, err := pose.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Pose.Profile = profile
+		if fast {
+			cfg.Pose.Population = 40
+			cfg.Pose.Generations = 40
+			cfg.Pose.Patience = 10
+			cfg.Pose.RefineRounds = 1
+		}
+		an, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := an.Analyze(v.Frames, manual)
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		var fitSum float64
+		var fitN, evals, hits int
+		for k, est := range res.Estimates {
+			if k == 0 {
+				continue // frame 0 echoes the manual pose
+			}
+			fitSum += est.Fitness
+			fitN++
+			if est.GA != nil {
+				evals += est.GA.Evaluations
+				hits += est.GA.MemoHits
+			}
+		}
+		row := perfGAProfile{
+			Profile:      name,
+			Seconds:      secs,
+			FramesPerSec: float64(len(v.Frames)) / secs,
+			Evaluations:  evals,
+		}
+		if fitN > 0 {
+			row.MeanFitness = fitSum / float64(fitN)
+		}
+		if evals > 0 {
+			row.MemoHitRate = float64(hits) / float64(evals)
+		}
+		if len(rows) > 0 {
+			row.FitnessDeltaVsDefault = row.MeanFitness - rows[0].MeanFitness
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // runEventsPerf times the event bus: one publisher, four firehose
@@ -491,6 +592,31 @@ func compareBaseline(doc perfDoc, path string, thresholdPct float64) error {
 			}
 		}
 	}
+	// GA-profile rows likewise only compare at matching budgets.
+	if doc.Fast == base.Fast {
+		for _, b := range base.GAProfiles {
+			for _, n := range doc.GAProfiles {
+				if n.Profile == b.Profile {
+					rows = append(rows, compareRow{
+						name: fmt.Sprintf("ga_profile %s frames/sec", b.Profile),
+						old:  b.FramesPerSec, new: n.FramesPerSec, higherBetter: true,
+					})
+				}
+			}
+		}
+	}
+	// Determinism-sensitive guard, independent of the percentage threshold:
+	// the fast profile's fitness excess over the default row is bounded by
+	// the fidelity tolerance, not allowed to drift with a noisy baseline.
+	fitnessGuardFailures := 0
+	for _, n := range doc.GAProfiles {
+		if n.FitnessDeltaVsDefault > gaFitnessToleranceAbs {
+			fmt.Fprintf(os.Stderr,
+				"R ga_profile %s fitness delta %.4f exceeds tolerance %.2f\n",
+				n.Profile, n.FitnessDeltaVsDefault, gaFitnessToleranceAbs)
+			fitnessGuardFailures++
+		}
+	}
 	if base.Journal != nil && doc.Journal != nil {
 		rows = append(rows,
 			compareRow{name: "journal off jobs/sec", old: base.Journal.OffJobsPerSec, new: doc.Journal.OffJobsPerSec, higherBetter: true},
@@ -537,6 +663,7 @@ func compareBaseline(doc perfDoc, path string, thresholdPct float64) error {
 		}
 		fmt.Fprintf(os.Stderr, "%s%-38s %12.2f -> %12.2f  (%+.1f%%)\n", mark, r.name, r.old, r.new, deltaPct)
 	}
+	regressions += fitnessGuardFailures
 	if regressions > 0 {
 		return fmt.Errorf("%d measurement(s) regressed beyond %.0f%% vs %s", regressions, thresholdPct, path)
 	}

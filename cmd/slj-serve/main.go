@@ -5,7 +5,8 @@
 // Usage:
 //
 //	slj-serve [-addr :8080] [-workers N] [-queue N] [-result-ttl 15m]
-//	          [-parallelism N] [-cache-size N] [-cache-ttl 15m]
+//	          [-parallelism N] [-fit-profile default|fast]
+//	          [-cache-size N] [-cache-ttl 15m]
 //	          [-journal path] [-worker] [-dispatch-nodes url1,url2,...]
 //	          [-event-subscribers N] [-event-buffer N]
 //	          [-log-level info] [-log-format text] [-pprof]
@@ -122,6 +123,7 @@ import (
 	"github.com/sljmotion/sljmotion/internal/dispatch"
 	"github.com/sljmotion/sljmotion/internal/journal"
 	"github.com/sljmotion/sljmotion/internal/obs"
+	"github.com/sljmotion/sljmotion/internal/pose"
 	"github.com/sljmotion/sljmotion/internal/server"
 )
 
@@ -140,6 +142,7 @@ func run() error {
 		queue       = flag.Int("queue", defaults.QueueSize, "job submission queue size (backpressure beyond it)")
 		resultTTL   = flag.Duration("result-ttl", defaults.ResultTTL, "how long finished job results stay pollable")
 		parallelism = flag.Int("parallelism", 0, "per-analysis frame/fitness fan-out (0 = sequential)")
+		fitProfile  = flag.String("fit-profile", "default", "GA pose-fit profile: default (byte-identical reference output) or fast (coarse-to-fine fitting, converged-population termination)")
 		cacheSize   = flag.Int("cache-size", defaults.CacheEntries, "result cache entry bound (0 disables caching)")
 		cacheTTL    = flag.Duration("cache-ttl", defaults.CacheTTL, "result cache entry lifetime")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
@@ -168,6 +171,11 @@ func run() error {
 	}
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = *parallelism
+	profile, err := pose.ProfileByName(*fitProfile)
+	if err != nil {
+		return err
+	}
+	cfg.Pose.Profile = profile
 	opts := server.Options{
 		Workers:          *workers,
 		QueueSize:        *queue,
@@ -242,7 +250,7 @@ func run() error {
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue,
-			"result_ttl", *resultTTL, "parallelism", *parallelism,
+			"result_ttl", *resultTTL, "parallelism", *parallelism, "fit_profile", profile.Name,
 			"cache_entries", *cacheSize, "cache_ttl", *cacheTTL, "pprof", *pprofOn)
 		errCh <- httpServer.ListenAndServe()
 	}()

@@ -1,0 +1,66 @@
+package dispatch
+
+import (
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/core"
+	"github.com/sljmotion/sljmotion/internal/jobs"
+	"github.com/sljmotion/sljmotion/internal/pose"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+// TestFitProfileSeparatesRingPlacement pins the routing half of the fit
+// profile contract: the same clip submitted under the default and fast
+// profiles must key onto the consistent-hash circle independently. If the
+// placements coincided, a resubmission under the other profile would land
+// on the node whose result cache holds the first profile's poses — and the
+// cache keys differing (payload_test in internal/jobs) would be the only
+// line of defence.
+func TestFitProfileSeparatesRingPlacement(t *testing.T) {
+	params := synth.DefaultJumpParams()
+	params.Frames = 4
+	v, err := synth.Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := core.Request{
+		Frames:      v.Frames,
+		ManualFirst: v.ManualAnnotation(synth.DefaultAnnotationError(), 1),
+	}
+	payload := func(cfg core.Config) jobs.Payload {
+		p, err := jobs.NewAnalysisPayload(jobs.ConfigFingerprint(cfg), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	defCfg := core.DefaultConfig()
+	fastCfg := core.DefaultConfig()
+	fastCfg.Pose.Profile = pose.FastProfile()
+
+	var r Remote
+	defHash := r.placementHash(payload(defCfg))
+	fastHash := r.placementHash(payload(fastCfg))
+	if defHash == fastHash {
+		t.Fatal("default and fast submissions of the same clip share a ring key")
+	}
+
+	// On a deployment-sized ring the two keys walk distinct failover
+	// orders (deterministic: the ring and both hashes are content-derived).
+	urls := []string{"http://a", "http://b", "http://c", "http://d"}
+	rg := buildRing(urls, 64)
+	defOrder := rg.walk(defHash)
+	fastOrder := rg.walk(fastHash)
+	same := len(defOrder) == len(fastOrder)
+	if same {
+		for i := range defOrder {
+			if defOrder[i] != fastOrder[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Errorf("profiles walk identical node order %v; placements did not separate", defOrder)
+	}
+}

@@ -57,6 +57,14 @@ type Spec struct {
 	// Mutate perturbs the genes of one group in place. Nil selects a
 	// default Gaussian perturbation with per-gene sigma 1.
 	Mutate func(rng *rand.Rand, g Genome, group []int)
+	// InitialPopulation optionally injects genomes into the initial
+	// population (the coarse-to-fine hand-off: a finished coarse run seeds
+	// the full-resolution run with its final population). Genomes failing
+	// Valid are skipped; remaining slots are rejection-sampled from Seed as
+	// usual. Injected genomes are cloned, and their fitness is evaluated
+	// fresh — the fitness function may differ from the run that produced
+	// them. Nil leaves seeding unchanged.
+	InitialPopulation []Genome
 }
 
 func (s *Spec) validate() error {
@@ -104,6 +112,22 @@ type Config struct {
 	// parallelism; only fitness calls fan out. Spec.Fitness must be safe for
 	// concurrent use when Parallelism > 1. <= 1 evaluates sequentially.
 	Parallelism int
+	// MemoizeFitness caches fitness by bit-identical genome across
+	// generations. Elites and unmodified clones recur verbatim, so a large
+	// cohort fraction is answered from the table instead of re-evaluated.
+	// Spec.Fitness must be pure (it is for Eq. 3); then memoization cannot
+	// change any result — Result.Evaluations still counts requested scores,
+	// with MemoHits/MemoMisses breaking out how many hit the table.
+	MemoizeFitness bool
+	// ConvergeSpread stops evolution once the population has collapsed:
+	// when the fitness spread between the best individual and the 75th
+	// percentile drops to this value or below, further generations only
+	// shuffle near-identical genomes. The percentile (not the worst slot)
+	// keeps random immigrants — deliberately unfit diversity — from
+	// masking convergence. 0 disables (default). This early stop changes
+	// results, so callers needing reference-identical output must leave it
+	// off.
+	ConvergeSpread float64
 }
 
 // DefaultConfig returns the paper-calibrated hyper-parameters.
@@ -146,6 +170,9 @@ func (c Config) Validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("ga: parallelism must be >= 0, got %d", c.Parallelism)
 	}
+	if c.ConvergeSpread < 0 {
+		return fmt.Errorf("ga: converge spread must be >= 0, got %v", c.ConvergeSpread)
+	}
 	return nil
 }
 
@@ -187,6 +214,14 @@ func WithImmigrantRate(r float64) Option { return func(c *Config) { c.ImmigrantR
 // itself stays deterministic; see Config.Parallelism).
 func WithParallelism(n int) Option { return func(c *Config) { c.Parallelism = n } }
 
+// WithMemoization enables cross-generation fitness caching (see
+// Config.MemoizeFitness).
+func WithMemoization(on bool) Option { return func(c *Config) { c.MemoizeFitness = on } }
+
+// WithConvergeSpread enables converged-population early termination (see
+// Config.ConvergeSpread).
+func WithConvergeSpread(s float64) Option { return func(c *Config) { c.ConvergeSpread = s } }
+
 // Individual pairs a genome with its fitness.
 type Individual struct {
 	Genome  Genome
@@ -212,8 +247,19 @@ type Result struct {
 	// History records the best fitness after every generation, starting
 	// with the initial population.
 	History []float64
-	// Evaluations counts fitness-function calls.
+	// Evaluations counts requested fitness scores (memoization answers
+	// MemoHits of them from the table without calling Spec.Fitness).
 	Evaluations int
+	// MemoHits and MemoMisses break down Evaluations when
+	// Config.MemoizeFitness is on; both stay 0 otherwise.
+	MemoHits   int
+	MemoMisses int
+	// ConvergedEarly reports that the run stopped on Config.ConvergeSpread.
+	ConvergedEarly bool
+	// FinalPopulation is the last generation's genomes, fittest first —
+	// the hand-off a coarse run passes to Spec.InitialPopulation of the
+	// full-resolution run.
+	FinalPopulation []Genome
 }
 
 // Engine runs the evolution strategy.
@@ -245,12 +291,16 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) Run() (*Result, error) {
 	rng := rand.New(rand.NewSource(e.cfg.RandSeed))
 	res := &Result{}
+	var memo *memoTable
+	if e.cfg.MemoizeFitness {
+		memo = newMemoTable()
+	}
 
 	genomes, err := e.initialGenomes(rng)
 	if err != nil {
 		return nil, err
 	}
-	pop := e.evaluateAll(genomes, res)
+	pop := e.evaluateAll(genomes, res, memo)
 	sortByFitness(pop)
 	best := Individual{Genome: pop[0].Genome.Clone(), Fitness: pop[0].Fitness}
 	res.History = append(res.History, best.Fitness)
@@ -275,6 +325,17 @@ func (e *Engine) Run() (*Result, error) {
 			gen--
 			break
 		}
+		if e.cfg.ConvergeSpread > 0 {
+			qi := (len(pop) * 3) / 4
+			if qi >= len(pop) {
+				qi = len(pop) - 1
+			}
+			if pop[qi].Fitness-pop[0].Fitness <= e.cfg.ConvergeSpread {
+				res.ConvergedEarly = true
+				gen--
+				break
+			}
+		}
 		next := make([]Individual, 0, e.cfg.PopulationSize)
 		for i := 0; i < elite; i++ {
 			next = append(next, Individual{Genome: pop[i].Genome.Clone(), Fitness: pop[i].Fitness})
@@ -294,7 +355,7 @@ func (e *Engine) Run() (*Result, error) {
 			b := e.selectParent(rng, pop)
 			pending = append(pending, e.makeOffspringGenome(rng, a, b))
 		}
-		next = append(next, e.evaluateAll(pending, res)...)
+		next = append(next, e.evaluateAll(pending, res, memo)...)
 		pop = next
 		sortByFitness(pop)
 		if pop[0].Fitness < best.Fitness {
@@ -313,6 +374,10 @@ func (e *Engine) Run() (*Result, error) {
 	res.Best = best.Genome
 	res.BestFitness = best.Fitness
 	res.Generations = gen
+	res.FinalPopulation = make([]Genome, len(pop))
+	for i, ind := range pop {
+		res.FinalPopulation[i] = ind.Genome.Clone()
+	}
 	res.NearBestFoundAt = res.BestFoundAt
 	// Fitness is non-negative in this system; guard the tolerance anyway.
 	if tol := math.Abs(best.Fitness) * 0.02; tol > 0 {
@@ -332,6 +397,15 @@ func (e *Engine) Run() (*Result, error) {
 func (e *Engine) initialGenomes(rng *rand.Rand) ([]Genome, error) {
 	genomes := make([]Genome, 0, e.cfg.PopulationSize)
 	var lastValid Genome
+	for _, g := range e.spec.InitialPopulation {
+		if len(genomes) == e.cfg.PopulationSize {
+			break
+		}
+		if e.isValid(g) {
+			lastValid = g.Clone()
+			genomes = append(genomes, lastValid)
+		}
+	}
 	for len(genomes) < e.cfg.PopulationSize {
 		var g Genome
 		ok := false
@@ -358,41 +432,65 @@ func (e *Engine) initialGenomes(rng *rand.Rand) ([]Genome, error) {
 // evaluateAll scores a cohort, fanning the (pure) fitness calls over up to
 // Config.Parallelism goroutines. Results are written by index, so the
 // returned order — and therefore the evolution — matches the sequential
-// path exactly.
-func (e *Engine) evaluateAll(genomes []Genome, res *Result) []Individual {
+// path exactly. When memoization is on, a serial pre-pass answers repeated
+// genomes from the table and only the misses are evaluated (and inserted,
+// again serially, afterwards) — the table never crosses a goroutine.
+func (e *Engine) evaluateAll(genomes []Genome, res *Result, memo *memoTable) []Individual {
 	defer func(start time.Time) {
 		fitnessEvalSeconds.Observe(time.Since(start).Seconds())
 	}(time.Now())
 	out := make([]Individual, len(genomes))
 	res.Evaluations += len(genomes)
+	toEval := make([]int, 0, len(genomes))
+	if memo != nil {
+		for i, g := range genomes {
+			if f, ok := memo.lookup(g); ok {
+				out[i] = Individual{Genome: g, Fitness: f}
+				res.MemoHits++
+				continue
+			}
+			toEval = append(toEval, i)
+		}
+		res.MemoMisses += len(toEval)
+	} else {
+		for i := range genomes {
+			toEval = append(toEval, i)
+		}
+	}
 	workers := e.cfg.Parallelism
-	if workers > len(genomes) {
-		workers = len(genomes)
+	if workers > len(toEval) {
+		workers = len(toEval)
 	}
 	if workers <= 1 {
-		for i, g := range genomes {
-			out[i] = Individual{Genome: g, Fitness: e.spec.Fitness(g)}
+		for _, i := range toEval {
+			out[i] = Individual{Genome: genomes[i], Fitness: e.spec.Fitness(genomes[i])}
 		}
-		return out
-	}
-	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(genomes) {
-					return
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(toEval) {
+						return
+					}
+					i := toEval[k]
+					out[i] = Individual{Genome: genomes[i], Fitness: e.spec.Fitness(genomes[i])}
 				}
-				out[i] = Individual{Genome: genomes[i], Fitness: e.spec.Fitness(genomes[i])}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if memo != nil {
+		for _, i := range toEval {
+			memo.insert(genomes[i], out[i].Fitness)
+		}
+	}
 	return out
 }
 

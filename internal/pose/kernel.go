@@ -1,0 +1,220 @@
+package pose
+
+import (
+	"math"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// fitKernel is the allocation-free evaluator of the Eq. (3) fitness:
+// FS = (Σ_points min_l d(point, S_l)/t_l) / N. It is built once per frame
+// from the (subsampled) silhouette point set and then evaluated thousands
+// of times per GA fit, so everything per-candidate lives on the stack:
+// silhouette coordinates are flattened into two float buffers, and a
+// row-band grid over the points lets whole cells skip the sticks that
+// provably cannot own any of their points.
+//
+// The kernel returns bit-identical values to the naive reference
+// (Segment.PointDist in stick order with a strict-< minimum): cells are
+// contiguous ranges of the row-major point order, so the summation order is
+// unchanged; cell-level pruning only discards a stick when a conservative
+// distance bound proves it cannot attain the minimum for any point in the
+// cell; and per point the cheap squared-distance comparison only selects
+// *candidate* winners — the returned minimum is then recomputed with
+// exactly the reference arithmetic (same Hypot, same division by t_l) over
+// every candidate within a safety margin. Since only the minimum's value
+// enters the sum, recovering the exact value of the true minimiser suffices.
+//
+// Eval is safe for concurrent use (the GA fans fitness calls across
+// workers): the kernel is read-only after construction.
+type fitKernel struct {
+	xs, ys []float64 // flattened point coordinates, original row-major order
+	cells  []kernelCell
+	dims   stickmodel.Dimensions
+}
+
+// kernelCell is one x-band of one sampled silhouette row: the points
+// xs[start:end] / ys[start:end], plus the covering circle (centre, radius)
+// of those points used for conservative stick pruning.
+type kernelCell struct {
+	start, end int32
+	cx, cy     float64
+	radius     float64
+}
+
+// kernelCellCap bounds the points per cell. Points in a row are ascending
+// in x, so a cell spans at most (cap-1)·stride pixels; smaller cells prune
+// sticks more sharply but pay more per-cell bound computations.
+const kernelCellCap = 16
+
+// Pruning safety margins. cellPad (pixels) widens the covering radius;
+// candMargin is the relative slack on squared-distance winner selection.
+// Both absorb floating-point rounding between the bound arithmetic and the
+// reference arithmetic; they only ever make pruning less aggressive.
+const (
+	cellPad    = 1e-6
+	candMargin = 1e-12
+)
+
+// newFitKernel flattens pts (row-major silhouette order) and builds the
+// row-band grid. The point slice is not retained.
+func newFitKernel(pts []imaging.Vec2, dims stickmodel.Dimensions) *fitKernel {
+	k := &fitKernel{
+		xs:   make([]float64, len(pts)),
+		ys:   make([]float64, len(pts)),
+		dims: dims,
+	}
+	for i, pt := range pts {
+		k.xs[i] = pt.X
+		k.ys[i] = pt.Y
+	}
+	start := 0
+	for i := 1; i <= len(pts); i++ {
+		if i == len(pts) || pts[i].Y != pts[start].Y || i-start == kernelCellCap {
+			minX, maxX := pts[start].X, pts[start].X
+			for _, pt := range pts[start+1 : i] {
+				if pt.X < minX {
+					minX = pt.X
+				}
+				if pt.X > maxX {
+					maxX = pt.X
+				}
+			}
+			cx := (minX + maxX) / 2
+			k.cells = append(k.cells, kernelCell{
+				start:  int32(start),
+				end:    int32(i),
+				cx:     cx,
+				cy:     pts[start].Y,
+				radius: (maxX-minX)/2 + cellPad,
+			})
+			start = i
+		}
+	}
+	return k
+}
+
+// Eval scores one pose. Zero heap allocations.
+func (k *fitKernel) Eval(p stickmodel.Pose) float64 {
+	segs := p.Segments(k.dims)
+	// Per-stick precomputation, mirroring Segment.PointDist's locals.
+	var ax, ay, dx, dy, l2, thick, invT2 [stickmodel.NumSticks]float64
+	for l := 0; l < stickmodel.NumSticks; l++ {
+		ax[l] = segs[l].A.X
+		ay[l] = segs[l].A.Y
+		dx[l] = segs[l].B.X - segs[l].A.X
+		dy[l] = segs[l].B.Y - segs[l].A.Y
+		l2[l] = dx[l]*dx[l] + dy[l]*dy[l]
+		thick[l] = k.dims.Thick[l]
+		invT2[l] = 1 / (thick[l] * thick[l])
+	}
+	var sum float64
+	// Per-point scratch; only active-stick slots are written and read each
+	// iteration, so hoisting avoids re-zeroing inside the hot loop.
+	var rxs, rys, q [stickmodel.NumSticks]float64
+	for _, c := range k.cells {
+		// Cell-level pruning: from the exact distance dc of the cell's
+		// covering centre to each stick, every point of the cell has
+		// d_l ∈ [dc-radius, dc+radius]. A stick whose normalised lower
+		// bound exceeds the smallest normalised upper bound cannot own any
+		// point here. Bounds are conservative, so results are unaffected.
+		var active [stickmodel.NumSticks]int
+		nact := 0
+		var lb, ub [stickmodel.NumSticks]float64
+		ubMin := math.Inf(1)
+		for l := 0; l < stickmodel.NumSticks; l++ {
+			rx, ry := closestOffset(c.cx, c.cy, ax[l], ay[l], dx[l], dy[l], l2[l])
+			dc := math.Sqrt(rx*rx + ry*ry)
+			lo := dc - c.radius
+			if lo < 0 {
+				lo = 0
+			}
+			lb[l] = lo / thick[l]
+			ub[l] = (dc + c.radius) / thick[l]
+			if ub[l] < ubMin {
+				ubMin = ub[l]
+			}
+		}
+		for l := 0; l < stickmodel.NumSticks; l++ {
+			if lb[l] <= ubMin+1e-9 {
+				active[nact] = l
+				nact++
+			}
+		}
+		for i := c.start; i < c.end; i++ {
+			px, py := k.xs[i], k.ys[i]
+			// Cheap pass: squared distances scaled by 1/t² pick candidate
+			// winners without any sqrt.
+			bestQ := math.Inf(1)
+			for j := 0; j < nact; j++ {
+				l := active[j]
+				rx, ry := closestOffset(px, py, ax[l], ay[l], dx[l], dy[l], l2[l])
+				rxs[l] = rx
+				rys[l] = ry
+				q[l] = (rx*rx + ry*ry) * invT2[l]
+				if q[l] < bestQ {
+					bestQ = q[l]
+				}
+			}
+			// Exact pass over candidates: the reference expression
+			// Hypot(...)/t_l, minimised with strict < as in the reference.
+			limit := bestQ + bestQ*candMargin + candMargin
+			best := 1e18
+			for j := 0; j < nact; j++ {
+				l := active[j]
+				if q[l] > limit {
+					continue
+				}
+				d := math.Hypot(rxs[l], rys[l]) / thick[l]
+				if d < best {
+					best = d
+				}
+			}
+			sum += best
+		}
+	}
+	return sum / float64(len(k.xs))
+}
+
+// closestOffset returns (px,py) minus the closest point of the segment
+// (a + t·d, t clamped to [0,1]), with the exact expression shapes of
+// Segment.PointDist so the compiler rounds identically.
+func closestOffset(px, py, ax, ay, dx, dy, l2 float64) (rx, ry float64) {
+	if l2 == 0 {
+		return px - ax, py - ay
+	}
+	t := ((px-ax)*dx + (py-ay)*dy) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return px - (ax + dx*t), py - (ay + dy*t)
+}
+
+// NumPoints reports the silhouette point count the kernel averages over.
+func (k *fitKernel) NumPoints() int { return len(k.xs) }
+
+// fitnessOver is the naive Eq. (3) reference evaluator the kernel is pinned
+// against: the mean over silhouette points of the minimum
+// thickness-normalised distance to any stick. Kept as the ground truth for
+// the bit-identity equivalence tests (and any future kernel rewrite);
+// production paths use fitKernel.
+func fitnessOver(pts []imaging.Vec2, dims stickmodel.Dimensions) func(stickmodel.Pose) float64 {
+	return func(p stickmodel.Pose) float64 {
+		segs := p.Segments(dims)
+		var sum float64
+		for _, pt := range pts {
+			best := 1e18
+			for l := 0; l < stickmodel.NumSticks; l++ {
+				d := segs[l].PointDist(pt) / dims.Thick[l]
+				if d < best {
+					best = d
+				}
+			}
+			sum += best
+		}
+		return sum / float64(len(pts))
+	}
+}

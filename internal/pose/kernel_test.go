@@ -1,0 +1,121 @@
+package pose
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+// maskPoints replicates the estimator's silhouette sampling: row-major
+// stride×stride grid points that are foreground.
+func maskPoints(m *imaging.Mask, stride int) []imaging.Vec2 {
+	var pts []imaging.Vec2
+	for y := 0; y < m.H; y += stride {
+		for x := 0; x < m.W; x += stride {
+			if m.At(x, y) {
+				pts = append(pts, imaging.Vec2{X: float64(x), Y: float64(y)})
+			}
+		}
+	}
+	return pts
+}
+
+func randomPose(rng *rand.Rand, w, h float64) stickmodel.Pose {
+	var p stickmodel.Pose
+	p.X = rng.Float64() * w
+	p.Y = rng.Float64() * h
+	for l := 0; l < stickmodel.NumSticks; l++ {
+		p.Rho[l] = rng.Float64() * 360
+	}
+	return p
+}
+
+// TestKernelMatchesReferenceBitExact is the bit-identity contract of the
+// fast evaluator: over random silhouettes and random candidate poses
+// (including poses far off the silhouette, where pruning is most
+// aggressive), fitKernel.Eval must return the exact float64 the naive
+// reference produces.
+func TestKernelMatchesReferenceBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	dims := stickmodel.ChildDimensions(60)
+	for trial := 0; trial < 30; trial++ {
+		sil := randomPose(rng, 80, 80).Rasterize(dims, 140, 140)
+		stride := 1 + rng.Intn(3)
+		pts := maskPoints(sil, stride)
+		if len(pts) == 0 {
+			continue
+		}
+		k := newFitKernel(pts, dims)
+		ref := fitnessOver(pts, dims)
+		if k.NumPoints() != len(pts) {
+			t.Fatalf("NumPoints = %d, want %d", k.NumPoints(), len(pts))
+		}
+		for c := 0; c < 40; c++ {
+			p := randomPose(rng, 160, 160)
+			got, want := k.Eval(p), ref(p)
+			if got != want {
+				t.Fatalf("trial %d cand %d: kernel %.17g != reference %.17g (pose %+v)",
+					trial, c, got, want, p)
+			}
+		}
+	}
+}
+
+// TestKernelDegenerateSticks covers zero-length segments (l2 == 0), where
+// the closest point collapses to the segment origin.
+func TestKernelDegenerateSticks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var dims stickmodel.Dimensions
+	for l := 0; l < stickmodel.NumSticks; l++ {
+		dims.Thick[l] = 4 // lengths all zero
+	}
+	pts := []imaging.Vec2{{X: 3, Y: 4}, {X: 10, Y: 0}, {X: 0, Y: 0}}
+	k := newFitKernel(pts, dims)
+	ref := fitnessOver(pts, dims)
+	for c := 0; c < 20; c++ {
+		p := randomPose(rng, 20, 20)
+		if got, want := k.Eval(p), ref(p); got != want {
+			t.Fatalf("degenerate sticks: kernel %.17g != reference %.17g", got, want)
+		}
+	}
+}
+
+func TestKernelEvalZeroAllocs(t *testing.T) {
+	dims := stickmodel.ChildDimensions(60)
+	truth := crouchPose(70, 70)
+	sil := truth.Rasterize(dims, 140, 140)
+	k := newFitKernel(maskPoints(sil, 2), dims)
+	p := crouchPose(72, 69)
+	allocs := testing.AllocsPerRun(50, func() { k.Eval(p) })
+	if allocs != 0 {
+		t.Errorf("fitKernel.Eval allocates %v/op, want 0", allocs)
+	}
+}
+
+func BenchmarkFitKernelEval(b *testing.B) {
+	dims := stickmodel.ChildDimensions(60)
+	sil := crouchPose(70, 70).Rasterize(dims, 140, 140)
+	k := newFitKernel(maskPoints(sil, 2), dims)
+	p := crouchPose(72, 69)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Eval(p)
+	}
+}
+
+// BenchmarkFitnessReference is the naive evaluator the kernel replaced;
+// keep both benchmarks so the speedup stays visible in CI output.
+func BenchmarkFitnessReference(b *testing.B) {
+	dims := stickmodel.ChildDimensions(60)
+	sil := crouchPose(70, 70).Rasterize(dims, 140, 140)
+	ref := fitnessOver(maskPoints(sil, 2), dims)
+	p := crouchPose(72, 69)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref(p)
+	}
+}

@@ -92,6 +92,13 @@ type Config struct {
 	// assignment ambiguities of short or collinear sticks that the
 	// silhouette alone cannot disambiguate. 0 disables (paper-pure).
 	AnatomyLambda float64
+	// Profile selects the speed/fidelity trade of the GA fit (see
+	// FitProfile). The zero value / DefaultProfile keeps output
+	// byte-identical to the reference pipeline; FastProfile runs most
+	// generations coarse and terminates converged populations early. The
+	// profile feeds the config fingerprint, so cache keys of different
+	// profiles never collide.
+	Profile FitProfile
 	// RandSeed makes runs reproducible.
 	RandSeed int64
 }
@@ -126,6 +133,7 @@ func DefaultConfig() Config {
 		ExploreFraction:    0.25,
 		RefineRounds:       2,
 		AnatomyLambda:      0.02,
+		Profile:            DefaultProfile(),
 		RandSeed:           1,
 	}
 }
@@ -165,6 +173,9 @@ func (c Config) Validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("pose: Parallelism must be >= 0, got %d", c.Parallelism)
 	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -176,10 +187,13 @@ type Estimate struct {
 	GA *ga.Result
 }
 
-// Estimator fits stick models to silhouettes.
+// Estimator fits stick models to silhouettes. An Estimator is not safe for
+// concurrent use: it owns scratch rasterization buffers (the GA itself may
+// still fan fitness evaluations across goroutines via Config.Parallelism).
 type Estimator struct {
-	cfg  Config
-	dims stickmodel.Dimensions
+	cfg   Config
+	dims  stickmodel.Dimensions
+	arena stickmodel.Arena
 }
 
 // ErrEmptySilhouette is returned when a frame contains no foreground.
@@ -207,7 +221,7 @@ func (e *Estimator) Calibrate(sil segmentation.Silhouette, manual stickmodel.Pos
 	if sil.Mask == nil || sil.Area == 0 {
 		return e.dims, ErrEmptySilhouette
 	}
-	d := stickmodel.EstimateLengths(manual, e.dims, sil.Mask)
+	d := stickmodel.EstimateLengthsArena(manual, e.dims, sil.Mask, &e.arena)
 	d = stickmodel.EstimateThickness(manual, d, sil.Mask)
 	e.dims = d
 	return d, nil
@@ -220,7 +234,7 @@ func (e *Estimator) Fitness(p stickmodel.Pose, sil segmentation.Silhouette) (flo
 	if err != nil {
 		return 0, err
 	}
-	return fitnessOver(pts, e.dims)(p), nil
+	return newFitKernel(pts, e.dims).Eval(p), nil
 }
 
 // EstimateNext fits the silhouette with the initial population derived from
@@ -248,35 +262,52 @@ func (e *Estimator) estimateTemporal(sil segmentation.Silhouette, prev stickmode
 	if err != nil {
 		return nil, err
 	}
-	eq3 := fitnessOver(pts, e.dims)
+	eq3 := newFitKernel(pts, e.dims).Eval
 	anchor := prev
 	if pred != nil {
 		anchor = *pred
 	}
-	fit := eq3
 	lambda := e.cfg.TemporalLambda
 	anatomy := e.cfg.AnatomyLambda
+	// withPriors composes the temporal and anatomical priors over an
+	// Eq. (3) evaluator; reused for the coarse-phase kernel under a fast
+	// profile so both phases optimise the same shaped objective.
+	withPriors := func(eq func(stickmodel.Pose) float64) func(stickmodel.Pose) float64 {
+		return eq
+	}
 	if lambda > 0 || anatomy > 0 {
 		deltaRho := e.cfg.DeltaRho
 		// Observability weighting: a stick whose angle barely affects
 		// Eq. (3) at the anchor (it is buried inside the silhouette) gets a
 		// weak prior so the tracker can re-lock once it emerges; a clearly
 		// observable stick keeps the full prior. The floor keeps hidden
-		// sticks from random-walking.
+		// sticks from random-walking. Probed once on the full-resolution
+		// kernel, shared by both phases.
 		var conf [stickmodel.NumSticks]float64
 		if lambda > 0 {
 			conf = e.stickConfidence(eq3, anchor)
 		}
-		fit = func(p stickmodel.Pose) float64 {
-			f := eq3(p)
-			if lambda > 0 {
-				f += lambda * softWindowPenalty(p, anchor, deltaRho, conf)
+		withPriors = func(eq func(stickmodel.Pose) float64) func(stickmodel.Pose) float64 {
+			return func(p stickmodel.Pose) float64 {
+				f := eq(p)
+				if lambda > 0 {
+					f += lambda * softWindowPenalty(p, anchor, deltaRho, conf)
+				}
+				if anatomy > 0 {
+					f += anatomy * anatomyPenalty(p)
+				}
+				return f
 			}
-			if anatomy > 0 {
-				f += anatomy * anatomyPenalty(p)
-			}
-			return f
 		}
+	}
+	fit := withPriors(eq3)
+	var coarseFit func(stickmodel.Pose) float64
+	if e.cfg.Profile.coarseEnabled() {
+		if cpts, err := e.silhouettePointsStride(sil, e.cfg.PointStride*e.cfg.Profile.CoarseStrideScale); err == nil {
+			coarseFit = withPriors(newFitKernel(cpts, e.dims).Eval)
+		}
+		// A silhouette too small to survive the coarse stride simply runs
+		// full-resolution throughout.
 	}
 
 	// Seed centres around the centroid corrected by the model-based offset
@@ -324,7 +355,7 @@ func (e *Estimator) estimateTemporal(sil segmentation.Silhouette, prev stickmode
 			deltaXY: e.cfg.DeltaXY, deltaRho: e.cfg.DeltaRho,
 		}
 	}
-	est, err := e.run(sil, fit, seed, e.cfg.MinContainment, e.cfg.Generations, window)
+	est, err := e.run(sil, fit, coarseFit, seed, e.cfg.MinContainment, e.cfg.Generations, window)
 	if err != nil {
 		return nil, err
 	}
@@ -333,7 +364,15 @@ func (e *Estimator) estimateTemporal(sil segmentation.Silhouette, prev stickmode
 		valid := func(p stickmodel.Pose) bool {
 			return p.ContainmentFraction(dims, mask) >= minContain
 		}
-		refined := refinePose(est.Pose, fit, valid, e.cfg.RefineRounds)
+		// The coordinate-descent scans cost thousands of Eq. (3) calls per
+		// frame — more than the GA itself once the GA runs coarse-to-fine.
+		// Under a fast profile the scans therefore also run on the coarse
+		// kernel; only the final fitness is re-scored at full resolution.
+		refineFit := fit
+		if coarseFit != nil {
+			refineFit = coarseFit
+		}
+		refined := refinePose(est.Pose, refineFit, valid, e.cfg.RefineRounds)
 		est.Pose = refined.Normalize()
 		est.Fitness = fit(refined)
 	}
@@ -344,7 +383,8 @@ func (e *Estimator) estimateTemporal(sil segmentation.Silhouette, prev stickmode
 // the previous pose, the model-based correction applied to the current
 // centroid when predicting the new trunk centre.
 func (e *Estimator) centroidOffset(prev stickmodel.Pose, w, h int) (imaging.Vec2, bool) {
-	m := prev.Rasterize(e.dims, w, h)
+	m := e.arena.Mask(w, h)
+	prev.RasterizeInto(e.dims, m)
 	mx, my, ok := m.Centroid()
 	if !ok {
 		return imaging.Vec2{}, false
@@ -508,7 +548,7 @@ func (e *Estimator) EstimateCold(sil segmentation.Silhouette) (*Estimate, error)
 	if err != nil {
 		return nil, err
 	}
-	fit := fitnessOver(pts, e.dims)
+	fit := newFitKernel(pts, e.dims).Eval
 	cx, cy := sil.Centroid.X, sil.Centroid.Y
 	spread := 3 * e.cfg.DeltaXY
 
@@ -522,7 +562,10 @@ func (e *Estimator) EstimateCold(sil segmentation.Silhouette) (*Estimate, error)
 		return p.Genome()
 	}
 
-	return e.run(sil, fit, seed, e.cfg.ColdMinContainment, e.cfg.ColdGenerations, nil)
+	// The cold baseline never runs coarse (it exists to reproduce [5]);
+	// under a fast profile it still benefits from memoization and
+	// converged-population termination via runOnce.
+	return e.run(sil, fit, nil, seed, e.cfg.ColdMinContainment, e.cfg.ColdGenerations, nil)
 }
 
 // EstimateSequence runs temporal estimation across a silhouette sequence.
@@ -572,7 +615,7 @@ func (e *Estimator) EstimateSequenceContext(ctx context.Context, sils []segmenta
 	return out, nil
 }
 
-func (e *Estimator) run(sil segmentation.Silhouette, fit func(stickmodel.Pose) float64,
+func (e *Estimator) run(sil segmentation.Silhouette, fit, coarseFit func(stickmodel.Pose) float64,
 	seed func(*rand.Rand) ga.Genome, minContain float64, generations int,
 	window *searchWindow) (*Estimate, error) {
 
@@ -581,7 +624,7 @@ func (e *Estimator) run(sil segmentation.Silhouette, fit func(stickmodel.Pose) f
 	// yields a degraded estimate instead of a hard failure.
 	var lastErr error
 	for _, relax := range []float64{1, 0.85, 0.7, 0.5} {
-		est, err := e.runOnce(sil, fit, seed, minContain*relax, generations, window)
+		est, err := e.runOnce(sil, fit, coarseFit, seed, minContain*relax, generations, window)
 		if err == nil {
 			return est, nil
 		}
@@ -590,52 +633,124 @@ func (e *Estimator) run(sil segmentation.Silhouette, fit func(stickmodel.Pose) f
 	return nil, lastErr
 }
 
-func (e *Estimator) runOnce(sil segmentation.Silhouette, fit func(stickmodel.Pose) float64,
+// runOnce performs one GA fit. Under a fast profile with a coarse fitness,
+// it runs the coarse-to-fine schedule: CoarseFraction of the generation
+// budget evolves against the subsampled kernel, then the remaining
+// generations refine at full resolution with the coarse final population
+// injected (and re-scored under the full-resolution fitness). The default
+// profile runs the single-phase reference schedule unchanged.
+func (e *Estimator) runOnce(sil segmentation.Silhouette, fit, coarseFit func(stickmodel.Pose) float64,
 	seed func(*rand.Rand) ga.Genome, minContain float64, generations int,
 	window *searchWindow) (*Estimate, error) {
 
 	dims := e.dims
 	mask := sil.Mask
-	spec := ga.Spec{
-		Fitness: func(g ga.Genome) float64 {
+	genomeFit := func(fn func(stickmodel.Pose) float64) func(ga.Genome) float64 {
+		return func(g ga.Genome) float64 {
 			p, err := stickmodel.PoseFromGenome(g)
 			if err != nil {
 				return 1e18 // unreachable for engine-produced genomes
 			}
-			return fit(p)
-		},
-		Seed: seed,
-		Valid: func(g ga.Genome) bool {
-			p, err := stickmodel.PoseFromGenome(g)
-			if err != nil {
-				return false
-			}
-			if window != nil && !window.contains(p) {
-				return false
-			}
-			return p.ContainmentFraction(dims, mask) >= minContain
-		},
-		Groups: stickmodel.CrossoverGroups(),
-		Mutate: e.mutateGroup,
+			return fn(p)
+		}
 	}
-	eng, err := ga.New(spec,
-		ga.WithPopulationSize(e.cfg.Population),
-		ga.WithGenerations(generations),
-		ga.WithEliteFraction(e.cfg.EliteFraction),
-		ga.WithCrossoverRate(e.cfg.CrossoverRate),
-		ga.WithMutationRate(e.cfg.MutationRate),
-		ga.WithPatience(e.cfg.Patience),
-		ga.WithRandSeed(e.cfg.RandSeed),
-		ga.WithMaxSeedTries(600),
-		ga.WithImmigrantRate(0.08),
-		ga.WithParallelism(e.cfg.Parallelism),
-	)
+	valid := func(g ga.Genome) bool {
+		p, err := stickmodel.PoseFromGenome(g)
+		if err != nil {
+			return false
+		}
+		if window != nil && !window.contains(p) {
+			return false
+		}
+		return p.ContainmentFraction(dims, mask) >= minContain
+	}
+	newEngine := func(fn func(ga.Genome) float64, initial []ga.Genome, gens, patience int, randSeed int64) (*ga.Engine, error) {
+		return ga.New(ga.Spec{
+			Fitness:           fn,
+			Seed:              seed,
+			Valid:             valid,
+			Groups:            stickmodel.CrossoverGroups(),
+			Mutate:            e.mutateGroup,
+			InitialPopulation: initial,
+		},
+			ga.WithPopulationSize(e.cfg.Population),
+			ga.WithGenerations(gens),
+			ga.WithEliteFraction(e.cfg.EliteFraction),
+			ga.WithCrossoverRate(e.cfg.CrossoverRate),
+			ga.WithMutationRate(e.cfg.MutationRate),
+			ga.WithPatience(patience),
+			ga.WithRandSeed(randSeed),
+			ga.WithMaxSeedTries(600),
+			ga.WithImmigrantRate(0.08),
+			ga.WithParallelism(e.cfg.Parallelism),
+			ga.WithMemoization(true),
+			ga.WithConvergeSpread(e.cfg.Profile.ConvergeSpread),
+		)
+	}
+
+	fineGens := generations
+	finePatience := e.cfg.Patience
+	var initial []ga.Genome
+	var coarseRes *ga.Result
+	if coarseFit != nil && e.cfg.Profile.coarseEnabled() && generations >= 2 {
+		coarseGens := int(e.cfg.Profile.CoarseFraction*float64(generations) + 0.5)
+		if coarseGens < 1 {
+			coarseGens = 1
+		}
+		if coarseGens > generations-1 {
+			coarseGens = generations - 1
+		}
+		// The patience budget is split in proportion to each phase's
+		// generation share, so the two phases together wait about as long
+		// without improvement as a single reference run would.
+		coarsePatience := e.cfg.Patience
+		if coarsePatience > 0 {
+			coarsePatience = int(e.cfg.Profile.CoarseFraction*float64(e.cfg.Patience) + 0.5)
+			if coarsePatience < 2 {
+				coarsePatience = 2
+			}
+			finePatience = e.cfg.Patience - coarsePatience
+			if finePatience < 2 {
+				finePatience = 2
+			}
+		}
+		eng, err := newEngine(genomeFit(coarseFit), nil, coarseGens, coarsePatience, e.cfg.RandSeed)
+		if err != nil {
+			return nil, err
+		}
+		coarseRes, err = eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		recordMemoStats(coarseRes)
+		initial = coarseRes.FinalPopulation
+		fineGens = generations - coarseGens
+	}
+	randSeed := e.cfg.RandSeed
+	if coarseRes != nil {
+		// A distinct stream for the fine phase; the coarse phase consumed
+		// the base stream.
+		randSeed++
+	}
+	eng, err := newEngine(genomeFit(fit), initial, fineGens, finePatience, randSeed)
 	if err != nil {
 		return nil, err
 	}
 	res, err := eng.Run()
 	if err != nil {
 		return nil, err
+	}
+	recordMemoStats(res)
+	if coarseRes != nil {
+		// Fold the coarse phase into the reported convergence detail so
+		// Evaluations/History reflect the whole frame fit.
+		res.Evaluations += coarseRes.Evaluations
+		res.MemoHits += coarseRes.MemoHits
+		res.MemoMisses += coarseRes.MemoMisses
+		res.Generations += coarseRes.Generations
+		res.BestFoundAt += coarseRes.Generations
+		res.NearBestFoundAt += coarseRes.Generations
+		res.History = append(coarseRes.History, res.History...)
 	}
 	p, err := stickmodel.PoseFromGenome(res.Best)
 	if err != nil {
@@ -662,14 +777,29 @@ func (e *Estimator) mutateGroup(rng *rand.Rand, g ga.Genome, group []int) {
 	}
 }
 
-// silhouettePoints extracts (subsampled) silhouette pixel coordinates.
+// silhouettePoints extracts (subsampled) silhouette pixel coordinates at
+// the configured stride.
 func (e *Estimator) silhouettePoints(sil segmentation.Silhouette) ([]imaging.Vec2, error) {
+	return e.silhouettePointsStride(sil, e.cfg.PointStride)
+}
+
+// silhouettePointsStride extracts silhouette pixel coordinates sampled on a
+// stride×stride grid, in row-major order (the order the fitness kernel
+// preserves).
+func (e *Estimator) silhouettePointsStride(sil segmentation.Silhouette, stride int) ([]imaging.Vec2, error) {
 	if sil.Mask == nil {
 		return nil, ErrEmptySilhouette
 	}
 	m := sil.Mask
-	stride := e.cfg.PointStride
-	pts := make([]imaging.Vec2, 0, sil.Area/(stride*stride)+1)
+	// Capacity bound: the sampling grid has ceil(W/s)·ceil(H/s) sites and
+	// at most Area of them are foreground. The former Area/s²+1 estimate
+	// under-allocates whenever the foreground is elongated along one axis
+	// (a vertical bar of Area=H yields ceil(H/s) points, not H/s²).
+	hint := ((m.W + stride - 1) / stride) * ((m.H + stride - 1) / stride)
+	if sil.Area < hint {
+		hint = sil.Area
+	}
+	pts := make([]imaging.Vec2, 0, hint)
 	for y := 0; y < m.H; y += stride {
 		row := y * m.W
 		for x := 0; x < m.W; x += stride {
@@ -682,25 +812,4 @@ func (e *Estimator) silhouettePoints(sil segmentation.Silhouette) ([]imaging.Vec
 		return nil, ErrEmptySilhouette
 	}
 	return pts, nil
-}
-
-// fitnessOver returns the Eq. (3) evaluator over a fixed point set:
-// the mean over silhouette points of the minimum thickness-normalised
-// distance to any stick.
-func fitnessOver(pts []imaging.Vec2, dims stickmodel.Dimensions) func(stickmodel.Pose) float64 {
-	return func(p stickmodel.Pose) float64 {
-		segs := p.Segments(dims)
-		var sum float64
-		for _, pt := range pts {
-			best := 1e18
-			for l := 0; l < stickmodel.NumSticks; l++ {
-				d := segs[l].PointDist(pt) / dims.Thick[l]
-				if d < best {
-					best = d
-				}
-			}
-			sum += best
-		}
-		return sum / float64(len(pts))
-	}
 }

@@ -1,0 +1,78 @@
+package pose
+
+import "fmt"
+
+// FitProfile names a speed/fidelity trade for the per-frame GA fit. The
+// profile participates in the analyzer's config fingerprint (and therefore
+// in every cache key and dispatch-ring placement), so results produced
+// under different profiles can never collide.
+//
+// The zero value and DefaultProfile are the reference profile: coarse
+// fitting and converged-population termination disabled, output
+// byte-identical to the paper-calibrated pipeline. FastProfile trades a
+// bounded fitness tolerance (see DESIGN.md §15) for a multiple of
+// throughput by fitting most generations against a stride-subsampled point
+// set, refining the remainder at full resolution seeded with the coarse
+// population, and stopping converged populations early.
+type FitProfile struct {
+	// Name identifies the profile ("default", "fast") in bench rows, logs
+	// and flags. Empty means default.
+	Name string
+	// CoarseStrideScale multiplies Config.PointStride during the coarse
+	// phase (2 → roughly a quarter of the points). <= 1 disables the
+	// coarse phase.
+	CoarseStrideScale int
+	// CoarseFraction is the fraction of the per-frame generation budget
+	// spent in the coarse phase; the rest runs at full resolution.
+	CoarseFraction float64
+	// ConvergeSpread stops a GA run once the population's 75th-percentile
+	// to best fitness spread falls to this value (the worst slots are
+	// excluded — random immigrants keep them deliberately unfit); 0
+	// disables.
+	ConvergeSpread float64
+}
+
+// DefaultProfile is the reference profile: byte-identical output.
+func DefaultProfile() FitProfile { return FitProfile{Name: "default"} }
+
+// FastProfile is the calibrated throughput profile: 60% of generations on
+// a 2×-strided point set, the rest at full resolution, and early
+// termination of converged populations.
+func FastProfile() FitProfile {
+	return FitProfile{
+		Name:              "fast",
+		CoarseStrideScale: 2,
+		CoarseFraction:    0.6,
+		ConvergeSpread:    0.004,
+	}
+}
+
+// ProfileByName resolves a profile flag value.
+func ProfileByName(name string) (FitProfile, error) {
+	switch name {
+	case "", "default":
+		return DefaultProfile(), nil
+	case "fast":
+		return FastProfile(), nil
+	}
+	return FitProfile{}, fmt.Errorf("pose: unknown fit profile %q (want default or fast)", name)
+}
+
+// Validate rejects unusable profiles.
+func (p FitProfile) Validate() error {
+	if p.CoarseFraction < 0 || p.CoarseFraction >= 1 {
+		return fmt.Errorf("pose: profile CoarseFraction must be in [0,1), got %v", p.CoarseFraction)
+	}
+	if p.CoarseStrideScale > 1 && p.CoarseFraction == 0 {
+		return fmt.Errorf("pose: profile CoarseStrideScale set without CoarseFraction")
+	}
+	if p.ConvergeSpread < 0 {
+		return fmt.Errorf("pose: profile ConvergeSpread must be >= 0, got %v", p.ConvergeSpread)
+	}
+	return nil
+}
+
+// coarseEnabled reports whether the profile runs a coarse phase.
+func (p FitProfile) coarseEnabled() bool {
+	return p.CoarseStrideScale > 1 && p.CoarseFraction > 0
+}

@@ -1,0 +1,142 @@
+package pose
+
+import (
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/segmentation"
+	"github.com/sljmotion/sljmotion/internal/stickmodel"
+)
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"", "default"} {
+		p, err := ProfileByName(name)
+		if err != nil || p.coarseEnabled() || p.ConvergeSpread != 0 {
+			t.Errorf("ProfileByName(%q) = %+v, %v; want reference profile", name, p, err)
+		}
+	}
+	fast, err := ProfileByName("fast")
+	if err != nil || !fast.coarseEnabled() || fast.ConvergeSpread <= 0 {
+		t.Errorf("ProfileByName(fast) = %+v, %v; want coarse phase enabled", fast, err)
+	}
+	if _, err := ProfileByName("turbo"); err == nil {
+		t.Error("unknown profile name must error")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := []FitProfile{{}, DefaultProfile(), FastProfile(),
+		{CoarseStrideScale: 3, CoarseFraction: 0.9}}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %d unexpectedly invalid: %v", i, err)
+		}
+	}
+	bad := []FitProfile{
+		{CoarseFraction: -0.1},
+		{CoarseFraction: 1},
+		{CoarseStrideScale: 2}, // stride without a coarse budget
+		{ConvergeSpread: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d should be invalid: %+v", i, p)
+		}
+	}
+}
+
+// TestFastProfileWithinTolerance is the fidelity contract of the fast
+// profile (DESIGN.md §15): over a short tracked sequence, the fast
+// profile's full-resolution Eq. (3) fitness stays within 0.05 of the
+// reference profile's on every frame. (In the fitness's units, 0.05 is
+// 5% of a stick thickness of mean point-to-model distance.)
+func TestFastProfileWithinTolerance(t *testing.T) {
+	dims := stickmodel.ChildDimensions(60)
+	// A short synthetic motion: the crouch pose swinging its arm and thigh.
+	truths := make([]stickmodel.Pose, 4)
+	sils := make([]segmentation.Silhouette, 4)
+	for k := range truths {
+		p := crouchPose(70, 72)
+		p.X += float64(k) * 2
+		p.Rho[stickmodel.UpperArm] += float64(k) * 8
+		p.Rho[stickmodel.Thigh] -= float64(k) * 5
+		truths[k] = p
+		sils[k] = cleanSilhouette(t, p, dims, 150, 150)
+	}
+
+	run := func(profile FitProfile) []Estimate {
+		cfg := fastConfig()
+		cfg.Profile = profile
+		est, err := NewEstimator(dims, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := est.EstimateSequence(sils, truths[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(DefaultProfile())
+	fast := run(FastProfile())
+
+	const tolerance = 0.05
+	for k := 1; k < len(sils); k++ {
+		if d := fast[k].Fitness - ref[k].Fitness; d > tolerance {
+			t.Errorf("frame %d: fast fitness %.4f exceeds reference %.4f by %.4f (tolerance %v)",
+				k, fast[k].Fitness, ref[k].Fitness, d, tolerance)
+		}
+	}
+
+	// The fast profile must do measurably less Eq. (3) work.
+	work := func(ests []Estimate) (evals, hits, misses int) {
+		for _, e := range ests {
+			if e.GA != nil {
+				evals += e.GA.Evaluations
+				hits += e.GA.MemoHits
+				misses += e.GA.MemoMisses
+			}
+		}
+		return
+	}
+	refEvals, refHits, refMisses := work(ref)
+	fastEvals, _, _ := work(fast)
+	if fastEvals >= refEvals {
+		t.Errorf("fast profile did not reduce evaluations: %d vs %d", fastEvals, refEvals)
+	}
+	if refHits+refMisses != refEvals {
+		t.Errorf("memo accounting broken: hits %d + misses %d != evals %d",
+			refHits, refMisses, refEvals)
+	}
+	if refHits == 0 {
+		t.Error("memoization produced no hits on a tracked sequence")
+	}
+}
+
+// TestDefaultProfileMatchesZeroValue pins the byte-identity precondition:
+// the default profile must not alter the estimator's behaviour relative to
+// a zero-valued profile (both disable coarse fitting and convergence
+// termination), so configs that never mention profiles keep their output.
+func TestDefaultProfileMatchesZeroValue(t *testing.T) {
+	dims := stickmodel.ChildDimensions(60)
+	truth := crouchPose(70, 72)
+	sil := cleanSilhouette(t, truth, dims, 150, 150)
+
+	run := func(profile FitProfile) *Estimate {
+		cfg := fastConfig()
+		cfg.Profile = profile
+		est, err := NewEstimator(dims, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := est.EstimateNext(sil, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := run(FitProfile{})
+	b := run(DefaultProfile())
+	if a.Fitness != b.Fitness || a.Pose != b.Pose {
+		t.Errorf("zero profile and DefaultProfile diverge: %.17g vs %.17g", a.Fitness, b.Fitness)
+	}
+}

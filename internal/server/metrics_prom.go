@@ -22,6 +22,7 @@ import (
 
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/obs"
+	"github.com/sljmotion/sljmotion/internal/pose"
 )
 
 // writePrometheus renders the full scrape document.
@@ -111,6 +112,14 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		"Speculative segmentations kept at seal (background tag matched).", float64(sm.EagerReused))
 	p.Counter("slj_clip_eager_resegmented_total",
 		"Frames re-segmented at seal (speculation missed or stale).", float64(sm.EagerResegmented))
+
+	gm := pose.GAMetrics()
+	p.Counter("slj_ga_fitness_memo_hits_total",
+		"GA fitness scores answered from the cross-generation memo table.",
+		float64(gm.FitnessMemoHits))
+	p.Counter("slj_ga_fitness_memo_misses_total",
+		"GA fitness scores actually evaluated (memo misses).",
+		float64(gm.FitnessMemoMisses))
 
 	if es, ok := s.jobs.(jobs.EventSource); ok {
 		p.Counter("slj_events_dropped_total",

@@ -18,6 +18,7 @@ import (
 
 	"github.com/sljmotion/sljmotion/internal/e2etest"
 	"github.com/sljmotion/sljmotion/internal/obs"
+	"github.com/sljmotion/sljmotion/internal/pose"
 	"github.com/sljmotion/sljmotion/internal/synth"
 )
 
@@ -63,6 +64,10 @@ const metricsJSONGolden = `{
     "eager_resegmented": 0
   },
   "clips_analyzed": 0,
+  "ga": {
+    "fitness_memo_hits": 0,
+    "fitness_memo_misses": 0
+  },
   "jobs": {
     "workers": 2,
     "queue_capacity": 4,
@@ -92,6 +97,9 @@ const metricsJSONGolden = `{
 `
 
 func TestMetricsJSONByteCompat(t *testing.T) {
+	// The GA counters are process-wide; zero them so analyses run by
+	// earlier tests in this package cannot bleed into the pinned document.
+	pose.ResetGAMetrics()
 	s := fastServerWithOptions(t, Options{
 		Workers: 2, QueueSize: 4, ResultTTL: 15 * time.Minute,
 		CacheEntries: 8, CacheTTL: 15 * time.Minute,

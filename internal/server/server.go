@@ -61,6 +61,7 @@ import (
 	"github.com/sljmotion/sljmotion/internal/imaging"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/obs"
+	"github.com/sljmotion/sljmotion/internal/pose"
 	"github.com/sljmotion/sljmotion/internal/scoring"
 	"github.com/sljmotion/sljmotion/internal/stickmodel"
 )
@@ -970,6 +971,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"jobs":           s.jobs.Metrics(),
 		"artifacts":      s.artifacts.Metrics(),
 		"clip_sessions":  s.clips.Metrics(),
+		"ga":             pose.GAMetrics(),
 	}
 	if s.cache != nil {
 		doc["cache"] = s.cache.Metrics()

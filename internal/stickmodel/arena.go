@@ -1,0 +1,65 @@
+package stickmodel
+
+import (
+	"math"
+
+	"github.com/sljmotion/sljmotion/internal/imaging"
+)
+
+// Arena holds reusable rasterization scratch buffers. Callers that
+// rasterize poses repeatedly at a fixed frame size (centroid-offset
+// prediction, first-frame calibration) borrow the same mask every time
+// instead of allocating W×H bytes per call. An Arena is not safe for
+// concurrent use; give each goroutine its own.
+type Arena struct {
+	mask *imaging.Mask
+}
+
+// Mask returns a cleared w×h scratch mask owned by the arena. The mask is
+// only valid until the next Mask call.
+func (a *Arena) Mask(w, h int) *imaging.Mask {
+	if a.mask == nil || a.mask.W != w || a.mask.H != h {
+		a.mask = imaging.NewMask(w, h)
+		return a.mask
+	}
+	clear(a.mask.Bits)
+	return a.mask
+}
+
+// RasterizeInto renders the pose into dst as Rasterize does, without
+// allocating. dst is expected to be cleared (Arena.Mask clears); set pixels
+// are OR-ed in.
+func (p Pose) RasterizeInto(d Dimensions, dst *imaging.Mask) {
+	segs := p.Segments(d)
+	for i := 0; i < NumSticks; i++ {
+		imaging.FillCapsuleMask(dst, segs[i], d.Thick[i]/2)
+	}
+}
+
+// EstimateLengthsArena is EstimateLengths with the model raster drawn into
+// an arena-owned scratch mask instead of a fresh allocation. A nil arena
+// falls back to allocating.
+func EstimateLengthsArena(p Pose, prior Dimensions, m *imaging.Mask, a *Arena) Dimensions {
+	bb, ok := m.BBox()
+	if !ok {
+		return prior
+	}
+	var model *imaging.Mask
+	if a != nil {
+		model = a.Mask(m.W, m.H)
+		p.RasterizeInto(prior, model)
+	} else {
+		model = p.Rasterize(prior, m.W, m.H)
+	}
+	mb, ok := model.BBox()
+	if !ok || mb.H() == 0 {
+		return prior
+	}
+	f := float64(bb.H()) / float64(mb.H())
+	if f < 0.5 || f > 2 || math.IsNaN(f) {
+		// A wildly different scale means the first-frame annotation is
+		// unusable; keep the prior rather than amplifying the error.
+		return prior
+	}
+	return prior.Scale(f)
+}

@@ -1,8 +1,6 @@
 package stickmodel
 
 import (
-	"math"
-
 	"github.com/sljmotion/sljmotion/internal/imaging"
 )
 
@@ -11,10 +9,7 @@ import (
 // used both by the synthetic renderer and by validity checks.
 func (p Pose) Rasterize(d Dimensions, w, h int) *imaging.Mask {
 	m := imaging.NewMask(w, h)
-	segs := p.Segments(d)
-	for i := 0; i < NumSticks; i++ {
-		imaging.FillCapsuleMask(m, segs[i], d.Thick[i]/2)
-	}
+	p.RasterizeInto(d, m)
 	return m
 }
 
@@ -123,21 +118,5 @@ func scanHalfWidth(m *imaging.Mask, centre, dir imaging.Vec2, maxScan float64) f
 // height matches the silhouette bounding-box height. It complements
 // EstimateThickness during first-frame calibration.
 func EstimateLengths(p Pose, prior Dimensions, m *imaging.Mask) Dimensions {
-	bb, ok := m.BBox()
-	if !ok {
-		return prior
-	}
-	// Height of the rendered model for this pose.
-	model := p.Rasterize(prior, m.W, m.H)
-	mb, ok := model.BBox()
-	if !ok || mb.H() == 0 {
-		return prior
-	}
-	f := float64(bb.H()) / float64(mb.H())
-	if f < 0.5 || f > 2 || math.IsNaN(f) {
-		// A wildly different scale means the first-frame annotation is
-		// unusable; keep the prior rather than amplifying the error.
-		return prior
-	}
-	return prior.Scale(f)
+	return EstimateLengthsArena(p, prior, m, nil)
 }
