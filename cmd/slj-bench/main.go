@@ -174,6 +174,7 @@ type perfDoc struct {
 	EndToEnd     []perfE2E       `json:"end_to_end"`
 	GAProfiles   []perfGAProfile `json:"ga_profiles,omitempty"`
 	Dispatch     *perfDispatch   `json:"dispatch,omitempty"`
+	Fleet        *perfFleet      `json:"fleet,omitempty"`
 	Journal      *perfJournal    `json:"journal,omitempty"`
 	Events       *perfEvents     `json:"events,omitempty"`
 	Ingest       *perfIngest     `json:"ingest,omitempty"`
@@ -264,6 +265,18 @@ type perfDispatch struct {
 	ColdMS     perfStats          `json:"cold_ms"`
 	CacheHitMS perfStats          `json:"cache_hit_ms"`
 	NodeStats  []jobs.NodeMetrics `json:"node_metrics"`
+}
+
+// perfFleet times the elastic-fleet failover path (DESIGN.md §16): a clip
+// computed on its ring primary, the primary killed, and the identical
+// resubmission completing on the successor — once without replication (the
+// successor recomputes the pipeline) and once with it (the successor
+// answers from its replicated result cache). The gap between the two rows
+// is what successor replication buys on node death.
+type perfFleet struct {
+	Rounds               int       `json:"rounds"`
+	FailoverRecomputeMS  perfStats `json:"failover_recompute_ms"`
+	FailoverReplicaHitMS perfStats `json:"failover_replica_hit_ms"`
 }
 
 // perfStats summarises a latency sample in milliseconds.
@@ -408,6 +421,12 @@ func runPerf(seed int64, fast bool, baselinePath string, thresholdPct float64) e
 		return err
 	}
 	doc.Dispatch = disp
+
+	fl, err := runFleetPerf(seed)
+	if err != nil {
+		return err
+	}
+	doc.Fleet = fl
 
 	jl, err := runJournalPerf(v)
 	if err != nil {
@@ -630,6 +649,12 @@ func compareBaseline(doc perfDoc, path string, thresholdPct float64) error {
 			compareRow{name: "dispatch cache-hit mean ms", old: base.Dispatch.CacheHitMS.MeanMS, new: doc.Dispatch.CacheHitMS.MeanMS},
 		)
 	}
+	if base.Fleet != nil && doc.Fleet != nil {
+		rows = append(rows,
+			compareRow{name: "fleet failover recompute mean ms", old: base.Fleet.FailoverRecomputeMS.MeanMS, new: doc.Fleet.FailoverRecomputeMS.MeanMS},
+			compareRow{name: "fleet failover replica-hit mean ms", old: base.Fleet.FailoverReplicaHitMS.MeanMS, new: doc.Fleet.FailoverReplicaHitMS.MeanMS},
+		)
+	}
 	if base.Ingest != nil && doc.Ingest != nil {
 		rows = append(rows,
 			compareRow{name: "ingest upload+seal ms", old: base.Ingest.UploadSealMS, new: doc.Ingest.UploadSealMS},
@@ -832,34 +857,16 @@ func runDispatchPerf(seed int64) (*perfDispatch, error) {
 		payloads = append(payloads, p)
 	}
 
-	roundTrip := func(p jobs.Payload) (float64, error) {
-		start := time.Now()
-		id, err := d.Submit(p)
-		if err != nil {
-			return 0, err
-		}
-		deadline := time.Now().Add(time.Minute)
-		for time.Now().Before(deadline) {
-			if _, err := d.Result(id); err == nil {
-				return time.Since(start).Seconds() * 1000, nil
-			} else if !errors.Is(err, jobs.ErrNotFinished) {
-				return 0, err
-			}
-			time.Sleep(time.Millisecond)
-		}
-		return 0, errors.New("dispatch round trip timed out")
-	}
-
 	var cold, hit []float64
 	for _, p := range payloads {
-		ms, err := roundTrip(p)
+		ms, err := dispatchRoundTrip(d, p)
 		if err != nil {
 			return nil, fmt.Errorf("dispatch bench (cold): %w", err)
 		}
 		cold = append(cold, ms)
 	}
 	for _, p := range payloads {
-		ms, err := roundTrip(p)
+		ms, err := dispatchRoundTrip(d, p)
 		if err != nil {
 			return nil, fmt.Errorf("dispatch bench (hit): %w", err)
 		}
@@ -873,6 +880,168 @@ func runDispatchPerf(seed int64) (*perfDispatch, error) {
 		CacheHitMS: statsOf(hit),
 		NodeStats:  d.Metrics().Nodes,
 	}, nil
+}
+
+// dispatchRoundTrip submits one payload and polls until its result lands,
+// returning the wall-clock milliseconds.
+func dispatchRoundTrip(d *dispatch.Remote, p jobs.Payload) (float64, error) {
+	start := time.Now()
+	id, err := d.Submit(p)
+	if err != nil {
+		return 0, err
+	}
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		if _, err := d.Result(id); err == nil {
+			return time.Since(start).Seconds() * 1000, nil
+		} else if !errors.Is(err, jobs.ErrNotFinished) {
+			return 0, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return 0, errors.New("dispatch round trip timed out")
+}
+
+// runFleetPerf measures one node-death failover per mode and round: a clip
+// is computed on whichever worker the ring picked, that worker's listener
+// is torn down, and the identical resubmission is timed end to end. With
+// Replicate off the ring successor re-runs the pipeline; with it on, the
+// successor answers from the result replicated to it before the kill.
+func runFleetPerf(seed int64) (*perfFleet, error) {
+	const rounds = 2
+	cfg := core.DefaultConfig()
+	fp := jobs.ConfigFingerprint(cfg)
+
+	measure := func(replicate bool, round int) (ms float64, err error) {
+		var closers []func()
+		defer func() {
+			for i := len(closers) - 1; i >= 0; i-- {
+				closers[i]()
+			}
+		}()
+		var faces []*httptest.Server
+		for i := 0; i < 2; i++ {
+			opts := server.DefaultOptions()
+			opts.Worker = true
+			if replicate {
+				repl := dispatch.NewReplicator(nil)
+				closers = append(closers, repl.Close)
+				opts.Replicator = repl
+			}
+			s, err := server.NewWithOptions(cfg, nil, opts)
+			if err != nil {
+				return 0, err
+			}
+			hs := httptest.NewServer(s.Handler())
+			closers = append(closers, func() {
+				hs.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				_ = s.Close(ctx)
+			})
+			faces = append(faces, hs)
+		}
+		dcfg := dispatch.DefaultConfig()
+		dcfg.Nodes = []string{faces[0].URL, faces[1].URL}
+		dcfg.HealthInterval = time.Hour // failover timing, not probe timing
+		dcfg.Replicate = replicate
+		d, err := dispatch.New(dcfg)
+		if err != nil {
+			return 0, err
+		}
+		closers = append(closers, func() { _ = d.Close(context.Background()) })
+
+		params := synth.DefaultJumpParams()
+		params.Seed = seed + int64(round)
+		v, err := synth.Generate(params)
+		if err != nil {
+			return 0, err
+		}
+		p, err := jobs.NewAnalysisPayload(fp, core.Request{
+			Frames:      v.Frames,
+			ManualFirst: v.ManualAnnotation(synth.DefaultAnnotationError(), 1),
+			Stages:      core.OnlyStage(core.StageSegmentation),
+		})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := dispatchRoundTrip(d, p); err != nil {
+			return 0, fmt.Errorf("fleet bench (warm-up run): %w", err)
+		}
+
+		// Identify the worker that ran the clip; the other holds (or will
+		// hold) the replica.
+		runner := -1
+		for _, n := range d.Metrics().Nodes {
+			if n.Submitted == 0 {
+				continue
+			}
+			for i, hs := range faces {
+				if hs.URL == n.URL {
+					runner = i
+				}
+			}
+		}
+		if runner < 0 {
+			return 0, errors.New("fleet bench: no worker ran the clip")
+		}
+		if replicate {
+			if err := waitForReplica(faces[1-runner].URL, 15*time.Second); err != nil {
+				return 0, err
+			}
+		}
+		faces[runner].Close()
+		ms, err = dispatchRoundTrip(d, p)
+		if err != nil {
+			return 0, fmt.Errorf("fleet bench (failover): %w", err)
+		}
+		return ms, nil
+	}
+
+	out := &perfFleet{Rounds: rounds}
+	var recompute, replicaHit []float64
+	for round := 0; round < rounds; round++ {
+		ms, err := measure(false, round)
+		if err != nil {
+			return nil, err
+		}
+		recompute = append(recompute, ms)
+		ms, err = measure(true, round)
+		if err != nil {
+			return nil, err
+		}
+		replicaHit = append(replicaHit, ms)
+	}
+	out.FailoverRecomputeMS = statsOf(recompute)
+	out.FailoverReplicaHitMS = statsOf(replicaHit)
+	return out, nil
+}
+
+// waitForReplica polls a worker's metrics until a replicated result has
+// been received, bounding how long the push may lag.
+func waitForReplica(workerURL string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(workerURL + "/v1/metrics")
+		if err != nil {
+			return err
+		}
+		var doc struct {
+			Replication *struct {
+				ResultsReceived uint64 `json:"results_received"`
+			} `json:"replication"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if doc.Replication != nil && doc.Replication.ResultsReceived > 0 {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return errors.New("fleet bench: replica never reached the successor")
 }
 
 // ingestJSON posts a JSON document (nil for an empty body) and decodes the

@@ -8,6 +8,8 @@
 //	          [-parallelism N] [-fit-profile default|fast]
 //	          [-cache-size N] [-cache-ttl 15m]
 //	          [-journal path] [-worker] [-dispatch-nodes url1,url2,...]
+//	          [-fleet] [-replicate]
+//	          [-join url -advertise url] [-join-weight N] [-drain-on-shutdown]
 //	          [-event-subscribers N] [-event-buffer N]
 //	          [-log-level info] [-log-format text] [-pprof]
 //
@@ -89,6 +91,15 @@
 //	slj-serve -worker -addr :8082 &
 //	slj-serve -dispatch-nodes http://localhost:8081,http://localhost:8082
 //
+// The fleet is elastic (DESIGN.md §16): -fleet runs the front end even with
+// an empty node list, workers register themselves at runtime with -join
+// http://front -advertise http://me (weighted by -join-weight for uneven
+// hardware), and -drain-on-shutdown makes SIGTERM leave the ring gracefully
+// — no new keys, in-flight jobs finish, then removal — before the listener
+// stops. -replicate on the front end stamps every payload with its ring
+// successor; workers mirror cache fills and artifacts there, so a node
+// death fails over to a warm cache instead of recomputing.
+//
 // Example round trip against a synthetic clip:
 //
 //	slj-synth -out /tmp/clip
@@ -108,10 +119,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -162,6 +177,13 @@ func run() error {
 		artifactSpill = flag.String("artifact-spill", "", "directory to write-through-spill artifact blobs to (survives LRU eviction and restarts)")
 		clipTTL       = flag.Duration("clip-ttl", 0, "idle clip-ingest session lifetime (0 = default)")
 		artOrigin     = flag.String("artifact-origin", "", "this front end's public base URL, stamped into by-reference payloads so workers know where to pull artifacts (front ends with -dispatch-nodes)")
+
+		fleet           = flag.Bool("fleet", false, "run the elastic dispatch front end even with an empty -dispatch-nodes; workers join at runtime via POST /v1/fleet/nodes")
+		replicate       = flag.Bool("replicate", false, "front end: stamp each payload's ring successor so workers mirror cache fills and artifacts there (node death becomes a cache hit)")
+		joinURL         = flag.String("join", "", "worker: front-end base URL to register with at startup (POST /v1/fleet/nodes, retried until admitted)")
+		advertise       = flag.String("advertise", "", "worker: this node's base URL as the fleet should reach it (required with -join)")
+		joinWeight      = flag.Int("join-weight", 1, "worker: consistent-hash weight to register with (vnode multiplier for heterogeneous hardware)")
+		drainOnShutdown = flag.Bool("drain-on-shutdown", false, "worker: on SIGINT/SIGTERM, drain out of the fleet (-join front end) before stopping — no new keys, in-flight finishes, then removal")
 	)
 	flag.Parse()
 
@@ -207,9 +229,9 @@ func run() error {
 		opts.Journal = jrn
 		logger.Info("journaling jobs (fsync on terminal transitions)", "path", *journalPath)
 	}
-	if *nodes != "" {
+	if *nodes != "" || *fleet {
 		if *worker {
-			return errors.New("-worker and -dispatch-nodes are mutually exclusive (a node is either a front end or a worker)")
+			return errors.New("-worker and -dispatch-nodes/-fleet are mutually exclusive (a node is either a front end or a worker)")
 		}
 		var urls []string
 		for _, u := range strings.Split(*nodes, ",") {
@@ -224,12 +246,28 @@ func run() error {
 		dcfg.Events.SubscriberBuffer = *eventBuffer
 		dcfg.Log = logger
 		dcfg.ArtifactOrigin = strings.TrimRight(*artOrigin, "/")
+		dcfg.Replicate = *replicate
 		d, err := dispatch.New(dcfg)
 		if err != nil {
 			return err
 		}
 		opts.Dispatcher = d
-		logger.Info("dispatching jobs over worker nodes", "count", len(urls), "nodes", strings.Join(urls, ", "))
+		logger.Info("dispatching jobs over worker nodes", "count", len(urls),
+			"nodes", strings.Join(urls, ", "), "replicate", *replicate)
+	}
+	if *joinURL != "" && !*worker {
+		return errors.New("-join registers a worker with a front end; it needs -worker")
+	}
+	if *joinURL != "" && *advertise == "" {
+		return errors.New("-join needs -advertise: the base URL the fleet should reach this node at")
+	}
+	if *worker {
+		// Workers carry the successor-replication sink unconditionally: it
+		// only activates when a payload names a replica target, which the
+		// front end controls with -replicate.
+		repl := dispatch.NewReplicator(nil)
+		defer repl.Close()
+		opts.Replicator = repl
 	}
 	srv, err := server.NewWithOptions(cfg, nil, opts)
 	if err != nil {
@@ -254,11 +292,24 @@ func run() error {
 			"cache_entries", *cacheSize, "cache_ttl", *cacheTTL, "pprof", *pprofOn)
 		errCh <- httpServer.ListenAndServe()
 	}()
+	if *joinURL != "" {
+		// Register with the front end once our listener is answering probes.
+		// The front end health-probes the advertised URL before admitting, so
+		// a retry loop covers both orderings of startup.
+		go fleetJoin(ctx, logger, strings.TrimRight(*joinURL, "/"), strings.TrimRight(*advertise, "/"), *joinWeight)
+	}
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
+	}
+
+	if *drainOnShutdown && *joinURL != "" {
+		// Leave the ring before the listener stops: the front end stops
+		// routing new keys here, running jobs finish, and the membership
+		// forgets this node — only then is it safe to stop serving.
+		fleetDrain(logger, strings.TrimRight(*joinURL, "/"), strings.TrimRight(*advertise, "/"), *drain)
 	}
 
 	logger.Info("shutting down", "drain", *drain)
@@ -285,4 +336,95 @@ func run() error {
 	}
 	logger.Info("bye")
 	return nil
+}
+
+// fleetJoin registers this worker with the front end's membership, retrying
+// with backoff until admitted or the process is shutting down. Admission can
+// fail transiently in either direction — the front end may not be up yet, or
+// its health probe of us may race our own listener — so every failure just
+// waits and retries.
+func fleetJoin(ctx context.Context, logger *slog.Logger, join, advertise string, weight int) {
+	body, _ := json.Marshal(map[string]any{"url": advertise, "weight": weight})
+	backoff := time.Second
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			join+"/v1/fleet/nodes", bytes.NewReader(body))
+		if err != nil {
+			logger.Error("fleet join request", "err", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				logger.Info("joined fleet", "front", join, "as", advertise, "weight", weight)
+				return
+			}
+			logger.Warn("fleet join refused, retrying", "front", join, "status", resp.StatusCode, "backoff", backoff)
+		} else if ctx.Err() != nil {
+			return
+		} else {
+			logger.Warn("fleet join unreachable, retrying", "front", join, "err", err, "backoff", backoff)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 30*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// fleetDrain asks the front end to drain this worker and waits until the
+// membership has forgotten it (in-flight jobs finished) or the budget runs
+// out. Best-effort: a front end that is itself gone just means there is
+// nothing left to drain from.
+func fleetDrain(logger *slog.Logger, join, advertise string, budget time.Duration) {
+	logger.Info("draining out of fleet", "front", join, "as", advertise)
+	body, _ := json.Marshal(map[string]string{"url": advertise})
+	resp, err := http.Post(join+"/v1/fleet/drain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		logger.Warn("fleet drain request failed", "err", err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		logger.Warn("fleet drain refused", "status", resp.StatusCode)
+		return
+	}
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		time.Sleep(250 * time.Millisecond)
+		r, err := http.Get(join + "/v1/fleet")
+		if err != nil {
+			return
+		}
+		var view struct {
+			Nodes []struct {
+				URL string `json:"url"`
+			} `json:"nodes"`
+		}
+		err = json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&view)
+		r.Body.Close()
+		if err != nil {
+			return
+		}
+		still := false
+		for _, n := range view.Nodes {
+			if n.URL == advertise {
+				still = true
+				break
+			}
+		}
+		if !still {
+			logger.Info("drained out of fleet")
+			return
+		}
+	}
+	logger.Warn("fleet drain budget exhausted; shutting down anyway", "budget", budget)
 }

@@ -410,6 +410,10 @@ type Config struct {
 	SpillDir string
 	// Clock overrides time.Now, a test seam for TTL expiry.
 	Clock func() time.Time
+	// OnStore, when set, observes every successful Put with the stored
+	// blob — the write-through seam successor replication hangs off.
+	// Called outside the store's lock.
+	OnStore func(hash string, blob []byte)
 }
 
 // DefaultConfig bounds the store for a small deployment: enough for a few
@@ -546,6 +550,11 @@ func (s *Store) Put(blob []byte) (string, error) {
 		s.lru.MoveToFront(e.elem)
 		s.stored++
 		s.mu.Unlock()
+		if s.cfg.OnStore != nil {
+			// A refresh still notifies: the observer (replication) may not
+			// have seen the blob yet, and dedups what it has.
+			s.cfg.OnStore(key.String(), blob)
+		}
 		return key.String(), nil
 	}
 	for len(s.entries) >= s.cfg.MaxBlobs || s.bytes+int64(len(blob)) > s.cfg.MaxBytes {
@@ -568,6 +577,9 @@ func (s *Store) Put(blob []byte) (string, error) {
 		if err := s.writeSpill(key.String(), blob); err != nil {
 			return "", err
 		}
+	}
+	if s.cfg.OnStore != nil {
+		s.cfg.OnStore(key.String(), blob)
 	}
 	return key.String(), nil
 }
@@ -607,6 +619,83 @@ func (s *Store) Get(hash string) ([]byte, Kind, bool) {
 	s.misses++
 	s.mu.Unlock()
 	return nil, "", false
+}
+
+// Open returns a seekable reader over the blob stored under hash, for
+// streaming (range) HTTP serving. Memory hits are served from the in-memory
+// blob; a memory miss with a spill tier streams straight from the spill
+// file WITHOUT loading it into memory — the point of range requests is
+// exactly that very large clips should not transit the memory tier. A
+// spill-backed reader implements io.Closer and the caller must close it.
+// The streamed spill bytes are not re-hashed (that would require the full
+// read this path avoids); clients can verify against the ETag/hash
+// themselves, and the non-streaming Get path still verifies on read.
+func (s *Store) Open(hash string) (io.ReadSeeker, Kind, int64, bool) {
+	key, ok := cache.ParseKey(hash)
+	if !ok {
+		return nil, "", 0, false
+	}
+	now := s.clock()
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok && s.cfg.TTL > 0 && !e.expires.After(now) {
+		s.removeLocked(e, true)
+		s.evictedTTL++
+		ok = false
+	}
+	if ok {
+		s.lru.MoveToFront(e.elem)
+		s.hits++
+		blob, kind := e.blob, e.kind
+		s.mu.Unlock()
+		return bytes.NewReader(blob), kind, int64(len(blob)), true
+	}
+	spill := s.cfg.SpillDir
+	s.mu.Unlock()
+
+	if spill != "" {
+		if f, kind, size, ok := s.openSpill(hash); ok {
+			return f, kind, size, true
+		}
+	}
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+	return nil, "", 0, false
+}
+
+// openSpill streams a spill file: the artifact header is read to recover
+// the kind, then the reader is rewound to the start.
+func (s *Store) openSpill(hash string) (io.ReadSeeker, Kind, int64, bool) {
+	path := filepath.Join(s.cfg.SpillDir, hash)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", 0, false
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, "", 0, false
+	}
+	head := make([]byte, headerLen)
+	if _, err := io.ReadFull(f, head); err != nil {
+		f.Close()
+		return nil, "", 0, false
+	}
+	kind, ok := KindOf(head)
+	if !ok {
+		f.Close()
+		return nil, "", 0, false
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, "", 0, false
+	}
+	s.mu.Lock()
+	s.spillReads++
+	s.hits++
+	s.mu.Unlock()
+	return f, kind, st.Size(), true
 }
 
 // Artifact implements Resolver over the local store.

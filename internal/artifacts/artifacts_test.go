@@ -3,6 +3,7 @@ package artifacts
 import (
 	"bytes"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -362,5 +363,72 @@ func TestStoreArtifactResolver(t *testing.T) {
 	}
 	if _, err := s.Artifact(strings.Repeat("a", 64)); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Artifact(unknown) error = %v, want ErrNotFound", err)
+	}
+}
+
+// TestStoreOpenStreamsWithoutLoading pins the streaming read path behind
+// the HTTP Range route: a memory-resident blob opens as an in-memory
+// reader, and a memory-evicted blob opens directly over its spill file —
+// seekable, byte-identical, and never re-loaded into the memory tier.
+func TestStoreOpenStreamsWithoutLoading(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(Config{MaxBlobs: 1, MaxBytes: 1 << 20, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	first, err := EncodeFrames(testFrames(1, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := EncodeFrames(testFrames(2, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := s.Put(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Memory hit: served from the in-memory tier.
+	rs, kind, size, ok := s.Open(h1)
+	if !ok || kind != KindFrames || size != int64(len(first)) {
+		t.Fatalf("Open(memory) = %v kind %q size %d", ok, kind, size)
+	}
+	got, err := io.ReadAll(rs)
+	if err != nil || !bytes.Equal(got, first) {
+		t.Fatalf("memory read: %v, %d bytes", err, len(got))
+	}
+
+	// Evict h1 from memory; only the spill file remains.
+	if _, err := s.Put(second); err != nil {
+		t.Fatal(err)
+	}
+	rs, kind, size, ok = s.Open(h1)
+	if !ok || kind != KindFrames || size != int64(len(first)) {
+		t.Fatalf("Open(spill) = %v kind %q size %d", ok, kind, size)
+	}
+	f, isFile := rs.(*os.File)
+	if !isFile {
+		t.Fatalf("spill open returned %T, want a streaming *os.File", rs)
+	}
+	defer f.Close()
+
+	// Seekable partial read: the Range path never buffers the whole blob.
+	if _, err := f.Seek(3, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	part := make([]byte, 4)
+	if _, err := io.ReadFull(f, part); err != nil || !bytes.Equal(part, first[3:7]) {
+		t.Fatalf("partial read at 3: %v %q want %q", err, part, first[3:7])
+	}
+
+	if m := s.Metrics(); m.SpillReads != 1 {
+		t.Fatalf("spill reads = %d, want 1", m.SpillReads)
+	}
+
+	if _, _, _, ok := s.Open(strings.Repeat("0", 64)); ok {
+		t.Fatal("Open of an unknown hash must miss")
 	}
 }

@@ -112,6 +112,11 @@ type Config struct {
 	TTL time.Duration
 	// Clock overrides time.Now, a test seam for TTL expiry.
 	Clock func() time.Time
+	// OnStore, when set, observes every Put after the entry is stored —
+	// the write-through seam successor replication hangs off. Called
+	// outside the store's lock; implementations must not call back into
+	// the store synchronously with blocking work.
+	OnStore func(k Key, v any)
 }
 
 // DefaultConfig returns a small service-oriented configuration.
@@ -224,8 +229,8 @@ func (s *Store) Get(k Key) (any, bool) {
 func (s *Store) Put(k Key, v any) {
 	now := s.clock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	var expires time.Time
@@ -237,20 +242,24 @@ func (s *Store) Put(k Key, v any) {
 		e.expires = expires
 		s.lru.MoveToFront(e.elem)
 		s.stored++
-		return
-	}
-	for len(s.entries) >= s.cfg.MaxEntries {
-		oldest := s.lru.Back()
-		if oldest == nil {
-			break
+	} else {
+		for len(s.entries) >= s.cfg.MaxEntries {
+			oldest := s.lru.Back()
+			if oldest == nil {
+				break
+			}
+			s.removeLocked(oldest.Value.(*entry))
+			s.evictedLRU++
 		}
-		s.removeLocked(oldest.Value.(*entry))
-		s.evictedLRU++
+		e := &entry{key: k, val: v, expires: expires}
+		e.elem = s.lru.PushFront(e)
+		s.entries[k] = e
+		s.stored++
 	}
-	e := &entry{key: k, val: v, expires: expires}
-	e.elem = s.lru.PushFront(e)
-	s.entries[k] = e
-	s.stored++
+	s.mu.Unlock()
+	if s.cfg.OnStore != nil {
+		s.cfg.OnStore(k, v)
+	}
 }
 
 // Metrics returns a consistent snapshot of occupancy and hit/miss counters.

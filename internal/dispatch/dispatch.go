@@ -87,6 +87,14 @@ type Config struct {
 	// payloads unstamped; workers can then only serve references they have
 	// already cached.
 	ArtifactOrigin string
+	// Replicate turns on successor replication and failover recovery: each
+	// payload is stamped with its key's ring successor (the worker mirrors
+	// its cache fill and pulled artifacts there), the dispatcher retains the
+	// payload until the job is terminal, and a job stranded on a lost node
+	// is resubmitted to the next ring candidate — where the replicated
+	// cache answers without recomputing. Costs payload retention memory for
+	// the lifetime of each in-flight job.
+	Replicate bool
 }
 
 // DefaultConfig returns a small-deployment default.
@@ -99,11 +107,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate rejects unusable configurations.
+// Validate rejects unusable configurations. An empty node list is valid:
+// the fleet starts empty and workers join at runtime via JoinNode —
+// submissions before the first join fail with jobs.ErrQueueFull.
 func (c Config) Validate() error {
-	if len(c.Nodes) == 0 {
-		return errors.New("dispatch: at least one worker node required")
-	}
 	for _, n := range c.Nodes {
 		if n == "" {
 			return errors.New("dispatch: empty node URL")
@@ -133,10 +140,14 @@ func (e *BusyError) Unwrap() error { return jobs.ErrQueueFull }
 // RetryAfterSeconds exposes the propagated Retry-After hint.
 func (e *BusyError) RetryAfterSeconds() int { return e.After }
 
-// node is one worker's live state and counters; guarded by Remote.mu.
+// node is one worker's live state and counters; guarded by Remote.mu. The
+// pointer identity is stable across membership epochs — views share node
+// pointers with Remote.nodes, so counters and health survive ring rebuilds.
 type node struct {
 	url       string
 	healthy   bool
+	weight    int  // ring share multiplier (vnodes = Replicas × weight)
+	draining  bool // out of the ring; running jobs finishing
 	lastErr   string
 	submitted uint64
 	rejected  uint64
@@ -147,13 +158,25 @@ type node struct {
 
 // entry is the dispatcher's local record of one routed job.
 type entry struct {
-	node     *node
+	node *node
+	// workerID is the job's id on its current worker node. It starts equal
+	// to the public id and diverges after a failover resubmission: the
+	// public id is this dispatcher's stable handle, workerID addresses the
+	// node that is actually running the job now.
+	workerID string
+	// hash is the payload's ring placement, kept for failover re-walks.
+	hash     uint64
 	created  time.Time
 	done     bool      // terminal state observed (counters recorded)
 	finished time.Time // when the terminal state was observed
 	status   *jobs.Status
 	result   json.RawMessage // response document, once known
 	err      error           // terminal failure, once known
+	// payload is retained until terminal when Config.Replicate is on, so a
+	// job stranded on a dead node can be resubmitted to the ring successor.
+	payload    *jobs.Payload
+	resubmits  int
+	recovering bool // a failover resubmission is in flight
 	// local marks a job born done from a node's result cache: the id
 	// exists only in this dispatcher (the node never enqueued a job), so
 	// streams are synthesized locally instead of proxied.
@@ -174,12 +197,17 @@ type Remote struct {
 	// an event stream legitimately outlives any request deadline.
 	streamClient *http.Client
 	clock        func() time.Time
-	ring         ring
 	hub          *events.Hub
 	log          *slog.Logger
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// nodes is the full membership, draining members included; view is the
+	// copy-on-write routing snapshot over the routable subset, rebuilt (and
+	// epoch-bumped) on every membership mutation.
 	nodes     []*node
+	view      *view
+	epoch     uint64
+	failovers uint64
 	entries   map[string]*entry
 	closed    bool
 	evicted   uint64
@@ -231,15 +259,15 @@ func New(cfg Config) (*Remote, error) {
 		client:       cfg.Client,
 		streamClient: &http.Client{Transport: cfg.Client.Transport},
 		clock:        cfg.Clock,
-		ring:         buildRing(cfg.Nodes, cfg.Replicas),
 		hub:          events.NewHub(cfg.Events),
 		log:          lg,
 		entries:      make(map[string]*entry),
 		stop:         make(chan struct{}),
 	}
 	for _, u := range cfg.Nodes {
-		r.nodes = append(r.nodes, &node{url: strings.TrimRight(u, "/"), healthy: true})
+		r.nodes = append(r.nodes, &node{url: strings.TrimRight(u, "/"), healthy: true, weight: 1})
 	}
+	r.rebuildLocked() // epoch 1: the construction-time membership
 	r.health.Add(1)
 	go r.runHealth()
 	return r, nil
@@ -264,14 +292,16 @@ func (r *Remote) Submit(p jobs.Payload) (string, error) {
 // traceparent of the successful attempt is what the worker node's own job
 // trace grafts under.
 func (r *Remote) SubmitTraced(p jobs.Payload, parent obs.SpanContext) (string, error) {
+	hash := r.placementHash(p)
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return "", jobs.ErrClosed
 	}
 	r.sweepLocked(r.clock())
-	order := r.ring.walk(r.placementHash(p))
+	v := r.view
 	r.mu.Unlock()
+	order := v.order(hash)
 
 	byRef := p.ByReference()
 	if byRef && p.ArtifactOrigin == "" {
@@ -287,17 +317,25 @@ func (r *Remote) SubmitTraced(p jobs.Payload, parent obs.SpanContext) (string, e
 	tr, root := obs.NewTraceFrom(parent, "dispatch")
 	var lastTransport error
 	var busy *BusyError
-	for _, idx := range order {
-		n := r.nodes[idx]
+	for i, n := range order {
 		r.mu.Lock()
 		healthy := n.healthy
 		r.mu.Unlock()
 		if !healthy {
 			continue
 		}
+		if r.cfg.Replicate {
+			// Stamp this candidate's ring successor as the replica target
+			// (the node failover would re-hash to), and keep the payload on
+			// the entry so a lost node can be resubmitted there.
+			p.ReplicaTarget = r.successorURL(order, i)
+			if body, err = json.Marshal(p); err != nil {
+				return "", fmt.Errorf("dispatch: encode payload: %w", err)
+			}
+		}
 		att := root.Start("submit")
 		att.SetAttr("node", n.url)
-		id, err := r.submitTo(n, body, byRef, tr, root, att)
+		id, err := r.submitTo(n, submission{body: body, byRef: byRef, hash: hash, payload: &p}, tr, root, att)
 		att.End()
 		var transport *transportError
 		var be *BusyError
@@ -318,6 +356,12 @@ func (r *Remote) SubmitTraced(p jobs.Payload, parent obs.SpanContext) (string, e
 			continue
 		}
 		if err == nil {
+			if i > 0 {
+				// A non-primary candidate took the key: failover re-hash.
+				r.mu.Lock()
+				r.failovers++
+				r.mu.Unlock()
+			}
 			r.log.Debug("dispatch routed", "job_id", id, "node", n.url, "trace_id", tr.TraceID())
 		}
 		return id, err
@@ -338,30 +382,70 @@ type transportError struct{ err error }
 
 func (e *transportError) Error() string { return e.err.Error() }
 
-// submitTo posts the payload to one node and interprets the protocol. The
-// request carries att's traceparent so the worker's job trace continues
-// this dispatch trace; on acceptance the trace is attached to the local
-// record (tr/root), on a cache hit the root is closed immediately.
-func (r *Remote) submitTo(n *node, body []byte, byRef bool, tr *obs.Trace, root, att *obs.Span) (string, error) {
+// submission bundles what one routed payload carries through submitTo.
+type submission struct {
+	body    []byte
+	byRef   bool
+	hash    uint64
+	payload *jobs.Payload // retained on the entry only when replicating
+}
+
+// successorURL returns the first healthy candidate after position i in ring
+// order — where a failover for this key would land — or "" when the fleet
+// has no second routable node.
+func (r *Remote) successorURL(order []*node, i int) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range order[i+1:] {
+		if n.healthy {
+			return n.url
+		}
+	}
+	return ""
+}
+
+// postPayload performs the raw worker-intake POST, tagging connection-level
+// failures as transportError.
+func (r *Remote) postPayload(n *node, body []byte, byRef bool, traceparent string) (*http.Response, []byte, error) {
 	req, err := http.NewRequest(http.MethodPost, n.url+"/v1/worker/jobs", bytes.NewReader(body))
 	if err != nil {
-		return "", &transportError{err: err}
+		return nil, nil, &transportError{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if byRef {
 		req.Header.Set(jobs.ArtifactPayloadHeader, "1")
 	}
-	if sc := att.Context(); sc.Valid() {
-		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return "", &transportError{err: err}
+		return nil, nil, &transportError{err: err}
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return "", &transportError{err: err}
+		return nil, nil, &transportError{err: err}
+	}
+	return resp, raw, nil
+}
+
+// submitTo posts the payload to one node and interprets the protocol. The
+// request carries att's traceparent so the worker's job trace continues
+// this dispatch trace; on acceptance the trace is attached to the local
+// record (tr/root), on a cache hit the root is closed immediately.
+func (r *Remote) submitTo(n *node, s submission, tr *obs.Trace, root, att *obs.Span) (string, error) {
+	var traceparent string
+	if sc := att.Context(); sc.Valid() {
+		traceparent = sc.Traceparent()
+	}
+	resp, raw, err := r.postPayload(n, s.body, s.byRef, traceparent)
+	if err != nil {
+		return "", err
+	}
+	var retained *jobs.Payload
+	if r.cfg.Replicate {
+		retained = s.payload
 	}
 
 	switch resp.StatusCode {
@@ -384,7 +468,7 @@ func (r *Remote) submitTo(n *node, body []byte, byRef bool, tr *obs.Trace, root,
 		n.submitted++
 		n.cacheHits++
 		n.completed++
-		r.entries[id] = &entry{node: n, created: now, done: true, finished: now, status: st, result: raw, local: true, trace: tr, root: root}
+		r.entries[id] = &entry{node: n, workerID: id, hash: s.hash, created: now, done: true, finished: now, status: st, result: raw, local: true, trace: tr, root: root}
 		r.mu.Unlock()
 		// Born done: the job is immediately streamable as a terminal event.
 		r.hub.Publish(events.Event{Type: events.TypeDone, JobID: id, At: now, State: string(jobs.StateDone)})
@@ -401,7 +485,7 @@ func (r *Remote) submitTo(n *node, body []byte, byRef bool, tr *obs.Trace, root,
 		now := r.clock()
 		r.mu.Lock()
 		n.submitted++
-		r.entries[sub.ID] = &entry{node: n, created: now, trace: tr, root: root}
+		r.entries[sub.ID] = &entry{node: n, workerID: sub.ID, hash: s.hash, created: now, trace: tr, root: root, payload: retained}
 		r.mu.Unlock()
 		r.hub.Publish(events.Event{Type: events.TypeQueued, JobID: sub.ID, At: now, State: string(jobs.StateQueued)})
 		return sub.ID, nil
@@ -433,10 +517,18 @@ func (r *Remote) Status(id string) (jobs.Status, error) {
 		r.mu.Unlock()
 		return st, nil
 	}
+	if e.done {
+		// Terminal without a worker snapshot — a failover recovery finished
+		// the job locally. The worker no longer knows it; answer locally.
+		st := r.statusLocked(id, e)
+		r.mu.Unlock()
+		return st, nil
+	}
 	n := e.node
+	wid := e.workerID
 	r.mu.Unlock()
 
-	resp, err := r.client.Get(n.url + "/v1/jobs/" + id)
+	resp, err := r.client.Get(n.url + "/v1/jobs/" + wid)
 	if err != nil {
 		return r.loseNode(id, e, err), nil
 	}
@@ -455,6 +547,8 @@ func (r *Remote) Status(id string) (jobs.Status, error) {
 	if err := json.Unmarshal(raw, &st); err != nil {
 		return jobs.Status{}, fmt.Errorf("dispatch: worker %s status: %w", n.url, err)
 	}
+	// The worker knows the job by workerID; the caller by the public id.
+	st.ID = id
 	if st.State.Terminal() {
 		snap := st
 		r.mu.Lock()
@@ -490,18 +584,17 @@ func (r *Remote) Result(id string) (any, error) {
 		return nil, err
 	}
 	n := e.node
+	wid := e.workerID
 	r.mu.Unlock()
 
-	resp, err := r.client.Get(n.url + "/v1/jobs/" + id + "/result")
+	resp, err := r.client.Get(n.url + "/v1/jobs/" + wid + "/result")
 	if err != nil {
-		st := r.loseNode(id, e, err)
-		return nil, errors.New(st.Err)
+		return r.resultAfterLoss(id, e, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		st := r.loseNode(id, e, err)
-		return nil, errors.New(st.Err)
+		return r.resultAfterLoss(id, e, err)
 	}
 
 	switch resp.StatusCode {
@@ -540,11 +633,13 @@ func (r *Remote) Metrics() jobs.Metrics {
 	defer r.mu.Unlock()
 	r.sweepLocked(r.clock())
 	m := jobs.Metrics{
-		Run:     jobs.Summarise(r.rtt),
-		Evicted: r.evicted,
+		Run:             jobs.Summarise(r.rtt),
+		Evicted:         r.evicted,
+		MembershipEpoch: r.epoch,
+		Failovers:       r.failovers,
 	}
 	for _, n := range r.nodes {
-		if n.healthy {
+		if n.healthy && !n.draining {
 			m.Workers++
 		}
 		m.Submitted += n.submitted
@@ -559,6 +654,8 @@ func (r *Remote) Metrics() jobs.Metrics {
 			Completed: n.completed,
 			Failed:    n.failed,
 			CacheHits: n.cacheHits,
+			Weight:    n.weight,
+			Draining:  n.draining,
 			LastError: n.lastErr,
 		})
 	}
@@ -642,11 +739,12 @@ func (r *Remote) Trace(id string) (*obs.TraceDoc, error) {
 	doc := e.trace.Doc(id)
 	local := e.local
 	url := e.node.url
+	wid := e.workerID
 	r.mu.Unlock()
 	if local {
 		return doc, nil
 	}
-	resp, err := r.client.Get(url + "/v1/jobs/" + id + "/trace")
+	resp, err := r.client.Get(url + "/v1/jobs/" + wid + "/trace")
 	if err != nil {
 		return doc, nil
 	}
@@ -734,8 +832,18 @@ func (r *Remote) demote(n *node, err error) {
 // that is still sitting on the worker — if the prober revives the node,
 // the next poll recovers the job's real state. A genuinely dead node
 // keeps answering failed on every poll.
+//
+// Under Config.Replicate the retained payload is first resubmitted to the
+// next ring candidate — the successor holding the replicated cache entry —
+// and a successful recovery reports the job's live state instead of the
+// failure.
 func (r *Remote) loseNode(id string, e *entry, err error) jobs.Status {
 	r.demote(e.node, err)
+	if r.recover(id, e) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.statusLocked(id, e)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fin := r.clock()
@@ -748,6 +856,146 @@ func (r *Remote) loseNode(id string, e *entry, err error) jobs.Status {
 	}
 }
 
+// statusLocked snapshots an entry's locally known state. Caller holds mu.
+func (r *Remote) statusLocked(id string, e *entry) jobs.Status {
+	if e.status != nil {
+		return *e.status
+	}
+	st := jobs.Status{ID: id, State: jobs.StateQueued, CreatedAt: e.created}
+	if e.done {
+		st.State = jobs.StateDone
+		if e.err != nil {
+			st.State = jobs.StateFailed
+			st.Err = e.err.Error()
+		}
+		fin := e.finished
+		st.FinishedAt = &fin
+	}
+	return st
+}
+
+// resultAfterLoss is Result's lost-node path: after loseNode (and its
+// recovery attempt) the entry may hold the replicated result (served by the
+// successor's cache), still be in flight on a new node, or be genuinely
+// stranded.
+func (r *Remote) resultAfterLoss(id string, e *entry, err error) (any, error) {
+	st := r.loseNode(id, e, err)
+	r.mu.Lock()
+	res, jobErr := e.result, e.err
+	r.mu.Unlock()
+	switch {
+	case res != nil:
+		return res, nil
+	case jobErr != nil:
+		return nil, jobErr
+	case !st.State.Terminal():
+		return nil, jobs.ErrNotFinished // recovered onto a new node; poll on
+	default:
+		return nil, errors.New(st.Err)
+	}
+}
+
+// maxResubmits bounds failover resubmissions per job, so a payload that
+// kills every node it lands on cannot cycle through the fleet forever.
+const maxResubmits = 3
+
+// recover resubmits a stranded job's retained payload to the next ring
+// candidate. The replica target stamped at original submit time was exactly
+// the first such candidate, so when replication won the race the successor
+// answers from its cache — the job completes byte-identical with zero
+// recompute; otherwise the successor re-runs the deterministic pipeline.
+// Reports whether the job found a new home (or finished outright).
+func (r *Remote) recover(id string, e *entry) bool {
+	if !r.cfg.Replicate {
+		return false
+	}
+	r.mu.Lock()
+	if e.done || e.recovering || e.payload == nil || e.resubmits >= maxResubmits || r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	e.recovering = true
+	dead := e.node
+	hash := e.hash
+	p := *e.payload
+	v := r.view
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		e.recovering = false
+		r.mu.Unlock()
+	}()
+
+	order := v.order(hash)
+	byRef := p.ByReference()
+	for i, n := range order {
+		r.mu.Lock()
+		healthy := n.healthy
+		r.mu.Unlock()
+		if n == dead || !healthy {
+			continue
+		}
+		// Re-stamp the successor for the job's NEW home, so its cache fill
+		// replicates onward instead of pointing back at the dead node.
+		p.ReplicaTarget = r.successorURL(order, i)
+		body, err := json.Marshal(p)
+		if err != nil {
+			return false
+		}
+		resp, raw, err := r.postPayload(n, body, byRef, "")
+		if err != nil {
+			var transport *transportError
+			if errors.As(err, &transport) {
+				r.demote(n, transport.err)
+				continue
+			}
+			return false
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			// The successor answered from its (replicated) cache.
+			r.mu.Lock()
+			e.node = n
+			e.workerID = id
+			e.result = json.RawMessage(raw)
+			e.resubmits++
+			r.failovers++
+			n.submitted++
+			n.cacheHits++
+			r.finishLocked(id, e, true)
+			r.mu.Unlock()
+			r.log.Info("dispatch failover recovered from replica", "job_id", id,
+				"node", n.url, "was", dead.url)
+			return true
+		case http.StatusAccepted:
+			var sub struct {
+				ID string `json:"id"`
+			}
+			if json.Unmarshal(raw, &sub) != nil || sub.ID == "" {
+				return false
+			}
+			r.mu.Lock()
+			e.node = n
+			e.workerID = sub.ID
+			e.resubmits++
+			r.failovers++
+			n.submitted++
+			r.mu.Unlock()
+			r.log.Info("dispatch failover resubmitted", "job_id", id,
+				"node", n.url, "worker_id", sub.ID, "was", dead.url)
+			return true
+		case http.StatusServiceUnavailable:
+			r.mu.Lock()
+			n.rejected++
+			r.mu.Unlock()
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
 // finishLocked records a terminal observation exactly once and publishes
 // it on the dispatcher's local event feed. Caller holds mu.
 func (r *Remote) finishLocked(id string, e *entry, ok bool) {
@@ -755,6 +1003,7 @@ func (r *Remote) finishLocked(id string, e *entry, ok bool) {
 		return
 	}
 	e.done = true
+	e.payload = nil // replication retention ends at the terminal state
 	e.finished = r.clock()
 	ev := events.Event{Type: events.TypeDone, JobID: id, At: e.finished, State: string(jobs.StateDone)}
 	if ok {
@@ -837,6 +1086,7 @@ func (r *Remote) runHealth() {
 		case <-t.C:
 			r.probeAll()
 			r.resolvePending()
+			r.finalizeDrains()
 		}
 	}
 }
@@ -880,13 +1130,19 @@ func (r *Remote) resolvePending() {
 		r.mu.Lock()
 		healthy := p.e.node.healthy
 		url := p.e.node.url
+		wid := p.e.workerID
 		r.mu.Unlock()
 		if !healthy {
+			// The prober has not revived the node: under replication the
+			// health cycle itself drives recovery, so an unpolled job does
+			// not stay stranded until a client happens to ask for it.
+			r.recover(p.id, p.e)
 			continue
 		}
-		resp, err := r.client.Get(url + "/v1/jobs/" + p.id)
+		resp, err := r.client.Get(url + "/v1/jobs/" + wid)
 		if err != nil {
 			r.demote(p.e.node, err)
+			r.recover(p.id, p.e)
 			continue
 		}
 		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
@@ -905,6 +1161,7 @@ func (r *Remote) resolvePending() {
 		if json.Unmarshal(raw, &st) != nil {
 			continue
 		}
+		st.ID = p.id
 		if st.State.Terminal() {
 			snap := st
 			r.mu.Lock()
@@ -915,10 +1172,14 @@ func (r *Remote) resolvePending() {
 	}
 }
 
-// probeAll checks liveness of every node.
+// probeAll checks liveness of every current member (the list mutates under
+// joins/drains, so it is snapshotted under the lock first).
 func (r *Remote) probeAll() {
+	r.mu.Lock()
+	members := append([]*node(nil), r.nodes...)
+	r.mu.Unlock()
 	var wg sync.WaitGroup
-	for _, n := range r.nodes {
+	for _, n := range members {
 		wg.Add(1)
 		go func(n *node) {
 			defer wg.Done()

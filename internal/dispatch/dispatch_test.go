@@ -15,8 +15,16 @@ import (
 )
 
 func TestConfigValidate(t *testing.T) {
-	if _, err := New(Config{}); err == nil {
-		t.Error("New must reject an empty node list")
+	// An empty node list is valid: an elastic fleet may start with zero
+	// members and grow via JoinNode. Submits against it fail with
+	// ErrQueueFull until a node joins.
+	r, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New must accept an empty fleet, got %v", err)
+	}
+	defer r.Close(context.Background())
+	if _, err := r.Submit(jobs.Payload{}); !errors.Is(err, jobs.ErrQueueFull) {
+		t.Errorf("submit on an empty fleet = %v, want ErrQueueFull", err)
 	}
 	if _, err := New(Config{Nodes: []string{""}}); err == nil {
 		t.Error("New must reject empty node URLs")

@@ -13,22 +13,37 @@ type ringPoint struct {
 	node  int // index into Remote.nodes
 }
 
-// ring is a fixed consistent-hash circle over the configured nodes. Each
-// node owns Replicas virtual points (hashes of "url#i"), so keys spread
+// ring is a consistent-hash circle over a set of nodes. Each node owns
+// Replicas×weight virtual points (hashes of "url#i"), so keys spread
 // evenly and the death of one node only moves its own keys — every other
-// clip keeps hitting the node whose result cache already holds it. The
-// circle itself never changes after construction; health is applied at
-// lookup time by skipping dead nodes clockwise, which is exactly the
-// failover re-hash: a dead node's keys fall to its ring successors.
+// clip keeps hitting the node whose result cache already holds it. A built
+// circle is immutable; membership changes build a fresh circle (a new view
+// epoch) while in-flight submits keep the one they started with. Health is
+// applied at lookup time by skipping dead nodes clockwise, which is exactly
+// the failover re-hash: a dead node's keys fall to its ring successors.
 type ring struct {
 	points []ringPoint
 }
 
-// buildRing hashes every node onto the circle.
+// buildRing hashes every node onto the circle with weight 1 each.
 func buildRing(urls []string, replicas int) ring {
+	return buildWeightedRing(urls, nil, replicas)
+}
+
+// buildWeightedRing hashes every node onto the circle with replicas×weight
+// virtual points. A nil weights slice (or a non-positive entry) means weight
+// 1. Point i of a node hashes "url#i" regardless of weight, so growing a
+// node's weight only ADDS points — its existing points, and every other
+// node's, stay fixed, which bounds key movement across membership epochs to
+// the share owned by the points that appeared or vanished.
+func buildWeightedRing(urls []string, weights []int, replicas int) ring {
 	pts := make([]ringPoint, 0, len(urls)*replicas)
 	for n, u := range urls {
-		for i := 0; i < replicas; i++ {
+		w := 1
+		if n < len(weights) && weights[n] > 0 {
+			w = weights[n]
+		}
+		for i := 0; i < replicas*w; i++ {
 			pts = append(pts, ringPoint{point: hashString(u + "#" + strconv.Itoa(i)), node: n})
 		}
 	}

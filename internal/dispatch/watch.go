@@ -106,8 +106,9 @@ func (r *Remote) watchProxy(ctx context.Context, id string, e *entry, afterSeq u
 func (r *Remote) streamFrom(ctx context.Context, id string, e *entry, lastSeq *uint64, ch chan<- events.Event) bool {
 	r.mu.Lock()
 	url := e.node.url
+	wid := e.workerID
 	r.mu.Unlock()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/jobs/"+id+"/events", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/jobs/"+wid+"/events", nil)
 	if err != nil {
 		return false
 	}

@@ -1,0 +1,77 @@
+package jobs
+
+import "errors"
+
+// Fleet errors surfaced by FleetManager implementations. Servers map these
+// onto HTTP status codes, so they live here with the capability interface.
+var (
+	// ErrNodeUnknown reports a drain/remove request for a URL that is not a
+	// fleet member.
+	ErrNodeUnknown = errors.New("node is not a fleet member")
+	// ErrNodeUnhealthy reports a join request whose admission probe failed;
+	// nodes are admitted to the ring only after answering a health probe.
+	ErrNodeUnhealthy = errors.New("node failed its admission probe")
+	// ErrLastNode reports a drain request that would leave the fleet with no
+	// routable node.
+	ErrLastNode = errors.New("cannot drain the last routable node")
+)
+
+// FleetNode describes one member of an elastic dispatch fleet.
+type FleetNode struct {
+	URL      string `json:"url"`
+	Weight   int    `json:"weight"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining,omitempty"`
+	// Pending counts jobs routed to the node that have not reached a
+	// terminal state; a draining node is removed when it hits zero.
+	Pending int `json:"pending"`
+}
+
+// FleetView is an immutable snapshot of fleet membership at one epoch.
+// The epoch increments on every membership mutation (join, drain, weight
+// change, removal); in-flight submissions keep routing against the ring
+// built for the epoch they started under.
+type FleetView struct {
+	Epoch uint64      `json:"epoch"`
+	Nodes []FleetNode `json:"nodes"`
+}
+
+// FleetManager is the optional capability interface for Dispatcher backends
+// whose worker topology can change at runtime. The in-process Manager does
+// not implement it; dispatch.Remote does.
+type FleetManager interface {
+	// Fleet reports the current membership.
+	Fleet() FleetView
+	// JoinNode admits a worker after its health probe passes. Joining an
+	// existing member updates its weight and cancels a pending drain.
+	JoinNode(url string, weight int) (FleetView, error)
+	// DrainNode stops routing new keys to the node; its running jobs finish
+	// and the node is removed once none remain pending.
+	DrainNode(url string) (FleetView, error)
+	// RemoveNode drops the node immediately, abandoning any pending jobs
+	// (replication/failover may still recover them).
+	RemoveNode(url string) (FleetView, error)
+}
+
+// ReplicaMetrics counts successor-replication pushes from one node.
+type ReplicaMetrics struct {
+	Results   uint64 `json:"results"`
+	Artifacts uint64 `json:"artifacts"`
+	Failures  uint64 `json:"failures"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// ReplicaSink accepts asynchronous successor-replication pushes: cache fills
+// and artifact stores are mirrored to the ring successor so that node death
+// turns into a cache hit on failover instead of a recompute. Implementations
+// must not block the caller.
+type ReplicaSink interface {
+	// ReplicateResult mirrors a marshaled analysis response under its cache
+	// key to the target node.
+	ReplicateResult(target, key string, doc []byte)
+	// ReplicateArtifact mirrors a content-addressed artifact blob to the
+	// target node.
+	ReplicateArtifact(target, hash string, blob []byte)
+	// ReplicaMetrics reports push counters.
+	ReplicaMetrics() ReplicaMetrics
+}

@@ -205,6 +205,12 @@ type Metrics struct {
 	// dispatcher; the in-process Manager omits it, keeping the /metrics
 	// document byte-compatible with earlier releases.
 	Nodes []NodeMetrics `json:"nodes,omitempty"`
+	// MembershipEpoch is the dispatch fleet's membership version (starts at
+	// 1, bumps on every join/drain/weight change/removal); Failovers counts
+	// submissions or recoveries served by a node other than the key's
+	// primary ring owner. Both omitted for the in-process Manager.
+	MembershipEpoch uint64 `json:"membership_epoch,omitempty"`
+	Failovers       uint64 `json:"dispatch_failovers,omitempty"`
 }
 
 // NodeMetrics is one worker node's view inside a remote dispatcher.
@@ -220,6 +226,12 @@ type NodeMetrics struct {
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 	CacheHits uint64 `json:"cache_hits"`
+	// Weight scales the node's share of the hash ring (vnode count); 1 for
+	// fleets that never set weights, omitted when zero for byte-compat.
+	Weight int `json:"weight,omitempty"`
+	// Draining marks a node excluded from new-key routing while its running
+	// jobs finish; it is removed from the fleet when none remain.
+	Draining bool `json:"draining,omitempty"`
 	// LastError is the most recent transport/health failure, for operators.
 	LastError string `json:"last_error,omitempty"`
 }

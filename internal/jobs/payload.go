@@ -75,6 +75,14 @@ type Payload struct {
 	PosesRef       string `json:"poses_ref,omitempty"`
 	ArtifactOrigin string `json:"artifact_origin,omitempty"`
 
+	// ReplicaTarget is the base URL of the ring successor for this payload's
+	// key, stamped by a replicating dispatcher. A worker that completes the
+	// job mirrors its cache fill (and any artifacts it pulled for it) to the
+	// target, so failover — which re-hashes to the successor — finds a cache
+	// hit instead of recomputing. Empty when replication is off or the fleet
+	// has no second routable node.
+	ReplicaTarget string `json:"replica_target,omitempty"`
+
 	// decoded short-circuits AnalysisRequest for payloads that never left
 	// the process: the in-process Manager executes the exact request the
 	// submitter built, skipping a full decode copy of the clip. Unexported,

@@ -52,13 +52,28 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		"Journal appends that errored after the job was accepted (durability degraded).",
 		float64(jm.JournalFailures))
 
+	p.Counter("slj_dispatch_failovers_total",
+		"Submissions or recoveries that landed on a node other than the key's primary.",
+		float64(jm.Failovers))
+	p.Gauge("slj_dispatch_membership_epoch",
+		"Monotonic fleet membership epoch; increments on every ring rebuild.",
+		float64(jm.MembershipEpoch))
+
 	for _, n := range jm.Nodes {
 		healthy := 0.0
 		if n.Healthy {
 			healthy = 1
 		}
+		draining := 0.0
+		if n.Draining {
+			draining = 1
+		}
 		p.Gauge("slj_dispatch_node_healthy", "Whether the worker node's last probe or submit succeeded.",
 			healthy, "node", n.URL)
+		p.Gauge("slj_dispatch_node_weight", "Consistent-hash weight of the worker node (vnode multiplier).",
+			float64(n.Weight), "node", n.URL)
+		p.Gauge("slj_dispatch_node_draining", "Whether the worker node is draining (no new keys routed).",
+			draining, "node", n.URL)
 		p.Counter("slj_dispatch_node_submitted_total", "Payloads accepted by the worker node.",
 			float64(n.Submitted), "node", n.URL)
 		p.Counter("slj_dispatch_node_rejected_total", "Backpressure (503) answers from the worker node.",
@@ -120,6 +135,21 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	p.Counter("slj_ga_fitness_memo_misses_total",
 		"GA fitness scores actually evaluated (memo misses).",
 		float64(gm.FitnessMemoMisses))
+
+	if rm, ok := s.replicationSnapshot(); ok {
+		p.Counter("slj_replica_results_pushed_total",
+			"Result documents pushed to ring successors.", float64(rm.Push.Results))
+		p.Counter("slj_replica_artifacts_pushed_total",
+			"Artifact blobs pushed to ring successors.", float64(rm.Push.Artifacts))
+		p.Counter("slj_replica_push_failures_total",
+			"Replication pushes that failed after delivery was attempted.", float64(rm.Push.Failures))
+		p.Counter("slj_replica_dropped_total",
+			"Replication tasks dropped by the sink's bounded queue.", float64(rm.Push.Dropped))
+		p.Counter("slj_replica_results_received_total",
+			"Replicated result documents accepted from fleet peers.", float64(rm.ResultsReceived))
+		p.Counter("slj_replica_results_stored_total",
+			"Replicated result documents stored in the result cache.", float64(rm.ResultsStored))
+	}
 
 	if es, ok := s.jobs.(jobs.EventSource); ok {
 		p.Counter("slj_events_dropped_total",

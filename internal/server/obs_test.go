@@ -457,6 +457,7 @@ func TestPrometheusConformance(t *testing.T) {
 		"slj_artifact_pulls_total", "slj_artifact_pull_failures_total",
 		"slj_clip_sessions_open", "slj_clip_sessions_sealed_total",
 		"slj_clip_frames_ingested_total", "slj_clip_eager_reused_total",
+		"slj_dispatch_failovers_total", "slj_dispatch_membership_epoch",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("family %s missing from the scrape", want)

@@ -204,6 +204,13 @@ type Options struct {
 	// ClipTTL expires idle clip-ingest sessions; 0 selects
 	// artifacts.DefaultSessionTTL.
 	ClipTTL time.Duration
+	// Replicator, when set, mirrors this node's cache fills and artifact
+	// stores to the ring successor named by each job's payload
+	// (Payload.ReplicaTarget), turning a later node death into a successor
+	// cache hit instead of a recompute. Worker nodes in a replicating fleet
+	// set this (slj-serve wires a dispatch.Replicator); the caller keeps
+	// ownership of closing it after the server closes.
+	Replicator jobs.ReplicaSink
 }
 
 // DefaultOptions returns a small-deployment default (jobs.DefaultConfig
@@ -247,6 +254,19 @@ type Server struct {
 	mu       sync.Mutex
 	analyzed int // clips analysed since start, served by /healthz
 
+	// Successor replication (worker side): replica is the push sink;
+	// replTargets maps the cache key of each in-flight job to its payload's
+	// replica target (consulted by the cache OnStore hook); replActive
+	// refcounts targets of in-flight jobs (consulted by the artifact OnStore
+	// hook, which has no job context); replicaReceived / replicaStored count
+	// the intake side (POST /v1/worker/replica).
+	replica         jobs.ReplicaSink
+	replMu          sync.Mutex
+	replTargets     map[cache.Key]string
+	replActive      map[string]int
+	replicaReceived uint64
+	replicaStored   uint64
+
 	// testExec, when set, replaces the analysis executor behind POST /jobs
 	// (and makes the route skip upload parsing) — a white-box seam for
 	// deterministic queue tests.
@@ -273,13 +293,22 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 			lg = obs.Discard()
 		}
 	}
+	// srv late-binds the server pointer into the store hooks below: the
+	// stores are constructed before the Server struct (error-path
+	// ownership), but their OnStore hooks only ever fire while requests
+	// flow — long after srv is assigned.
+	var srv *Server
 	// The cache is built before the dispatcher so a config error here never
 	// leaves a started worker pool (or a caller-supplied dispatcher the
 	// server would own) leaking on the error path.
 	var store *cache.Store
 	if opts.CacheEntries > 0 {
+		ccfg := cache.Config{MaxEntries: opts.CacheEntries, TTL: opts.CacheTTL}
+		if opts.Replicator != nil {
+			ccfg.OnStore = func(k cache.Key, v any) { srv.onCacheStore(k, v) }
+		}
 		var err error
-		store, err = cache.New(cache.Config{MaxEntries: opts.CacheEntries, TTL: opts.CacheTTL})
+		store, err = cache.New(ccfg)
 		if err != nil {
 			return nil, err
 		}
@@ -310,6 +339,9 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 		acfg.TTL = opts.ArtifactTTL
 	}
 	acfg.SpillDir = opts.ArtifactSpillDir
+	if opts.Replicator != nil {
+		acfg.OnStore = func(hash string, blob []byte) { srv.onArtifactStore(hash, blob) }
+	}
 	blobs, err := artifacts.NewStore(acfg)
 	if err != nil {
 		if store != nil {
@@ -341,7 +373,11 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 		artifacts:   blobs,
 		clips:       clips,
 		maxPayload:  opts.MaxPayloadBytes,
+		replica:     opts.Replicator,
+		replTargets: make(map[cache.Key]string),
+		replActive:  make(map[string]int),
 	}
+	srv = s
 	dispatcher := opts.Dispatcher
 	if dispatcher == nil {
 		// The manager executes payloads through the server's analysis
@@ -412,10 +448,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/artifacts/", method(http.MethodGet, s.handleArtifactGet))
 	mux.HandleFunc("/v1/clips", method(http.MethodPost, s.handleClipOpen))
 	mux.HandleFunc("/v1/clips/", s.handleClipPath)
+	// Fleet administration (versioned-only): answered 501 unless the job
+	// backend manages an elastic fleet (jobs.FleetManager).
+	mux.HandleFunc("/v1/fleet", method(http.MethodGet, s.handleFleet))
+	mux.HandleFunc("/v1/fleet/nodes", method(http.MethodPost, s.handleFleetJoin))
+	mux.HandleFunc("/v1/fleet/drain", method(http.MethodPost, s.handleFleetDrain))
+	mux.HandleFunc("/v1/fleet/remove", method(http.MethodPost, s.handleFleetRemove))
 	if s.worker {
 		// The worker intake is a machine protocol, versioned-only: no
 		// legacy alias, serialized payloads instead of multipart uploads.
 		mux.HandleFunc("/v1/worker/jobs", method(http.MethodPost, s.handleWorkerJobs))
+		// Successor-replication intake: replicated results from fleet peers.
+		mux.HandleFunc("/v1/worker/replica", method(http.MethodPost, s.handleWorkerReplica))
 	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -826,6 +870,21 @@ func (s *Server) executeAnalysis(ctx context.Context, p jobs.Payload, progress f
 	if err != nil {
 		return nil, err
 	}
+	// Successor replication: while this job is in flight, artifact stores
+	// (pulls during resolution below) write through to its replica target;
+	// registration precedes resolution so mid-resolution pulls are covered.
+	if s.replica != nil && p.ReplicaTarget != "" {
+		s.replMu.Lock()
+		s.replActive[p.ReplicaTarget]++
+		s.replMu.Unlock()
+		defer func() {
+			s.replMu.Lock()
+			if s.replActive[p.ReplicaTarget]--; s.replActive[p.ReplicaTarget] <= 0 {
+				delete(s.replActive, p.ReplicaTarget)
+			}
+			s.replMu.Unlock()
+		}()
+	}
 	if req.FramesRef != "" || req.SilhouettesRef != "" || req.PosesRef != "" {
 		// The payload crossed the wire (worker intake without a stashed
 		// resolution, or a journal replay) still naming artifacts by hash:
@@ -838,11 +897,36 @@ func (s *Server) executeAnalysis(ctx context.Context, p jobs.Payload, progress f
 		}
 		req = s.injectMemo(framesRef, req)
 	}
+	// Referenced artifacts this node already held never re-Put (the OnStore
+	// hook stays silent), so mirror them explicitly — the successor must be
+	// able to materialise the same references after a failover.
+	if s.replica != nil && p.ReplicaTarget != "" {
+		for _, hash := range []string{p.FramesRef, p.SilhouettesRef, p.PosesRef} {
+			if hash == "" {
+				continue
+			}
+			if blob, _, ok := s.artifacts.Get(hash); ok {
+				s.replica.ReplicateArtifact(p.ReplicaTarget, hash, blob)
+			}
+		}
+	}
 	// Always re-address the decoded request under this server's own config
 	// fingerprint: the stamped CacheKey is a routing hint, and trusting it
 	// for storage would let a mislabelled payload poison the result cache
 	// (one SHA-256 pass is trivial next to the pipeline).
 	key := requestKey(s.cfgFP, req)
+	if s.replica != nil && p.ReplicaTarget != "" {
+		// The cache OnStore hook replicates by key: register before Run so
+		// the synchronous fill in s.store below finds its target.
+		s.replMu.Lock()
+		s.replTargets[key] = p.ReplicaTarget
+		s.replMu.Unlock()
+		defer func() {
+			s.replMu.Lock()
+			delete(s.replTargets, key)
+			s.replMu.Unlock()
+		}()
+	}
 	analyzer, err := core.New(s.cfg)
 	if err != nil {
 		return nil, err
@@ -975,6 +1059,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cache != nil {
 		doc["cache"] = s.cache.Metrics()
+	}
+	if rm, ok := s.replicationSnapshot(); ok {
+		doc["replication"] = rm
 	}
 	writeJSON(w, http.StatusOK, doc)
 }

@@ -1,0 +1,111 @@
+// Range and conditional GET over /v1/artifacts/{hash} (DESIGN.md §14): the
+// content hash doubles as a strong ETag, so revalidation is exact, and
+// partial reads serve big clips without shipping the whole blob.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"github.com/sljmotion/sljmotion/internal/artifacts"
+	"github.com/sljmotion/sljmotion/internal/imaging"
+)
+
+// storeTestArtifact puts one frames blob through the HTTP route, returning
+// its hash and bytes.
+func storeTestArtifact(t *testing.T, base string) (string, []byte) {
+	t.Helper()
+	f := imaging.NewImageFilled(16, 8, imaging.Color{R: 100, G: 100, B: 100})
+	blob, err := artifacts.EncodeFrames([]*imaging.Image{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/artifacts", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("artifact put: %d", resp.StatusCode)
+	}
+	return artifacts.HashOf(blob), blob
+}
+
+func TestArtifactGetRangeAndConditional(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+	hash, blob := storeTestArtifact(t, srv.URL)
+
+	get := func(hdr map[string]string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/artifacts/"+hash, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, body
+	}
+
+	// Plain GET: full body, strong ETag, typed kind.
+	resp, body := get(nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, blob) {
+		t.Fatalf("full GET: %d, %d bytes", resp.StatusCode, len(body))
+	}
+	etag := `"` + hash + `"`
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Errorf("ETag %q, want %q", got, etag)
+	}
+	if got := resp.Header.Get(ArtifactKindHeader); got != string(artifacts.KindFrames) {
+		t.Errorf("kind header %q", got)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(blob)) {
+		t.Errorf("Content-Length %q, want %d", cl, len(blob))
+	}
+
+	// Range: a bounded slice answers 206 with the exact bytes and extent.
+	resp, body = get(map[string]string{"Range": "bytes=2-9"})
+	if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(body, blob[2:10]) {
+		t.Fatalf("range 2-9: %d, %d bytes", resp.StatusCode, len(body))
+	}
+	wantCR := fmt.Sprintf("bytes 2-9/%d", len(blob))
+	if got := resp.Header.Get("Content-Range"); got != wantCR {
+		t.Errorf("Content-Range %q, want %q", got, wantCR)
+	}
+
+	// Suffix range: the final N bytes.
+	resp, body = get(map[string]string{"Range": "bytes=-5"})
+	if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(body, blob[len(blob)-5:]) {
+		t.Fatalf("suffix range: %d, %d bytes", resp.StatusCode, len(body))
+	}
+
+	// Unsatisfiable range: 416.
+	resp, _ = get(map[string]string{"Range": fmt.Sprintf("bytes=%d-", len(blob)+100)})
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Errorf("out-of-extent range: %d, want 416", resp.StatusCode)
+	}
+
+	// Conditional revalidation by hash: 304 with no body.
+	resp, body = get(map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Errorf("If-None-Match(hash): %d with %d bytes, want empty 304", resp.StatusCode, len(body))
+	}
+
+	// A stale validator still gets the full document.
+	resp, body = get(map[string]string{"If-None-Match": `"deadbeef"`})
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, blob) {
+		t.Errorf("stale If-None-Match: %d, %d bytes", resp.StatusCode, len(body))
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/sljmotion/sljmotion/internal/artifacts"
 	"github.com/sljmotion/sljmotion/internal/core"
@@ -76,22 +77,35 @@ func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
 
 // handleArtifactGet serves one blob by hash (GET /v1/artifacts/{hash}) —
 // the worker pull protocol, also usable by any client holding a hash.
+//
+// The route supports conditional and partial reads for very large clips:
+// the strong ETag is the content hash itself (content-addressed storage
+// makes revalidation exact — If-None-Match of the hash answers 304 with no
+// body), and Range requests answer 206 with only the requested bytes.
+// Memory misses with a spill tier stream straight from the spill file, so
+// a ranged read of a multi-gigabyte clip never loads it into memory.
 func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
 	hash := strings.TrimPrefix(r.URL.Path, "/v1/artifacts/")
 	if hash == "" || strings.Contains(hash, "/") {
 		writeError(w, http.StatusNotFound, "not found")
 		return
 	}
-	blob, kind, ok := s.artifacts.Get(hash)
+	rs, kind, _, ok := s.artifacts.Open(hash)
 	if !ok {
 		writeErrorCode(w, http.StatusNotFound, "artifact_not_found",
 			fmt.Sprintf("no artifact %s (expired, evicted, or never stored)", hash))
 		return
 	}
+	if c, isCloser := rs.(io.Closer); isCloser {
+		defer c.Close()
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(ArtifactKindHeader, string(kind))
-	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
-	_, _ = w.Write(blob)
+	w.Header().Set("ETag", `"`+hash+`"`)
+	// ServeContent handles If-None-Match (304), Range (206 + Content-Range,
+	// including multi-range and 416), and Content-Length. The zero modtime
+	// disables time-based validation — content addressing makes it moot.
+	http.ServeContent(w, r, "", time.Time{}, rs)
 }
 
 // clipOpenResponse acknowledges one opened ingest session.

@@ -1,0 +1,293 @@
+// Fleet-elasticity end-to-end tests: runtime join/drain over HTTP against a
+// live dispatcher, the successor-replica intake, and the chaos scenario the
+// design promises — kill a replicated worker and the job's result survives
+// on its ring successor, byte-identical, with zero recomputation
+// (DESIGN.md §16).
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sljmotion/sljmotion/internal/cache"
+	"github.com/sljmotion/sljmotion/internal/dispatch"
+	"github.com/sljmotion/sljmotion/internal/e2etest"
+	"github.com/sljmotion/sljmotion/internal/synth"
+)
+
+// fleetWorker starts one worker node with a result cache and the
+// successor-replication sink wired, returning both the in-process server
+// (for white-box assertions) and its HTTP face.
+func fleetWorker(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Worker = true
+	repl := dispatch.NewReplicator(nil)
+	t.Cleanup(repl.Close)
+	opts.Replicator = repl
+	s := fastServerWithOptions(t, opts)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// fleetFront starts a dispatching front end over the given worker URLs. Its
+// own result cache is disabled so every submission actually dispatches.
+func fleetFront(t *testing.T, replicate bool, health time.Duration, workers ...string) (*dispatch.Remote, *httptest.Server) {
+	t.Helper()
+	dcfg := dispatch.DefaultConfig()
+	dcfg.Nodes = workers
+	dcfg.HealthInterval = health
+	dcfg.Replicate = replicate
+	d, err := dispatch.New(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.CacheEntries = 0
+	opts.Dispatcher = d
+	s := fastServerWithOptions(t, opts)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return d, hs
+}
+
+// postJSON is a tiny helper for the fleet mutation routes.
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp, buf.Bytes()
+}
+
+// TestFleetRoutesUnsupportedBackend: an in-process queue has no runtime
+// membership; the fleet surface answers 501, never panics.
+func TestFleetRoutesUnsupportedBackend(t *testing.T) {
+	srv := httptest.NewServer(fastServer(t).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("GET /v1/fleet on the in-process backend: %d, want 501", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/fleet/nodes", map[string]string{"url": "http://x"})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("POST /v1/fleet/nodes on the in-process backend: %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestFleetLiveJoinAndDrain drives a topology change over HTTP against a
+// running fleet: a second worker joins at runtime, the original drains out
+// without any restart, and the next job completes on the joined node.
+func TestFleetLiveJoinAndDrain(t *testing.T) {
+	w1, w1hs := fleetWorker(t)
+	w2, w2hs := fleetWorker(t)
+	_, front := fleetFront(t, false, 100*time.Millisecond, w1hs.URL)
+
+	// A dead URL is refused at the probe, membership untouched.
+	resp, body := postJSON(t, front.URL+"/v1/fleet/nodes", map[string]string{"url": "http://127.0.0.1:1"})
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("join of an unreachable node: %d %s, want 502", resp.StatusCode, body)
+	}
+
+	// Live join of w2.
+	resp, body = postJSON(t, front.URL+"/v1/fleet/nodes", map[string]any{"url": w2hs.URL, "weight": 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: %d %s", resp.StatusCode, body)
+	}
+	var view struct {
+		Epoch uint64 `json:"epoch"`
+		Nodes []struct {
+			URL      string `json:"url"`
+			Weight   int    `json:"weight"`
+			Draining bool   `json:"draining,omitempty"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil || len(view.Nodes) != 2 {
+		t.Fatalf("join view: %v %s", err, body)
+	}
+
+	// Drain w1: immediately out of the ring, removed once nothing pends.
+	resp, body = postJSON(t, front.URL+"/v1/fleet/drain", map[string]string{"url": w1hs.URL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %d %s", resp.StatusCode, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(front.URL + "/v1/fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = readAllAndClose(r)
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatalf("fleet view: %v %s", err, body)
+		}
+		if len(view.Nodes) == 1 && view.Nodes[0].URL == w2hs.URL {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drained node never left the membership: %s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The runtime-joined worker is the only member left: the next job must
+	// complete there, and the drained worker must see nothing — without
+	// either worker ever restarting.
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2etest.SubmitAndFetch(t, front.URL, v)
+	if got := w2.jobs.Metrics().Submitted; got == 0 {
+		t.Error("runtime-joined worker received no jobs")
+	}
+	if got := w1.jobs.Metrics().Submitted; got != 0 {
+		t.Errorf("drained worker still received %d jobs", got)
+	}
+}
+
+// readAllAndClose drains one response body.
+func readAllAndClose(r *http.Response) ([]byte, error) {
+	defer r.Body.Close()
+	buf := new(bytes.Buffer)
+	_, err := buf.ReadFrom(r.Body)
+	return buf.Bytes(), err
+}
+
+// TestReplicaIntakeStoresResult: a pushed replica lands in the node's
+// result cache under the pushed key and is counted in the replication
+// metrics section.
+func TestReplicaIntakeStoresResult(t *testing.T) {
+	w, whs := fleetWorker(t)
+
+	key := strings.Repeat("ab", 32) // any well-formed 32-byte hex key
+	doc := map[string]any{
+		"key":      key,
+		"response": json.RawMessage(`{"advice":["replicated"]}`),
+	}
+	resp, body := postJSON(t, whs.URL+"/v1/worker/replica", doc)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("replica push: %d %s", resp.StatusCode, body)
+	}
+
+	k, ok := cache.ParseKey(key)
+	if !ok {
+		t.Fatal("test key malformed")
+	}
+	if _, hit := w.cache.Get(k); !hit {
+		t.Error("replicated result not in the cache")
+	}
+
+	r, err := http.Get(whs.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = readAllAndClose(r)
+	var m struct {
+		Replication *struct {
+			ResultsReceived uint64 `json:"results_received"`
+			ResultsStored   uint64 `json:"results_stored"`
+		} `json:"replication"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil || m.Replication == nil {
+		t.Fatalf("metrics replication section missing: %v %s", err, body)
+	}
+	if m.Replication.ResultsReceived != 1 || m.Replication.ResultsStored != 1 {
+		t.Errorf("replication counters %+v, want received=1 stored=1", m.Replication)
+	}
+
+	// Malformed key: rejected, nothing stored.
+	resp, _ = postJSON(t, whs.URL+"/v1/worker/replica", map[string]any{
+		"key": "zz", "response": json.RawMessage(`{}`),
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed replica key: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestChaosKillReplicatedWorker is the acceptance pin: under -replicate, a
+// worker that dies after finishing a job costs nothing — the identical
+// resubmission fails over to the ring successor, which answers from its
+// replicated cache byte-identically, without executing a single job.
+func TestChaosKillReplicatedWorker(t *testing.T) {
+	w1, w1hs := fleetWorker(t)
+	w2, w2hs := fleetWorker(t)
+	d, front := fleetFront(t, true, time.Hour, w1hs.URL, w2hs.URL)
+
+	v, err := synth.Generate(synth.DefaultJumpParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw1 := e2etest.SubmitAndFetch(t, front.URL, v)
+
+	// Identify who ran it and who holds the replica.
+	runner, runnerHS, survivor := w1, w1hs, w2
+	survivorHS := w2hs
+	if w1.jobs.Metrics().Submitted == 0 {
+		runner, runnerHS, survivor, survivorHS = w2, w2hs, w1, w1hs
+	}
+	if runner.jobs.Metrics().Submitted == 0 {
+		t.Fatal("no worker executed the job")
+	}
+
+	// Replication is asynchronous; wait for the push to land.
+	deadline := time.Now().Add(10 * time.Second)
+	for survivor.cache.Metrics().Stored == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never reached the successor")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Kill the worker that computed the result.
+	runnerHS.Close()
+
+	// The identical clip resubmitted: the dispatcher re-hashes past the
+	// dead primary and the successor answers from its replicated cache.
+	raw2 := e2etest.SubmitAndFetch(t, front.URL, v)
+	if !bytes.Equal(e2etest.StripVolatile(t, raw1), e2etest.StripVolatile(t, raw2)) {
+		t.Error("failover result differs from the original document")
+	}
+
+	// Zero recompute: the successor never enqueued or executed anything —
+	// it answered purely from the replicated cache entry.
+	if got := survivor.jobs.Metrics().Submitted; got != 0 {
+		t.Errorf("successor executed %d jobs, want 0 (replica cache hit)", got)
+	}
+	r, err := http.Get(survivorHS.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAllAndClose(r)
+	var hz struct {
+		ClipsAnalyzed int `json:"clips_analyzed"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz: %v %s", err, body)
+	}
+	if hz.ClipsAnalyzed != 0 {
+		t.Errorf("successor analyzed %d clips, want 0", hz.ClipsAnalyzed)
+	}
+	if d.Metrics().Failovers == 0 {
+		t.Error("dispatcher counted no failovers")
+	}
+}

@@ -84,6 +84,14 @@ func (s *Server) handleWorkerJobs(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(CacheHeader, "hit")
 		writeJSON(w, http.StatusOK, cached)
 		s.log.Debug("worker cache hit", "key", key.String())
+		if s.replica != nil && p.ReplicaTarget != "" {
+			// A hit bypasses the executor and its OnStore hook, but the
+			// successor may still lack this entry (e.g. it was filled before
+			// replication was enabled) — mirror it on the way out.
+			if doc, err := json.Marshal(cached); err == nil {
+				s.replica.ReplicateResult(p.ReplicaTarget, key.String(), doc)
+			}
+		}
 		return
 	}
 	if err := req.Validate(s.cfg.Windows); err != nil {

@@ -423,14 +423,93 @@ func NewJobQueueWithDispatcher(cfg Config, d JobDispatcher) (*JobQueue, error) {
 // Results arrive as the service's JSON documents — poll them with
 // JobResultJSON (DESIGN.md §10).
 func NewRemoteJobQueue(cfg Config, nodes []string) (*JobQueue, error) {
+	return NewRemoteJobQueueWithOptions(cfg, RemoteJobQueueOptions{Nodes: nodes})
+}
+
+// RemoteJobQueueOptions configures a remote fan-out queue beyond its node
+// list.
+type RemoteJobQueueOptions struct {
+	// Nodes is the initial worker membership (base URLs). It may be empty:
+	// an elastic fleet starts with zero members and grows via JoinNode.
+	Nodes []string
+	// Replicate stamps every payload with its ring successor so worker
+	// nodes mirror cache fills and pulled artifacts there — a node death
+	// then fails over to a warm cache instead of recomputing (DESIGN.md §16).
+	Replicate bool
+	// ArtifactOrigin is this process's public base URL, stamped into
+	// by-reference payloads so workers know where to pull artifacts.
+	ArtifactOrigin string
+}
+
+// NewRemoteJobQueueWithOptions is NewRemoteJobQueue with the elastic-fleet
+// knobs exposed: an optionally empty starting membership, successor
+// replication, and an artifact pull origin.
+func NewRemoteJobQueueWithOptions(cfg Config, opts RemoteJobQueueOptions) (*JobQueue, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d, err := dispatch.New(dispatch.Config{Nodes: nodes})
+	d, err := dispatch.New(dispatch.Config{
+		Nodes:          opts.Nodes,
+		Replicate:      opts.Replicate,
+		ArtifactOrigin: opts.ArtifactOrigin,
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &JobQueue{mgr: d, fp: jobs.ConfigFingerprint(cfg)}, nil
+}
+
+// Fleet membership types of an elastic remote queue (DESIGN.md §16).
+type (
+	// FleetView is one immutable snapshot of the dispatch membership: the
+	// epoch (bumped on every ring rebuild) and the per-node states.
+	FleetView = jobs.FleetView
+	// FleetNode is one member's state within a FleetView.
+	FleetNode = jobs.FleetNode
+)
+
+// ErrFleetUnsupported is returned by the fleet methods of a queue whose
+// backend has no runtime membership (the in-process pool).
+var ErrFleetUnsupported = errors.New("sljmotion: this queue's backend does not support fleet management")
+
+// fleet unwraps the backend's membership capability.
+func (q *JobQueue) fleet() (jobs.FleetManager, error) {
+	if fm, ok := q.mgr.(jobs.FleetManager); ok {
+		return fm, nil
+	}
+	return nil, ErrFleetUnsupported
+}
+
+// Fleet snapshots the current membership of a remote queue.
+func (q *JobQueue) Fleet() (FleetView, error) {
+	fm, err := q.fleet()
+	if err != nil {
+		return FleetView{}, err
+	}
+	return fm.Fleet(), nil
+}
+
+// JoinFleetNode admits a worker node (base URL, consistent-hash weight >= 1;
+// 0 means 1) into a remote queue's membership. The node is health-probed
+// first and refused if unreachable. Joining is idempotent; re-announcing an
+// unchanged member keeps the current epoch.
+func (q *JobQueue) JoinFleetNode(url string, weight int) (FleetView, error) {
+	fm, err := q.fleet()
+	if err != nil {
+		return FleetView{}, err
+	}
+	return fm.JoinNode(url, weight)
+}
+
+// DrainFleetNode starts a graceful drain: the node stops receiving new keys
+// immediately, its running jobs finish, and the membership then forgets it.
+// Draining the last routable member is refused.
+func (q *JobQueue) DrainFleetNode(url string) (FleetView, error) {
+	fm, err := q.fleet()
+	if err != nil {
+		return FleetView{}, err
+	}
+	return fm.DrainNode(url)
 }
 
 // Submit encodes one staged analysis request into a serializable payload
