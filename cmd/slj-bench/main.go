@@ -25,10 +25,12 @@
 // the durable-journal overhead on the async job path (jobs/sec with
 // the journal off, on, and on with fsync-per-terminal), the GA fit
 // profiles (the clip analysed under the default and fast pose.FitProfile,
-// with the fast row's fitness excess and memo hit rate), and the streaming
+// with the fast row's fitness excess and memo hit rate), the streaming
 // clip-ingest path (chunked upload + seal wall clock, eager-segmentation
 // reuse, inline vs by-hash dispatch payload bytes, and the by-hash
-// analyze round trip cold and cache-hit) — and emits one
+// analyze round trip cold and cache-hit), and the observability-plane
+// overhead (jobs/sec with tracing, per-job resource accounting and SLO
+// observation on vs off; -compare fails if it exceeds 5%) — and emits one
 // machine-readable JSON document (schema slj-bench-perf/v1, frames/sec
 // per configuration) on stdout, the data behind BENCH_*.json trajectory
 // tracking. -fast trims the GA budget for quick comparisons.
@@ -62,6 +64,7 @@ import (
 	"github.com/sljmotion/sljmotion/internal/imaging"
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/journal"
+	"github.com/sljmotion/sljmotion/internal/obs"
 	"github.com/sljmotion/sljmotion/internal/pose"
 	"github.com/sljmotion/sljmotion/internal/segmentation"
 	"github.com/sljmotion/sljmotion/internal/server"
@@ -161,23 +164,24 @@ func run() error {
 // and without the provenance stamped into the document such a baseline is
 // indistinguishable from a genuine scaling regression.
 type perfDoc struct {
-	Schema       string          `json:"schema"`
-	NumCPU       int             `json:"num_cpu"`
-	GoMaxProcs   int             `json:"go_max_procs"`
-	GoVersion    string          `json:"go_version"`
-	Seed         int64           `json:"seed"`
-	Fast         bool            `json:"fast"`
-	Frames       int             `json:"frames"`
-	Width        int             `json:"width"`
-	Height       int             `json:"height"`
-	Segmentation []perfSample    `json:"segmentation"`
-	EndToEnd     []perfE2E       `json:"end_to_end"`
-	GAProfiles   []perfGAProfile `json:"ga_profiles,omitempty"`
-	Dispatch     *perfDispatch   `json:"dispatch,omitempty"`
-	Fleet        *perfFleet      `json:"fleet,omitempty"`
-	Journal      *perfJournal    `json:"journal,omitempty"`
-	Events       *perfEvents     `json:"events,omitempty"`
-	Ingest       *perfIngest     `json:"ingest,omitempty"`
+	Schema        string             `json:"schema"`
+	NumCPU        int                `json:"num_cpu"`
+	GoMaxProcs    int                `json:"go_max_procs"`
+	GoVersion     string             `json:"go_version"`
+	Seed          int64              `json:"seed"`
+	Fast          bool               `json:"fast"`
+	Frames        int                `json:"frames"`
+	Width         int                `json:"width"`
+	Height        int                `json:"height"`
+	Segmentation  []perfSample       `json:"segmentation"`
+	EndToEnd      []perfE2E          `json:"end_to_end"`
+	GAProfiles    []perfGAProfile    `json:"ga_profiles,omitempty"`
+	Dispatch      *perfDispatch      `json:"dispatch,omitempty"`
+	Fleet         *perfFleet         `json:"fleet,omitempty"`
+	Journal       *perfJournal       `json:"journal,omitempty"`
+	Events        *perfEvents        `json:"events,omitempty"`
+	Ingest        *perfIngest        `json:"ingest,omitempty"`
+	Observability *perfObservability `json:"observability,omitempty"`
 }
 
 // perfGAProfile is one fit-profile row: the canonical clip analysed
@@ -240,6 +244,25 @@ type perfEvents struct {
 	// drop-and-resync policy may discard under extreme pressure.
 	Delivered int `json:"delivered"`
 }
+
+// perfObservability measures the cost of the observability plane on the
+// async job path: segmentation-only jobs through an in-process Manager
+// with tracing, per-job resource accounting and SLO observation on (the
+// production default) versus everything disabled.
+type perfObservability struct {
+	Jobs          int     `json:"jobs"`
+	OnJobsPerSec  float64 `json:"on_jobs_per_sec"`
+	OffJobsPerSec float64 `json:"off_jobs_per_sec"`
+	// OverheadPct is the throughput cost of observability; the -compare
+	// guard fails when it exceeds observabilityOverheadMaxPct.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// observabilityOverheadMaxPct is the absolute -compare guard on the
+// observability section, independent of the percentage threshold: spans,
+// resource snapshots and SLO observation together must cost under 5% of
+// job throughput.
+const observabilityOverheadMaxPct = 5.0
 
 // perfJournal measures the durable-journal overhead on the async job
 // path: segmentation-only jobs through an in-process Manager with no
@@ -441,6 +464,12 @@ func runPerf(seed int64, fast bool, baselinePath string, thresholdPct float64) e
 		return err
 	}
 	doc.Ingest = ing
+
+	ob, err := runObservabilityPerf(v)
+	if err != nil {
+		return err
+	}
+	doc.Observability = ob
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -669,6 +698,21 @@ func compareBaseline(doc perfDoc, path string, thresholdPct float64) error {
 			compareRow{name: "events delivered/sec", old: base.Events.DeliveredPerSec, new: doc.Events.DeliveredPerSec, higherBetter: true},
 		)
 	}
+	if base.Observability != nil && doc.Observability != nil {
+		rows = append(rows,
+			compareRow{name: "observability on jobs/sec", old: base.Observability.OnJobsPerSec, new: doc.Observability.OnJobsPerSec, higherBetter: true},
+			compareRow{name: "observability off jobs/sec", old: base.Observability.OffJobsPerSec, new: doc.Observability.OffJobsPerSec, higherBetter: true},
+		)
+	}
+	// Absolute guard on the observability plane, like the fitness guard:
+	// tracing + accounting must stay under observabilityOverheadMaxPct of
+	// job throughput regardless of the percentage threshold.
+	if doc.Observability != nil && doc.Observability.OverheadPct > observabilityOverheadMaxPct {
+		fmt.Fprintf(os.Stderr,
+			"R observability overhead %.1f%% exceeds the %.0f%% guard\n",
+			doc.Observability.OverheadPct, observabilityOverheadMaxPct)
+		fitnessGuardFailures++
+	}
 
 	fmt.Fprintf(os.Stderr, "bench compare vs %s (threshold %.0f%%):\n", path, thresholdPct)
 	regressions := 0
@@ -794,6 +838,98 @@ func runJournalPerf(v *synth.Video) (*perfJournal, error) {
 		OnJobsPerSec:    on,
 		FsyncJobsPerSec: fsynced,
 		OverheadPct:     100 * (off - fsynced) / off,
+	}, nil
+}
+
+// runObservabilityPerf measures jobs/sec through the async Manager with
+// the observability plane on versus off. The modes alternate across
+// four rounds each and keep their best round: the measured overhead is
+// a few percent at most, so a single noisy round — or machine drift
+// favouring whichever mode ran last — would dominate the signal.
+func runObservabilityPerf(v *synth.Video) (*perfObservability, error) {
+	cfg := core.DefaultConfig()
+	an, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	exec := jobs.ExecutorFunc(func(ctx context.Context, p jobs.Payload, _ func(string)) (any, error) {
+		req, err := p.AnalysisRequest()
+		if err != nil {
+			return nil, err
+		}
+		return an.Run(ctx, req, nil)
+	})
+	payload, err := jobs.NewAnalysisPayload(jobs.ConfigFingerprint(cfg), core.Request{
+		Frames:      v.Frames,
+		ManualFirst: v.ManualAnnotation(synth.DefaultAnnotationError(), 1),
+		Stages:      core.OnlyStage(core.StageSegmentation),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	const njobs = 24
+	run := func(disable bool) (float64, error) {
+		mcfg := jobs.Config{Workers: 2, QueueSize: njobs, DisableObservability: disable}
+		if !disable {
+			mcfg.SLO = obs.NewSLO(2*time.Second, 0.99)
+		}
+		m, err := jobs.New(mcfg, exec)
+		if err != nil {
+			return 0, err
+		}
+		defer m.Close(context.Background())
+		start := time.Now()
+		ids := make([]string, 0, njobs)
+		for i := 0; i < njobs; i++ {
+			id, err := m.Submit(payload)
+			if err != nil {
+				return 0, err
+			}
+			ids = append(ids, id)
+		}
+		deadline := time.Now().Add(2 * time.Minute)
+		for _, id := range ids {
+			for {
+				st, err := m.Status(id)
+				if err != nil {
+					return 0, err
+				}
+				if st.State == jobs.StateDone {
+					break
+				}
+				if st.State == jobs.StateFailed {
+					return 0, errors.New("observability bench job failed: " + st.Err)
+				}
+				if time.Now().After(deadline) {
+					return 0, errors.New("observability bench timed out")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return float64(njobs) / time.Since(start).Seconds(), nil
+	}
+	var on, off float64
+	for round := 0; round < 4; round++ {
+		r, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		if r > on {
+			on = r
+		}
+		if r, err = run(true); err != nil {
+			return nil, err
+		}
+		if r > off {
+			off = r
+		}
+	}
+	return &perfObservability{
+		Jobs:          njobs,
+		OnJobsPerSec:  on,
+		OffJobsPerSec: off,
+		OverheadPct:   100 * (off - on) / off,
 	}, nil
 }
 

@@ -1,0 +1,70 @@
+// Command slj-promlint lints a Prometheus text exposition (v0.0.4)
+// against the conformance grammar the service's own tests enforce: HELP
+// and TYPE exactly once per family and before its samples, counters named
+// *_total, histogram buckets cumulative and monotone with the +Inf bucket
+// equal to _count, and every sample parseable. CI runs it over the
+// federated cluster scrape served at GET /v1/fleet/metrics.
+//
+// Usage:
+//
+//	slj-promlint [-require fam1,fam2,...] [file]
+//
+// With no file argument the exposition is read from stdin. -require
+// additionally asserts the presence of the named metric families. Issues
+// are printed one per line and the exit status is nonzero if any were
+// found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/sljmotion/sljmotion/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slj-promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+
+	var raw []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		raw, err = io.ReadAll(os.Stdin)
+	case 1:
+		raw, err = os.ReadFile(flag.Arg(0))
+	default:
+		return fmt.Errorf("at most one file argument, got %d", flag.NArg())
+	}
+	if err != nil {
+		return err
+	}
+
+	var required []string
+	for _, f := range strings.Split(*require, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			required = append(required, f)
+		}
+	}
+
+	res := obs.LintExposition(raw, required)
+	for _, issue := range res.Issues {
+		fmt.Println(issue)
+	}
+	if len(res.Issues) > 0 {
+		return fmt.Errorf("%d issue(s) in %d sample(s) across %d famil(ies)",
+			len(res.Issues), len(res.Samples), len(res.Types))
+	}
+	fmt.Printf("ok: %d samples across %d families\n", len(res.Samples), len(res.Types))
+	return nil
+}

@@ -248,8 +248,18 @@ func (a *Analyzer) Run(ctx context.Context, req Request, progress ProgressFunc) 
 		}
 		stageCtx, span := obs.StartSpan(ctx, string(s))
 		start := time.Now()
+		var snap obs.ResourceSnapshot
+		if span != nil {
+			// Per-stage resource accounting rides on tracing: the deltas
+			// land as span attributes, and the untraced synchronous and
+			// benchmark paths pay nothing.
+			snap = obs.TakeResourceSnapshot()
+		}
 		done := func() {
 			d := time.Since(start)
+			if span != nil {
+				snap.Delta().Stamp(span)
+			}
 			span.End()
 			res.StageMS[string(s)] = float64(d) / float64(time.Millisecond)
 			stageSeconds(s).Observe(d.Seconds())

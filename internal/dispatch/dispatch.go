@@ -95,6 +95,10 @@ type Config struct {
 	// cache answers without recomputing. Costs payload retention memory for
 	// the lifetime of each in-flight job.
 	Replicate bool
+	// DrainStuckAfter flips the deep-health "drain" component to degraded
+	// when a draining node's pending count has not moved for this long —
+	// the drain-stuck watchdog. Zero takes DefaultDrainStuckAfter.
+	DrainStuckAfter time.Duration
 }
 
 // DefaultConfig returns a small-deployment default.
@@ -116,7 +120,8 @@ func (c Config) Validate() error {
 			return errors.New("dispatch: empty node URL")
 		}
 	}
-	if c.HealthInterval < 0 || c.Replicas < 0 || c.ResultTTL < 0 || c.WatchPollInterval < 0 {
+	if c.HealthInterval < 0 || c.Replicas < 0 || c.ResultTTL < 0 || c.WatchPollInterval < 0 ||
+		c.DrainStuckAfter < 0 {
 		return errors.New("dispatch: negative durations/counts")
 	}
 	return nil
@@ -144,16 +149,20 @@ func (e *BusyError) RetryAfterSeconds() int { return e.After }
 // pointer identity is stable across membership epochs — views share node
 // pointers with Remote.nodes, so counters and health survive ring rebuilds.
 type node struct {
-	url       string
-	healthy   bool
-	weight    int  // ring share multiplier (vnodes = Replicas × weight)
-	draining  bool // out of the ring; running jobs finishing
-	lastErr   string
-	submitted uint64
-	rejected  uint64
-	completed uint64
-	failed    uint64
-	cacheHits uint64
+	url      string
+	healthy  bool
+	weight   int  // ring share multiplier (vnodes = Replicas × weight)
+	draining bool // out of the ring; running jobs finishing
+	// drainPending/drainChanged track drain progress for the drain-stuck
+	// watchdog: the pending count when it last moved, and when that was.
+	drainPending int
+	drainChanged time.Time
+	lastErr      string
+	submitted    uint64
+	rejected     uint64
+	completed    uint64
+	failed       uint64
+	cacheHits    uint64
 }
 
 // entry is the dispatcher's local record of one routed job.
@@ -214,6 +223,16 @@ type Remote struct {
 	lastSweep time.Time
 	rtt       []time.Duration // submit→terminal round trips, ring buffer
 	rttIdx    int
+	// slo, when set (SetSLO), receives one observation per terminal job:
+	// the dispatcher's submit→terminal round trip is the client-facing SLI.
+	slo *obs.SLO
+
+	// scrapeMu guards the metrics-federation cache, separate from mu so
+	// serving the merged exposition never contends with routing.
+	scrapeMu       sync.Mutex
+	scrapes        map[string]memberScrape
+	scrapeFailures uint64
+	lastScrape     time.Time
 
 	stop   chan struct{}
 	health sync.WaitGroup
@@ -246,6 +265,9 @@ func New(cfg Config) (*Remote, error) {
 	}
 	if cfg.WatchPollInterval == 0 {
 		cfg.WatchPollInterval = def.WatchPollInterval
+	}
+	if cfg.DrainStuckAfter == 0 {
+		cfg.DrainStuckAfter = DefaultDrainStuckAfter
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -919,6 +941,7 @@ func (r *Remote) recover(id string, e *entry) bool {
 	hash := e.hash
 	p := *e.payload
 	v := r.view
+	root := e.root
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
@@ -942,15 +965,30 @@ func (r *Remote) recover(id string, e *entry) bool {
 		if err != nil {
 			return false
 		}
-		resp, raw, err := r.postPayload(n, body, byRef, "")
+		// The resubmit carries its own span's traceparent, so the successor's
+		// job trace grafts under the same trace id as the original submit —
+		// a failover must not sever the job's trace.
+		att := root.Start("resubmit")
+		att.SetAttr("node", n.url)
+		att.SetAttr("was", dead.url)
+		var traceparent string
+		if sc := att.Context(); sc.Valid() {
+			traceparent = sc.Traceparent()
+		}
+		resp, raw, err := r.postPayload(n, body, byRef, traceparent)
 		if err != nil {
 			var transport *transportError
 			if errors.As(err, &transport) {
+				att.SetAttr("error", transport.err.Error())
+				att.End()
 				r.demote(n, transport.err)
 				continue
 			}
+			att.SetAttr("error", err.Error())
+			att.End()
 			return false
 		}
+		att.End()
 		switch resp.StatusCode {
 		case http.StatusOK:
 			// The successor answered from its (replicated) cache.
@@ -1021,6 +1059,7 @@ func (r *Remote) finishLocked(id string, e *entry, ok bool) {
 	e.root.End()
 	r.recordRTTLocked(e.finished.Sub(e.created))
 	roundtripSeconds.Observe(e.finished.Sub(e.created).Seconds())
+	r.slo.Observe(e.finished.Sub(e.created), ok)
 	r.log.Debug("dispatch terminal observed", "job_id", id, "node", e.node.url,
 		"state", ev.State, "trace_id", e.trace.TraceID(),
 		"roundtrip_ms", float64(e.finished.Sub(e.created))/float64(time.Millisecond))
@@ -1087,6 +1126,7 @@ func (r *Remote) runHealth() {
 			r.probeAll()
 			r.resolvePending()
 			r.finalizeDrains()
+			r.scrapeAll()
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -142,16 +143,26 @@ func (r *Remote) JoinNode(url string, weight int) (jobs.FleetView, error) {
 	return r.fleetLocked(), nil
 }
 
-// probeOnce performs one admission health probe.
+// probeOnce performs one admission health probe against the candidate's
+// deep-health document: liveness (HTTP 200) admits only if the node does
+// not report itself degraded — a worker with a stalled queue or a wedged
+// drain must not be handed new keys. Bodies that do not parse as the
+// deep-health schema stay admissible; liveness alone vouches for them.
 func (r *Remote) probeOnce(url string) error {
 	resp, err := r.client.Get(url + "/v1/healthz")
 	if err != nil {
 		return err
 	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Status string `json:"status"`
+	}
+	if json.Unmarshal(raw, &doc) == nil && doc.Status != "" && doc.Status != jobs.HealthOK {
+		return fmt.Errorf("node reports deep health %q", doc.Status)
 	}
 	return nil
 }
@@ -184,8 +195,10 @@ func (r *Remote) DrainNode(url string) (jobs.FleetView, error) {
 			return jobs.FleetView{}, fmt.Errorf("dispatch: %s: %w", url, jobs.ErrLastNode)
 		}
 		n.draining = true
+		n.drainPending = r.pendingLocked(n)
+		n.drainChanged = r.clock()
 		r.rebuildLocked()
-		r.log.Info("fleet member draining", "node", url, "pending", r.pendingLocked(n), "epoch", r.epoch)
+		r.log.Info("fleet member draining", "node", url, "pending", n.drainPending, "epoch", r.epoch)
 		return r.fleetLocked(), nil
 	}
 	return jobs.FleetView{}, fmt.Errorf("dispatch: %s: %w", url, jobs.ErrNodeUnknown)

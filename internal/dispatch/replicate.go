@@ -99,6 +99,13 @@ func (p *Replicator) ReplicaMetrics() jobs.ReplicaMetrics {
 	return p.metrics
 }
 
+// Backlog reports the push queue's current depth and capacity — the
+// replication-backlog signal behind the deep-health watchdog: a queue
+// sitting near capacity means replicas are about to be dropped.
+func (p *Replicator) Backlog() (depth, capacity int) {
+	return len(p.ch), cap(p.ch)
+}
+
 // Close stops the push worker after draining already-queued tasks.
 func (p *Replicator) Close() {
 	close(p.stop)

@@ -108,9 +108,10 @@ type EventSource interface {
 // Tracer is the optional tracing capability of a Dispatcher: the per-job
 // span tree behind GET /v1/jobs/{id}/trace. The Manager serves the trace
 // it recorded in-process; the remote dispatcher returns its own dispatch
-// spans with the worker node's tree grafted underneath. Jobs that carry
-// no trace (journal-replayed records from before the last restart) return
-// ErrNotFound.
+// spans with the worker node's tree grafted underneath. Terminal jobs
+// whose live trace died with a restart (journal-replayed records) are
+// served as a minimal stub with Replayed set; a replayed job still
+// awaiting its re-run returns ErrNotFound.
 type Tracer interface {
 	// Trace returns the job's span tree snapshot.
 	Trace(id string) (*obs.TraceDoc, error)
@@ -127,7 +128,7 @@ type TracedSubmitter interface {
 }
 
 // Manager is the canonical in-process Dispatcher, Lister, Watcher,
-// EventSource, Tracer and TracedSubmitter.
+// EventSource, Tracer, TracedSubmitter and HealthReporter.
 var (
 	_ Dispatcher      = (*Manager)(nil)
 	_ Lister          = (*Manager)(nil)
@@ -135,4 +136,5 @@ var (
 	_ EventSource     = (*Manager)(nil)
 	_ Tracer          = (*Manager)(nil)
 	_ TracedSubmitter = (*Manager)(nil)
+	_ HealthReporter  = (*Manager)(nil)
 )

@@ -53,6 +53,31 @@ type FleetManager interface {
 	RemoveNode(url string) (FleetView, error)
 }
 
+// FederationStats summarises the dispatcher's member-metrics scraping for
+// the /v1/fleet JSON rollup.
+type FederationStats struct {
+	// NodesScraped counts members whose latest scrape succeeded and is
+	// included in the merged exposition.
+	NodesScraped int `json:"nodes_scraped"`
+	// ScrapeFailures counts failed member scrapes over the process
+	// lifetime.
+	ScrapeFailures uint64 `json:"scrape_failures_total"`
+	// LastScrapeUnixMS stamps the most recent scrape sweep; 0 before the
+	// first one.
+	LastScrapeUnixMS int64 `json:"last_scrape_unix_ms,omitempty"`
+}
+
+// MetricsFederator is the optional capability of a Dispatcher that
+// scrapes its members' Prometheus expositions and merges them into one
+// cluster-wide scrape with a node label per sample — the view behind
+// GET /v1/fleet/metrics. Only the remote dispatcher implements it.
+type MetricsFederator interface {
+	// FederatedMetrics returns the merged exposition and the scrape
+	// bookkeeping. Implementations refresh stale caches synchronously, so
+	// a fleet that has not ticked its health loop yet still federates.
+	FederatedMetrics() ([]byte, FederationStats, error)
+}
+
 // ReplicaMetrics counts successor-replication pushes from one node.
 type ReplicaMetrics struct {
 	Results   uint64 `json:"results"`

@@ -27,6 +27,7 @@ package jobs
 import (
 	"context"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -129,6 +130,18 @@ type Config struct {
 	// Log receives structured lifecycle logs, every line correlated by
 	// job_id (and trace_id once the job carries a trace). Nil discards.
 	Log *slog.Logger
+	// SLO, when set, receives one observation per terminal job: the
+	// end-to-end latency (enqueue to finish) and whether it succeeded,
+	// feeding the burn-rate gauges. Nil disables SLI tracking.
+	SLO *obs.SLO
+	// StallAfter is the queue-stall watchdog threshold: when the oldest
+	// queued job has waited longer than this, the manager's queue health
+	// component reports degraded. 0 means DefaultStallAfter.
+	StallAfter time.Duration
+	// DisableObservability turns off per-job tracing and resource
+	// accounting (jobs carry no span tree and no resources section). The
+	// benchmark's overhead section uses it; services leave it off.
+	DisableObservability bool
 }
 
 // DefaultConfig returns a small service-oriented configuration.
@@ -168,6 +181,10 @@ type Status struct {
 	// Omitted until the job reaches the relevant point.
 	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
 	RunMS       float64 `json:"run_ms,omitempty"`
+	// Resources is the measured cost of the job's execution — CPU-time and
+	// heap-allocation deltas sampled around the payload run — present once
+	// the job finished (and accounting was not disabled).
+	Resources *obs.ResourceUsage `json:"resources,omitempty"`
 	// Err carries the failure message of failed jobs.
 	Err string `json:"error,omitempty"`
 }
@@ -263,11 +280,14 @@ type job struct {
 	// trace is the job's span tree, rooted at submission; queueSpan is the
 	// open queue-wait child the picking worker closes. Both nil for
 	// journal-replayed jobs (their live spans died with the old process)
-	// — Trace answers ErrNotFound for those. The trace is evicted with
-	// the record, so trace memory is bounded by the job table.
+	// — Trace answers a minimal replayed stub for those once terminal.
+	// The trace is evicted with the record, so trace memory is bounded by
+	// the job table.
 	trace     *obs.Trace
 	root      *obs.Span
 	queueSpan *obs.Span
+	// resources is the execution's measured cost, stamped at terminal.
+	resources *obs.ResourceUsage
 }
 
 // Manager owns the queue, the worker pool and the job table.
@@ -478,9 +498,11 @@ func (m *Manager) SubmitTraced(p Payload, parent obs.SpanContext) (string, error
 	}
 	now := m.clock()
 	j := &job{id: id, payload: p, state: StateQueued, created: now, enqueued: now}
-	j.trace, j.root = obs.NewTraceFrom(parent, "job")
-	j.root.SetAttr("job_id", id)
-	j.queueSpan = j.root.Start("queue_wait")
+	if !m.cfg.DisableObservability {
+		j.trace, j.root = obs.NewTraceFrom(parent, "job")
+		j.root.SetAttr("job_id", id)
+		j.queueSpan = j.root.Start("queue_wait")
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -515,16 +537,49 @@ func (m *Manager) SubmitTraced(p Payload, parent obs.SpanContext) (string, error
 }
 
 // Trace returns the job's span tree. Jobs submitted before the last
-// restart (journal-replayed records) carry none and answer ErrNotFound.
+// restart (journal-replayed records) lost their live spans with the old
+// process; once terminal they answer a minimal stub — the job span with
+// its original timestamps, marked replayed — so post-restart debugging
+// isn't blind. A replayed job still pending its re-run answers
+// ErrNotFound until it finishes (its re-execution carries no trace).
 func (m *Manager) Trace(id string) (*obs.TraceDoc, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.sweepLocked(m.clock())
 	j, ok := m.jobs[id]
-	if !ok || j.trace == nil {
+	if !ok {
 		return nil, ErrNotFound
 	}
+	if j.trace == nil {
+		// With observability disabled jobs legitimately carry no trace;
+		// answering the replayed stub would mislabel them.
+		if m.cfg.DisableObservability || !j.state.Terminal() {
+			return nil, ErrNotFound
+		}
+		return replayedTraceStub(j), nil
+	}
 	return j.trace.Doc(id), nil
+}
+
+// replayedTraceStub reconstructs a terminal trace for a job whose span
+// tree did not survive a restart. The ids are derived from the job id so
+// repeated fetches are stable; the root span covers creation to finish
+// with the journal's original timestamps.
+func replayedTraceStub(j *job) *obs.TraceDoc {
+	sum := sha256.Sum256([]byte("slj-replayed-trace:" + j.id))
+	root := &obs.SpanDoc{
+		Name:        "job",
+		SpanID:      hex.EncodeToString(sum[16:24]),
+		StartUnixNS: j.created.UnixNano(),
+		DurationMS:  float64(j.finished.Sub(j.created)) / float64(time.Millisecond),
+		Attrs:       map[string]string{"replayed": "true"},
+	}
+	return &obs.TraceDoc{
+		TraceID:  hex.EncodeToString(sum[:16]),
+		JobID:    j.id,
+		Replayed: true,
+		Root:     root,
+	}
 }
 
 // Status returns a snapshot of the job, or ErrNotFound for unknown/expired
@@ -711,10 +766,27 @@ func (m *Manager) execute(j *job) {
 	}
 	// The run span rides the execution context: the core pipeline hangs
 	// its per-stage (and per-frame GA) spans under it via obs.StartSpan.
+	// The resource snapshot brackets exactly the payload run, so the
+	// delta answers "where did this job spend cycles" — an upper bound on
+	// a node executing jobs concurrently, since the counters are
+	// process-wide.
+	var snap obs.ResourceSnapshot
+	if !m.cfg.DisableObservability {
+		snap = obs.TakeResourceSnapshot()
+	}
 	val, err := m.exec.Execute(obs.ContextWithSpan(m.runCtx, runSpan), j.payload, progress)
 	now := m.clock()
+	var usage *obs.ResourceUsage
+	if !m.cfg.DisableObservability {
+		u := snap.Delta()
+		u.Stamp(runSpan)
+		usage = &u
+	}
 	runSpan.End()
 	runSeconds.Observe(now.Sub(start).Seconds())
+	// The SLI is the client's view: enqueue to terminal, so queue wait
+	// counts against the latency objective exactly as a poller feels it.
+	m.cfg.SLO.Observe(now.Sub(j.enqueued), err == nil)
 
 	// Journal the terminal record BEFORE taking the lock and before the
 	// terminal state becomes visible: the result marshal can be megabytes
@@ -754,6 +826,7 @@ func (m *Manager) execute(j *job) {
 	j.finished = now
 	j.stage = ""
 	j.payload = Payload{} // release the payload (it may pin a whole clip)
+	j.resources = usage
 	pubSpan := j.root.Start("publish")
 	if err != nil {
 		j.state = StateFailed
@@ -866,6 +939,10 @@ func (j *job) snapshotLocked() Status {
 		if !j.started.IsZero() {
 			s.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
 		}
+	}
+	if j.resources != nil {
+		u := *j.resources
+		s.Resources = &u
 	}
 	if j.err != nil {
 		s.Err = j.err.Error()

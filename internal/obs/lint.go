@@ -1,0 +1,228 @@
+// Conformance lint for the Prometheus text exposition format (version
+// 0.0.4), shared by the server's scrape test, the fleet-federation e2e
+// tests, and the slj-promlint CI command. It enforces the grammar the
+// repo's own writer promises: well-formed metric and label names,
+// HELP/TYPE exactly once per family and before its samples, counters
+// named *_total, histogram buckets cumulative and monotone with the +Inf
+// bucket equal to the series' _count.
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	lintMetricRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	lintLabelRE  = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
+	lintSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$`)
+)
+
+// LintSample is one parsed exposition sample line.
+type LintSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// labelKey canonicalizes the label set minus `le`, for bucket grouping.
+func (s LintSample) labelKey() string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// LintResult is the parsed view of a linted scrape: the declared family
+// types and every sample, for callers that assert beyond the grammar.
+type LintResult struct {
+	// Types maps each declared family to counter|gauge|histogram.
+	Types map[string]string
+	// Samples holds every sample line in scrape order.
+	Samples []LintSample
+	// Issues lists every conformance violation found, in scrape order.
+	Issues []string
+}
+
+// FamilyOf resolves a sample name to its declared family: histogram
+// samples carry the _bucket/_sum/_count suffixes, everything else is its
+// own family.
+func (r *LintResult) FamilyOf(sampleName string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sampleName, suf)
+		if base != sampleName && r.Types[base] == "histogram" {
+			return base
+		}
+	}
+	return sampleName
+}
+
+// LintExposition lints raw against the text exposition grammar and checks
+// that every family in required is present. The returned result carries
+// both the issues and the parsed samples; a clean scrape has
+// len(result.Issues) == 0.
+func LintExposition(raw []byte, required []string) *LintResult {
+	res := &LintResult{Types: map[string]string{}}
+	bad := func(format string, args ...any) {
+		res.Issues = append(res.Issues, fmt.Sprintf(format, args...))
+	}
+	helps := map[string]bool{}
+	// Contiguity: every family's samples must form one group. lastFamily
+	// tracks the open sample block; a family reappearing after its block
+	// closed is a violation (and breaks federation merging).
+	lastFamily := ""
+	closedFamilies := map[string]bool{}
+	for i, line := range strings.Split(string(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if !lintMetricRE.MatchString(parts[0]) {
+				bad("line %d: malformed HELP name %q", i+1, parts[0])
+			}
+			if helps[parts[0]] {
+				bad("line %d: duplicate HELP for %s", i+1, parts[0])
+			}
+			helps[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || !lintMetricRE.MatchString(parts[0]) {
+				bad("line %d: malformed TYPE line %q", i+1, line)
+				continue
+			}
+			name, typ := parts[0], parts[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				bad("line %d: unknown type %q", i+1, typ)
+			}
+			if _, dup := res.Types[name]; dup {
+				bad("line %d: duplicate TYPE for %s", i+1, name)
+			}
+			if !helps[name] {
+				bad("line %d: TYPE %s has no preceding HELP", i+1, name)
+			}
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				bad("line %d: counter %s not named *_total", i+1, name)
+			}
+			res.Types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			bad("line %d: unexpected comment %q", i+1, line)
+			continue
+		}
+		m := lintSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			bad("line %d: malformed sample %q", i+1, line)
+			continue
+		}
+		s := LintSample{Name: m[1], Labels: map[string]string{}}
+		for _, kv := range lintLabelRE.FindAllStringSubmatch(m[2], -1) {
+			s.Labels[kv[1]] = kv[2]
+		}
+		val, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			bad("line %d: unparseable value %q", i+1, m[3])
+			continue
+		}
+		s.Value = val
+		family := res.FamilyOf(s.Name)
+		if _, ok := res.Types[family]; !ok {
+			bad("line %d: sample %s precedes (or lacks) its TYPE declaration", i+1, s.Name)
+		}
+		if family != lastFamily {
+			if lastFamily != "" {
+				closedFamilies[lastFamily] = true
+			}
+			if closedFamilies[family] {
+				bad("line %d: family %s samples not contiguous (block reopened)", i+1, family)
+			}
+			lastFamily = family
+		}
+		res.Samples = append(res.Samples, s)
+	}
+
+	// Histogram shape: buckets monotone non-decreasing in le order, the
+	// +Inf bucket present and equal to the series' _count.
+	buckets := map[string][]LintSample{} // family|labelKey -> bucket samples
+	counts := map[string]float64{}
+	for _, s := range res.Samples {
+		if base := strings.TrimSuffix(s.Name, "_bucket"); base != s.Name && res.Types[base] == "histogram" {
+			key := base + "|" + s.labelKey()
+			buckets[key] = append(buckets[key], s)
+		}
+		if base := strings.TrimSuffix(s.Name, "_count"); base != s.Name && res.Types[base] == "histogram" {
+			counts[base+"|"+s.labelKey()] = s.Value
+		}
+	}
+	for key, bs := range buckets {
+		sortable := true
+		for _, b := range bs {
+			if _, err := leBound(b); err != nil {
+				bad("series %s: %v", key, err)
+				sortable = false
+			}
+		}
+		if !sortable {
+			continue
+		}
+		sort.Slice(bs, func(i, j int) bool {
+			bi, _ := leBound(bs[i])
+			bj, _ := leBound(bs[j])
+			return bi < bj
+		})
+		var prev float64
+		for _, b := range bs {
+			if b.Value < prev {
+				bad("series %s: bucket counts not monotone (%v after %v)", key, b.Value, prev)
+			}
+			prev = b.Value
+		}
+		last := bs[len(bs)-1]
+		if le := last.Labels["le"]; le != "+Inf" {
+			bad("series %s: final bucket le=%q, want +Inf", key, le)
+		}
+		cnt, ok := counts[key]
+		if !ok {
+			bad("series %s: no _count sample", key)
+		} else if last.Value != cnt {
+			bad("series %s: +Inf bucket %v != count %v", key, last.Value, cnt)
+		}
+	}
+
+	for _, want := range required {
+		if _, ok := res.Types[want]; !ok {
+			bad("family %s missing from the scrape", want)
+		}
+	}
+	return res
+}
+
+// leBound parses a bucket sample's le label as its sort key.
+func leBound(s LintSample) (float64, error) {
+	le := s.Labels["le"]
+	if le == "+Inf" {
+		return 1e308, nil
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable le %q on bucket of %s", le, s.Name)
+	}
+	return v, nil
+}

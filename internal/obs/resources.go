@@ -1,0 +1,72 @@
+// Per-job resource accounting: CPU-time and heap-allocation deltas
+// sampled around job execution and pipeline stages, stamped into trace
+// spans and the job status document. The counters are process-wide
+// (getrusage and the runtime's cumulative allocation total), so on a node
+// running jobs concurrently a delta is an upper bound on the measured
+// job's own cost — still enough to tell a CPU-bound outlier from one that
+// merely waited, which is what the accounting is for.
+package obs
+
+import (
+	"runtime/metrics"
+	"strconv"
+	"time"
+)
+
+// ResourceUsage is the measured cost of one job or stage.
+type ResourceUsage struct {
+	CPUUserMS      float64 `json:"cpu_user_ms"`
+	CPUSystemMS    float64 `json:"cpu_system_ms"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+}
+
+// ResourceSnapshot is one point-in-time reading of the process counters;
+// two snapshots bracket a measured region.
+type ResourceSnapshot struct {
+	user  time.Duration
+	sys   time.Duration
+	alloc uint64
+}
+
+// TakeResourceSnapshot reads the process CPU times and the cumulative
+// heap-allocation total. Cheap enough for per-stage use: one getrusage
+// syscall and one runtime/metrics read, no stop-the-world.
+func TakeResourceSnapshot() ResourceSnapshot {
+	user, sys := cpuTimes()
+	return ResourceSnapshot{user: user, sys: sys, alloc: heapAllocBytes()}
+}
+
+// Delta returns the usage accumulated since the snapshot. Counter
+// regressions (a platform without getrusage reports zeros) clamp to zero.
+func (s ResourceSnapshot) Delta() ResourceUsage {
+	now := TakeResourceSnapshot()
+	u := ResourceUsage{}
+	if d := now.user - s.user; d > 0 {
+		u.CPUUserMS = float64(d) / float64(time.Millisecond)
+	}
+	if d := now.sys - s.sys; d > 0 {
+		u.CPUSystemMS = float64(d) / float64(time.Millisecond)
+	}
+	if now.alloc > s.alloc {
+		u.HeapAllocBytes = now.alloc - s.alloc
+	}
+	return u
+}
+
+// Stamp attaches the usage to a span as attributes. Nil-safe via SetAttr.
+func (u ResourceUsage) Stamp(span *Span) {
+	span.SetAttr("cpu_user_ms", strconv.FormatFloat(u.CPUUserMS, 'f', 3, 64))
+	span.SetAttr("cpu_system_ms", strconv.FormatFloat(u.CPUSystemMS, 'f', 3, 64))
+	span.SetAttr("heap_alloc_bytes", strconv.FormatUint(u.HeapAllocBytes, 10))
+}
+
+// heapAllocBytes reads the runtime's cumulative heap allocation total —
+// monotone over the process lifetime, unaffected by GC frees.
+func heapAllocBytes() uint64 {
+	sample := [1]metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(sample[:])
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// cpuTimes is a stub for platforms without getrusage: CPU deltas read as
+// zero, allocation accounting still works.
+func cpuTimes() (user, sys time.Duration) {
+	return 0, 0
+}

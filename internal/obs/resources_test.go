@@ -1,0 +1,55 @@
+package obs
+
+// Tests for the resource-accounting snapshots: deltas never go negative,
+// heap allocation between snapshots is visible, and Stamp attaches the
+// usage attributes to a span.
+
+import (
+	"testing"
+)
+
+func TestResourceDeltaNonNegative(t *testing.T) {
+	snap := TakeResourceSnapshot()
+	u := snap.Delta()
+	if u.CPUUserMS < 0 || u.CPUSystemMS < 0 {
+		t.Errorf("negative CPU delta: %+v", u)
+	}
+}
+
+func TestResourceDeltaSeesAllocations(t *testing.T) {
+	snap := TakeResourceSnapshot()
+	// Allocate well past any runtime noise; keep the slices reachable so
+	// the work cannot be optimized away before the second snapshot.
+	hold := make([][]byte, 64)
+	for i := range hold {
+		hold[i] = make([]byte, 64<<10)
+	}
+	u := snap.Delta()
+	if u.HeapAllocBytes < 1<<20 {
+		t.Errorf("heap delta %d bytes, want >= 1MiB after allocating 4MiB", u.HeapAllocBytes)
+	}
+	_ = hold
+}
+
+func TestResourceStampSetsSpanAttrs(t *testing.T) {
+	trace, root := NewTrace("job")
+	u := ResourceUsage{CPUUserMS: 12.5, CPUSystemMS: 0.25, HeapAllocBytes: 4096}
+	u.Stamp(root)
+	root.End()
+
+	doc := trace.Doc("job-1")
+	attrs := doc.Root.Attrs
+	if attrs["cpu_user_ms"] != "12.500" {
+		t.Errorf("cpu_user_ms = %q", attrs["cpu_user_ms"])
+	}
+	if attrs["cpu_system_ms"] != "0.250" {
+		t.Errorf("cpu_system_ms = %q", attrs["cpu_system_ms"])
+	}
+	if attrs["heap_alloc_bytes"] != "4096" {
+		t.Errorf("heap_alloc_bytes = %q", attrs["heap_alloc_bytes"])
+	}
+
+	// Stamping a nil span must be a no-op, not a panic.
+	var nilSpan *Span
+	u.Stamp(nilSpan)
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTimes reads the process's user and system CPU time via getrusage.
+func cpuTimes() (user, sys time.Duration) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	return timevalDuration(ru.Utime), timevalDuration(ru.Stime)
+}
+
+func timevalDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}

@@ -1,0 +1,209 @@
+// SLO tracking: a rolling multi-window service-level-indicator store fed
+// from job terminal transitions. A job is "good" when it succeeded within
+// the latency objective; the burn rate over a window is the observed
+// bad-job ratio divided by the error budget (1 - target), the standard
+// multi-window burn-rate alerting quantity — burn 1.0 spends the budget
+// exactly at the SLO boundary, burn ≥ 14 on the short window is the
+// classic fast-burn page.
+//
+// The store is lock-free: a ring of per-minute slots whose counters are
+// plain atomics. A slot is reclaimed by CAS-ing its epoch forward and
+// zeroing its counters; concurrent observers racing the reset can at
+// worst misplace a handful of observations by one minute, which the
+// window sums tolerate.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// sloSlots sizes the minute ring: enough for the 1h window plus the
+	// in-progress minute.
+	sloSlots = 64
+	// SLOWindowShort and SLOWindowLong are the two burn-rate windows the
+	// exposition reports.
+	SLOWindowShort = 5 * time.Minute
+	SLOWindowLong  = time.Hour
+	// SLOFastBurnAlert is the short-window burn rate past which the SLO
+	// health component flips to degraded (the conventional 14.4 ≈
+	// "spending 30 days of budget in 2 days" page threshold, rounded).
+	SLOFastBurnAlert = 14.0
+)
+
+type sloSlot struct {
+	epoch atomic.Int64 // unix minute this slot currently accumulates
+	total atomic.Uint64
+	bad   atomic.Uint64
+}
+
+// SLO is one process's SLI store. All methods are nil-safe so callers can
+// thread an optional tracker without branching.
+type SLO struct {
+	objective time.Duration
+	target    float64
+	now       func() time.Time
+	slots     [sloSlots]sloSlot
+}
+
+// NewSLO returns a tracker for the given latency objective and success
+// target (e.g. 0.99 for "99% of jobs succeed within the objective").
+// target is clamped to [0.5, 0.9999]; a zero objective disables the
+// latency criterion (only failures burn budget).
+func NewSLO(latencyObjective time.Duration, target float64) *SLO {
+	if target < 0.5 {
+		target = 0.5
+	}
+	if target > 0.9999 {
+		target = 0.9999
+	}
+	return &SLO{objective: latencyObjective, target: target, now: time.Now}
+}
+
+// SetClock overrides the tracker's clock, for tests.
+func (s *SLO) SetClock(now func() time.Time) {
+	if s != nil {
+		s.now = now
+	}
+}
+
+// Objective returns the latency objective.
+func (s *SLO) Objective() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.objective
+}
+
+// Target returns the success-ratio target.
+func (s *SLO) Target() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.target
+}
+
+// Observe records one finished job: its end-to-end latency and whether it
+// succeeded. Failed jobs and jobs slower than the objective burn budget.
+func (s *SLO) Observe(latency time.Duration, success bool) {
+	if s == nil {
+		return
+	}
+	slot := s.slot(s.now().Unix() / 60)
+	slot.total.Add(1)
+	if !success || (s.objective > 0 && latency > s.objective) {
+		slot.bad.Add(1)
+	}
+}
+
+// slot returns the ring slot for the given unix minute, reclaiming it
+// from an older minute if needed.
+func (s *SLO) slot(minute int64) *sloSlot {
+	slot := &s.slots[minute%sloSlots]
+	for {
+		e := slot.epoch.Load()
+		if e == minute {
+			return slot
+		}
+		if slot.epoch.CompareAndSwap(e, minute) {
+			// The CAS winner resets the counters for the new minute.
+			slot.total.Store(0)
+			slot.bad.Store(0)
+			return slot
+		}
+	}
+}
+
+// Window sums the observations of the trailing window.
+func (s *SLO) Window(window time.Duration) (total, bad uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	minutes := int64(window / time.Minute)
+	if minutes < 1 {
+		minutes = 1
+	}
+	if minutes > sloSlots-1 {
+		minutes = sloSlots - 1
+	}
+	nowMin := s.now().Unix() / 60
+	for i := range s.slots {
+		slot := &s.slots[i]
+		if e := slot.epoch.Load(); e > nowMin-minutes && e <= nowMin {
+			total += slot.total.Load()
+			bad += slot.bad.Load()
+		}
+	}
+	return total, bad
+}
+
+// Burn returns the error-budget burn rate over the trailing window: the
+// bad-job ratio divided by the budget (1 - target). Zero when the window
+// holds no observations.
+func (s *SLO) Burn(window time.Duration) float64 {
+	if s == nil {
+		return 0
+	}
+	total, bad := s.Window(window)
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - s.target
+	return (float64(bad) / float64(total)) / budget
+}
+
+// SLODoc is the JSON rollup of the tracker, served in /v1/fleet and the
+// deep-health components.
+type SLODoc struct {
+	ObjectiveMS float64 `json:"objective_ms"`
+	Target      float64 `json:"target"`
+	Jobs5m      uint64  `json:"jobs_5m"`
+	Bad5m       uint64  `json:"bad_5m"`
+	Burn5m      float64 `json:"burn_5m"`
+	Jobs1h      uint64  `json:"jobs_1h"`
+	Bad1h       uint64  `json:"bad_1h"`
+	Burn1h      float64 `json:"burn_1h"`
+}
+
+// Doc snapshots the tracker. Nil for a nil tracker.
+func (s *SLO) Doc() *SLODoc {
+	if s == nil {
+		return nil
+	}
+	t5, b5 := s.Window(SLOWindowShort)
+	t1, b1 := s.Window(SLOWindowLong)
+	return &SLODoc{
+		ObjectiveMS: float64(s.objective) / float64(time.Millisecond),
+		Target:      s.target,
+		Jobs5m:      t5, Bad5m: b5, Burn5m: s.Burn(SLOWindowShort),
+		Jobs1h: t1, Bad1h: b1, Burn1h: s.Burn(SLOWindowLong),
+	}
+}
+
+// WritePrometheus emits the tracker's gauge families.
+func (s *SLO) WritePrometheus(p *PromWriter) {
+	if s == nil {
+		return
+	}
+	p.Gauge("slj_slo_objective_latency_seconds", "End-to-end job latency objective.", s.objective.Seconds())
+	p.Gauge("slj_slo_target_ratio", "Success-ratio target of the SLO.", s.target)
+	// Emit family by family, not window by window: the text format
+	// requires every family's samples in one contiguous group, which the
+	// federation merger enforces strictly.
+	windows := []struct {
+		label  string
+		window time.Duration
+	}{{"5m", SLOWindowShort}, {"1h", SLOWindowLong}}
+	for _, w := range windows {
+		total, _ := s.Window(w.window)
+		p.Gauge("slj_slo_window_jobs", "Jobs observed in the trailing window.", float64(total), "window", w.label)
+	}
+	for _, w := range windows {
+		_, bad := s.Window(w.window)
+		p.Gauge("slj_slo_window_bad_jobs", "Jobs that failed or missed the latency objective in the trailing window.", float64(bad), "window", w.label)
+	}
+	for _, w := range windows {
+		p.Gauge("slj_slo_error_budget_burn", "Error-budget burn rate over the trailing window (1.0 = spending exactly at the objective).", s.Burn(w.window), "window", w.label)
+	}
+}

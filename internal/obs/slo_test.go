@@ -1,0 +1,184 @@
+package obs
+
+// Tests for the lock-free SLO tracker: window accounting under an
+// injected clock, burn-rate arithmetic, slot reclamation as minutes roll
+// past the ring, nil-safety, and concurrent observation under -race.
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sloAt builds a tracker pinned to a mutable fake clock.
+func sloAt(objective time.Duration, target float64) (*SLO, *time.Time) {
+	s := NewSLO(objective, target)
+	now := time.Unix(1_700_000_000, 0)
+	s.SetClock(func() time.Time { return now })
+	return s, &now
+}
+
+func TestSLOWindowCounts(t *testing.T) {
+	s, now := sloAt(2*time.Second, 0.99)
+
+	// Three good jobs, one failure, one latency miss.
+	s.Observe(100*time.Millisecond, true)
+	s.Observe(time.Second, true)
+	s.Observe(1999*time.Millisecond, true)
+	s.Observe(50*time.Millisecond, false)
+	s.Observe(3*time.Second, true)
+
+	total, bad := s.Window(SLOWindowShort)
+	if total != 5 || bad != 2 {
+		t.Fatalf("5m window = (%d, %d), want (5, 2)", total, bad)
+	}
+
+	// Bad ratio 2/5 = 0.4 against a budget of 0.01: burn 40.
+	if burn := s.Burn(SLOWindowShort); burn < 39.9 || burn > 40.1 {
+		t.Errorf("burn = %v, want 40", burn)
+	}
+
+	// Six minutes later the 5m window is empty but the 1h window still
+	// holds everything.
+	*now = now.Add(6 * time.Minute)
+	if total, bad = s.Window(SLOWindowShort); total != 0 || bad != 0 {
+		t.Errorf("5m window after 6 minutes = (%d, %d), want empty", total, bad)
+	}
+	if total, bad = s.Window(SLOWindowLong); total != 5 || bad != 2 {
+		t.Errorf("1h window after 6 minutes = (%d, %d), want (5, 2)", total, bad)
+	}
+	if burn := s.Burn(SLOWindowShort); burn != 0 {
+		t.Errorf("burn over an empty window = %v, want 0", burn)
+	}
+}
+
+func TestSLOZeroObjectiveOnlyCountsFailures(t *testing.T) {
+	s, _ := sloAt(0, 0.99)
+	s.Observe(time.Hour, true) // arbitrarily slow but successful: still good
+	s.Observe(time.Millisecond, false)
+	total, bad := s.Window(SLOWindowShort)
+	if total != 2 || bad != 1 {
+		t.Fatalf("window = (%d, %d), want (2, 1)", total, bad)
+	}
+}
+
+func TestSLOTargetClamped(t *testing.T) {
+	if got := NewSLO(0, 0.1).Target(); got != 0.5 {
+		t.Errorf("target 0.1 clamps to %v, want 0.5", got)
+	}
+	if got := NewSLO(0, 1.0).Target(); got != 0.9999 {
+		t.Errorf("target 1.0 clamps to %v, want 0.9999", got)
+	}
+}
+
+func TestSLOSlotReclamation(t *testing.T) {
+	s, now := sloAt(0, 0.99)
+	s.Observe(0, false)
+
+	// Advance past the whole ring: the old slot's epoch is stale, so the
+	// next observation in the colliding slot must reset it rather than
+	// inherit the old counters, and the old observation must leave every
+	// window.
+	*now = now.Add(sloSlots * time.Minute)
+	s.Observe(0, true)
+	total, bad := s.Window(SLOWindowLong)
+	if total != 1 || bad != 0 {
+		t.Fatalf("window after ring wrap = (%d, %d), want (1, 0)", total, bad)
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(time.Second, false)
+	s.SetClock(time.Now)
+	if total, bad := s.Window(SLOWindowShort); total != 0 || bad != 0 {
+		t.Error("nil tracker window not empty")
+	}
+	if s.Burn(SLOWindowShort) != 0 || s.Objective() != 0 || s.Target() != 0 {
+		t.Error("nil tracker accessors not zero")
+	}
+	if s.Doc() != nil {
+		t.Error("nil tracker Doc() != nil")
+	}
+	s.WritePrometheus(nil) // must not panic: nil receiver returns early
+}
+
+func TestSLODoc(t *testing.T) {
+	s, _ := sloAt(1500*time.Millisecond, 0.95)
+	s.Observe(time.Second, true)
+	s.Observe(2*time.Second, true)
+	doc := s.Doc()
+	if doc.ObjectiveMS != 1500 || doc.Target != 0.95 {
+		t.Errorf("doc objective/target = %v/%v, want 1500/0.95", doc.ObjectiveMS, doc.Target)
+	}
+	if doc.Jobs5m != 2 || doc.Bad5m != 1 || doc.Jobs1h != 2 || doc.Bad1h != 1 {
+		t.Errorf("doc counts = %+v, want 2 jobs / 1 bad in both windows", doc)
+	}
+	// 0.5 bad ratio over a 0.05 budget: burn 10.
+	if doc.Burn5m < 9.9 || doc.Burn5m > 10.1 {
+		t.Errorf("doc burn5m = %v, want 10", doc.Burn5m)
+	}
+}
+
+func TestSLOWritePrometheusLints(t *testing.T) {
+	s, _ := sloAt(2*time.Second, 0.99)
+	s.Observe(time.Second, true)
+	s.Observe(time.Second, false)
+
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	s.WritePrometheus(p)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res := LintExposition(buf.Bytes(), []string{
+		"slj_slo_objective_latency_seconds", "slj_slo_target_ratio",
+		"slj_slo_window_jobs", "slj_slo_window_bad_jobs", "slj_slo_error_budget_burn",
+	})
+	if len(res.Issues) != 0 {
+		t.Fatalf("SLO exposition fails lint:\n%s", strings.Join(res.Issues, "\n"))
+	}
+	burns := map[string]float64{}
+	for _, smp := range res.Samples {
+		if smp.Name == "slj_slo_error_budget_burn" {
+			burns[smp.Labels["window"]] = smp.Value
+		}
+	}
+	if len(burns) != 2 {
+		t.Fatalf("burn windows %v, want 5m and 1h", burns)
+	}
+	// Bad ratio 1/2 over budget 0.01: burn 50 in both windows.
+	for w, v := range burns {
+		if v < 49.9 || v > 50.1 {
+			t.Errorf("burn[%s] = %v, want 50", w, v)
+		}
+	}
+}
+
+// TestSLOConcurrentObserve exercises the atomic ring under -race: many
+// goroutines observing while a reader sums windows.
+func TestSLOConcurrentObserve(t *testing.T) {
+	s := NewSLO(time.Second, 0.99)
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Observe(time.Duration(i)*time.Millisecond, i%2 == 0)
+				if i%64 == 0 {
+					s.Window(SLOWindowShort)
+					s.Burn(SLOWindowLong)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total, _ := s.Window(SLOWindowLong)
+	if total != goroutines*perG {
+		t.Fatalf("window total = %d, want %d", total, goroutines*perG)
+	}
+}

@@ -189,10 +189,14 @@ func (s *Span) Context() SpanContext {
 }
 
 // TraceDoc is the JSON form of a trace served at /v1/jobs/{id}/trace.
+// Replayed marks a stub reconstructed for a journal-replayed job whose
+// live span tree did not survive the restart: the root span carries the
+// original timestamps, nothing else.
 type TraceDoc struct {
-	TraceID string   `json:"trace_id"`
-	JobID   string   `json:"job_id,omitempty"`
-	Root    *SpanDoc `json:"root"`
+	TraceID  string   `json:"trace_id"`
+	JobID    string   `json:"job_id,omitempty"`
+	Replayed bool     `json:"replayed,omitempty"`
+	Root     *SpanDoc `json:"root"`
 }
 
 // SpanDoc is one span of a TraceDoc. Fields are fully exported so a

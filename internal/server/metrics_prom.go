@@ -19,6 +19,7 @@ package server
 
 import (
 	"net/http"
+	"sort"
 
 	"github.com/sljmotion/sljmotion/internal/jobs"
 	"github.com/sljmotion/sljmotion/internal/obs"
@@ -155,6 +156,23 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		p.Counter("slj_events_dropped_total",
 			"Events dropped by the hub's never-block policy (slow subscribers are resynced instead).",
 			float64(es.EventHub().Dropped()))
+	}
+
+	s.slo.WritePrometheus(p)
+	comps := s.componentHealth()
+	names := make([]string, 0, len(comps))
+	for name := range comps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := 0.0
+		if comps[name].Status == jobs.HealthOK {
+			v = 1
+		}
+		p.Gauge("slj_health_component_ok",
+			"Whether the deep-health component reports ok (1) or degraded (0).",
+			v, "component", name)
 	}
 
 	obs.Default.WritePrometheus(p)

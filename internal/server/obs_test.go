@@ -10,9 +10,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
-	"sort"
-	"strconv"
-	"strings"
 	"testing"
 	"time"
 
@@ -276,42 +273,14 @@ func spanNames(spans []*obs.SpanDoc) []string {
 	return names
 }
 
-var (
-	promMetricRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	promLabelRE  = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
-	promSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$`)
-)
-
-// promSample is one parsed exposition line.
-type promSample struct {
-	name   string
-	labels map[string]string
-	value  float64
-}
-
-// labelKey canonicalizes the label set minus `le`, for bucket grouping.
-func (s promSample) labelKey() string {
-	keys := make([]string, 0, len(s.labels))
-	for k := range s.labels {
-		if k != "le" {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	for _, k := range keys {
-		b.WriteString(k)
-		b.WriteByte('=')
-		b.WriteString(s.labels[k])
-		b.WriteByte(';')
-	}
-	return b.String()
-}
-
 // TestPrometheusConformance lints the whole scrape against the text
-// exposition format: well-formed names and labels, HELP/TYPE exactly once
-// per family and before its samples, counters named *_total, histogram
-// buckets cumulative and monotone with the +Inf bucket equal to _count.
+// exposition format via the shared obs.LintExposition grammar (the same
+// lint CI runs over the federated fleet scrape): well-formed names and
+// labels, HELP/TYPE exactly once per family and before its samples,
+// counters named *_total, histogram buckets cumulative and monotone with
+// the +Inf bucket equal to _count, and every promised family present —
+// including the SLO burn-rate and component-health gauges added with the
+// fleet observability plane.
 func TestPrometheusConformance(t *testing.T) {
 	srv := httptest.NewServer(fastServer(t).Handler())
 	defer srv.Close()
@@ -335,119 +304,7 @@ func TestPrometheusConformance(t *testing.T) {
 		t.Errorf("content type %q, want %q", ct, obs.ContentType)
 	}
 
-	types := map[string]string{} // family -> counter|gauge|histogram
-	helps := map[string]bool{}
-	var samples []promSample
-	for i, line := range strings.Split(string(raw), "\n") {
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "# HELP ") {
-			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
-			if !promMetricRE.MatchString(parts[0]) {
-				t.Errorf("line %d: malformed HELP name %q", i+1, parts[0])
-			}
-			if helps[parts[0]] {
-				t.Errorf("line %d: duplicate HELP for %s", i+1, parts[0])
-			}
-			helps[parts[0]] = true
-			continue
-		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
-			if len(parts) != 2 || !promMetricRE.MatchString(parts[0]) {
-				t.Fatalf("line %d: malformed TYPE line %q", i+1, line)
-			}
-			name, typ := parts[0], parts[1]
-			if typ != "counter" && typ != "gauge" && typ != "histogram" {
-				t.Errorf("line %d: unknown type %q", i+1, typ)
-			}
-			if _, dup := types[name]; dup {
-				t.Errorf("line %d: duplicate TYPE for %s", i+1, name)
-			}
-			if !helps[name] {
-				t.Errorf("line %d: TYPE %s has no preceding HELP", i+1, name)
-			}
-			if typ == "counter" && !strings.HasSuffix(name, "_total") {
-				t.Errorf("line %d: counter %s not named *_total", i+1, name)
-			}
-			types[name] = typ
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			t.Errorf("line %d: unexpected comment %q", i+1, line)
-			continue
-		}
-		m := promSampleRE.FindStringSubmatch(line)
-		if m == nil {
-			t.Fatalf("line %d: malformed sample %q", i+1, line)
-		}
-		s := promSample{name: m[1], labels: map[string]string{}}
-		for _, kv := range promLabelRE.FindAllStringSubmatch(m[2], -1) {
-			s.labels[kv[1]] = kv[2]
-		}
-		val, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			t.Fatalf("line %d: unparseable value %q", i+1, m[3])
-		}
-		s.value = val
-
-		// Every sample must follow a TYPE for its family (histogram
-		// samples carry the _bucket/_sum/_count suffixes).
-		family := s.name
-		for _, suf := range []string{"_bucket", "_sum", "_count"} {
-			base := strings.TrimSuffix(s.name, suf)
-			if types[base] == "histogram" {
-				family = base
-				break
-			}
-		}
-		if _, ok := types[family]; !ok {
-			t.Errorf("line %d: sample %s precedes (or lacks) its TYPE declaration", i+1, s.name)
-		}
-		samples = append(samples, s)
-	}
-
-	// Histogram shape: buckets monotone non-decreasing in le order, the
-	// +Inf bucket present and equal to the series' _count.
-	buckets := map[string][]promSample{} // family|labelKey -> bucket samples
-	counts := map[string]float64{}
-	for _, s := range samples {
-		if base := strings.TrimSuffix(s.name, "_bucket"); base != s.name && types[base] == "histogram" {
-			key := base + "|" + s.labelKey()
-			buckets[key] = append(buckets[key], s)
-		}
-		if base := strings.TrimSuffix(s.name, "_count"); base != s.name && types[base] == "histogram" {
-			counts[base+"|"+s.labelKey()] = s.value
-		}
-	}
-	if len(buckets) == 0 {
-		t.Fatal("no histogram series in the scrape")
-	}
-	for key, bs := range buckets {
-		sort.Slice(bs, func(i, j int) bool { return leBound(t, bs[i]) < leBound(t, bs[j]) })
-		var prev float64
-		for _, b := range bs {
-			if b.value < prev {
-				t.Errorf("series %s: bucket counts not monotone (%.0f after %.0f)", key, b.value, prev)
-			}
-			prev = b.value
-		}
-		last := bs[len(bs)-1]
-		if le := last.labels["le"]; le != "+Inf" {
-			t.Errorf("series %s: final bucket le=%q, want +Inf", key, le)
-		}
-		cnt, ok := counts[key]
-		if !ok {
-			t.Errorf("series %s: no _count sample", key)
-		} else if last.value != cnt {
-			t.Errorf("series %s: +Inf bucket %.0f != count %.0f", key, last.value, cnt)
-		}
-	}
-
-	// The families the document promises must actually be there, with at
-	// least one observation in the latency histograms after the job above.
-	for _, want := range []string{
+	res := obs.LintExposition(raw, []string{
 		"slj_clips_analyzed_total", "slj_jobs_submitted_total", "slj_jobs_queue_depth",
 		"slj_cache_hits_total", "slj_cache_evicted_total", "slj_events_dropped_total",
 		"slj_job_queue_wait_seconds", "slj_job_run_seconds", "slj_stage_seconds",
@@ -458,28 +315,49 @@ func TestPrometheusConformance(t *testing.T) {
 		"slj_clip_sessions_open", "slj_clip_sessions_sealed_total",
 		"slj_clip_frames_ingested_total", "slj_clip_eager_reused_total",
 		"slj_dispatch_failovers_total", "slj_dispatch_membership_epoch",
-	} {
-		if _, ok := types[want]; !ok {
-			t.Errorf("family %s missing from the scrape", want)
-		}
+		"slj_slo_objective_latency_seconds", "slj_slo_target_ratio",
+		"slj_slo_error_budget_burn", "slj_health_component_ok",
+	})
+	for _, issue := range res.Issues {
+		t.Error(issue)
 	}
-	for key, cnt := range counts {
-		if strings.HasPrefix(key, "slj_job_run_seconds|") && cnt < 1 {
-			t.Errorf("series %s has no observations after a finished job", key)
-		}
-	}
-}
 
-// leBound parses a bucket's le label as its sort key.
-func leBound(t *testing.T, s promSample) float64 {
-	t.Helper()
-	le := s.labels["le"]
-	if le == "+Inf" {
-		return 1e308
+	// Beyond the grammar: the scrape must carry histogram series and the
+	// run-latency histogram must have recorded the finished job above.
+	histograms := false
+	for _, typ := range res.Types {
+		if typ == "histogram" {
+			histograms = true
+		}
 	}
-	v, err := strconv.ParseFloat(le, 64)
-	if err != nil {
-		t.Fatalf("bucket of %s: unparseable le %q", s.name, le)
+	if !histograms {
+		t.Fatal("no histogram series in the scrape")
 	}
-	return v
+	runObserved := false
+	for _, s := range res.Samples {
+		if s.Name == "slj_job_run_seconds_count" && s.Value >= 1 {
+			runObserved = true
+		}
+	}
+	if !runObserved {
+		t.Error("slj_job_run_seconds has no observations after a finished job")
+	}
+
+	// The burn-rate gauge is windowed: both SLO windows must be exposed,
+	// and every component-health gauge must read ok (1) on a fresh single
+	// node with nothing stalled.
+	windows := map[string]bool{}
+	for _, s := range res.Samples {
+		switch s.Name {
+		case "slj_slo_error_budget_burn":
+			windows[s.Labels["window"]] = true
+		case "slj_health_component_ok":
+			if s.Value != 1 {
+				t.Errorf("component %q reads %v, want 1 (ok) on a healthy server", s.Labels["component"], s.Value)
+			}
+		}
+	}
+	if !windows["5m"] || !windows["1h"] {
+		t.Errorf("slj_slo_error_budget_burn windows %v, want both 5m and 1h", windows)
+	}
 }

@@ -211,7 +211,25 @@ type Options struct {
 	// set this (slj-serve wires a dispatch.Replicator); the caller keeps
 	// ownership of closing it after the server closes.
 	Replicator jobs.ReplicaSink
+	// SLOLatency is the end-to-end job latency objective: a successful job
+	// slower than this still burns error budget (slj-serve -slo-latency-ms).
+	// Zero selects DefaultSLOLatency; negative disables the latency
+	// objective, leaving success ratio as the only SLI.
+	SLOLatency time.Duration
+	// SLOTarget is the objective's success-ratio target in (0, 1); zero
+	// selects DefaultSLOTarget.
+	SLOTarget float64
+	// StallAfter is the in-process queue-stall watchdog threshold (deep
+	// health degrades the "queue" component past it); zero selects
+	// jobs.DefaultStallAfter. Ignored when Dispatcher is set.
+	StallAfter time.Duration
 }
+
+// SLO defaults: jobs slower than 2s against a 99% target.
+const (
+	DefaultSLOLatency = 2 * time.Second
+	DefaultSLOTarget  = 0.99
+)
 
 // DefaultOptions returns a small-deployment default (jobs.DefaultConfig
 // workers/queue, cache.DefaultConfig result cache).
@@ -253,6 +271,12 @@ type Server struct {
 
 	mu       sync.Mutex
 	analyzed int // clips analysed since start, served by /healthz
+
+	// slo is the rolling SLI store behind the burn-rate gauges, the
+	// /v1/fleet rollup and the deep-health "slo" component. Always set:
+	// the in-process Manager and the remote dispatcher both feed it one
+	// observation per terminal job.
+	slo *obs.SLO
 
 	// Successor replication (worker side): replica is the push sink;
 	// replTargets maps the cache key of each in-flight job to its payload's
@@ -377,6 +401,18 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 		replTargets: make(map[cache.Key]string),
 		replActive:  make(map[string]int),
 	}
+	sloLatency := opts.SLOLatency
+	switch {
+	case sloLatency == 0:
+		sloLatency = DefaultSLOLatency
+	case sloLatency < 0:
+		sloLatency = 0 // success ratio only
+	}
+	sloTarget := opts.SLOTarget
+	if sloTarget == 0 {
+		sloTarget = DefaultSLOTarget
+	}
+	s.slo = obs.NewSLO(sloLatency, sloTarget)
 	srv = s
 	dispatcher := opts.Dispatcher
 	if dispatcher == nil {
@@ -390,10 +426,12 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 			return s.executeAnalysis(ctx, p, progress)
 		})
 		mgr, err := jobs.New(jobs.Config{
-			Workers:   opts.Workers,
-			QueueSize: opts.QueueSize,
-			ResultTTL: opts.ResultTTL,
-			Journal:   opts.Journal,
+			Workers:    opts.Workers,
+			QueueSize:  opts.QueueSize,
+			ResultTTL:  opts.ResultTTL,
+			Journal:    opts.Journal,
+			SLO:        s.slo,
+			StallAfter: opts.StallAfter,
 			Events: events.NewHub(events.Config{
 				SubscriberBuffer: opts.EventBuffer,
 				MaxSubscribers:   opts.EventSubscribers,
@@ -409,6 +447,10 @@ func NewWithOptions(cfg core.Config, logger *log.Logger, opts Options) (*Server,
 			return nil, err
 		}
 		dispatcher = mgr
+	} else if so, ok := dispatcher.(interface{ SetSLO(*obs.SLO) }); ok {
+		// A caller-supplied backend (the remote dispatcher) feeds the same
+		// SLI store from its submit→terminal round trips.
+		so.SetSLO(s.slo)
 	}
 	s.jobs = dispatcher
 	return s, nil
@@ -451,6 +493,9 @@ func (s *Server) Handler() http.Handler {
 	// Fleet administration (versioned-only): answered 501 unless the job
 	// backend manages an elastic fleet (jobs.FleetManager).
 	mux.HandleFunc("/v1/fleet", method(http.MethodGet, s.handleFleet))
+	// The federated cluster scrape (jobs.MetricsFederator): every member's
+	// Prometheus exposition merged under a node label.
+	mux.HandleFunc("/v1/fleet/metrics", method(http.MethodGet, s.handleFleetMetrics))
 	mux.HandleFunc("/v1/fleet/nodes", method(http.MethodPost, s.handleFleetJoin))
 	mux.HandleFunc("/v1/fleet/drain", method(http.MethodPost, s.handleFleetDrain))
 	mux.HandleFunc("/v1/fleet/remove", method(http.MethodPost, s.handleFleetRemove))
@@ -1089,11 +1134,61 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, docs)
 }
 
+// handleHealth serves the deep-health document: the overall status plus
+// one verdict per watchdog component (queue stall, fleet routability,
+// drain progress, replication backlog, SLO burn). The HTTP status is 200
+// even when degraded — a stalled process is alive, and the dispatch
+// liveness prober must not mistake degraded for dead; the fleet JOIN
+// probe, by contrast, reads the body and refuses degraded members.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := s.analyzed
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "clips_analyzed": n})
+	components := s.componentHealth()
+	status := jobs.HealthOK
+	for _, c := range components {
+		if c.Status != jobs.HealthOK {
+			status = jobs.HealthDegraded
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"clips_analyzed": n,
+		"components":     components,
+	})
+}
+
+// componentHealth merges every subsystem's watchdog verdict: the job
+// backend's own components (queue stall for the Manager; fleet
+// routability and drain progress for the remote dispatcher), the
+// replication push backlog, and the short-window SLO burn rate.
+func (s *Server) componentHealth() map[string]jobs.ComponentHealth {
+	components := make(map[string]jobs.ComponentHealth)
+	if hr, ok := s.jobs.(jobs.HealthReporter); ok {
+		for k, v := range hr.ComponentHealth() {
+			components[k] = v
+		}
+	}
+	if s.replica != nil {
+		comp := jobs.HealthOKComponent()
+		if b, ok := s.replica.(interface{ Backlog() (int, int) }); ok {
+			depth, capacity := b.Backlog()
+			if capacity > 0 && depth*5 >= capacity*4 {
+				comp = jobs.HealthDegradedComponent(
+					"replication backlog %d/%d: pushes are about to drop", depth, capacity)
+			}
+		}
+		components["replication"] = comp
+	}
+	slo := jobs.HealthOKComponent()
+	if burn := s.slo.Burn(obs.SLOWindowShort); burn >= obs.SLOFastBurnAlert {
+		slo = jobs.HealthDegradedComponent(
+			"error budget burning at %.1fx over the last 5m (alert at %.0fx)",
+			burn, obs.SLOFastBurnAlert)
+	}
+	components["slo"] = slo
+	return components
 }
 
 // requestFromHTTP parses one analysis request off the HTTP request. Two

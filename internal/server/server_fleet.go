@@ -29,6 +29,7 @@ import (
 
 	"github.com/sljmotion/sljmotion/internal/cache"
 	"github.com/sljmotion/sljmotion/internal/jobs"
+	"github.com/sljmotion/sljmotion/internal/obs"
 )
 
 // fleetManager unwraps the backend's fleet capability.
@@ -41,13 +42,42 @@ func (s *Server) fleetManager(w http.ResponseWriter) (jobs.FleetManager, bool) {
 	return fm, true
 }
 
-// handleFleet serves GET /v1/fleet.
+// handleFleet serves GET /v1/fleet: the membership view plus the
+// observability rollup — the fleet-wide SLO document and, when the
+// backend federates member metrics, its scrape bookkeeping (from cache
+// only; listing the fleet must never trigger a scrape sweep).
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	fm, ok := s.fleetManager(w)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, fm.Fleet())
+	view := fm.Fleet()
+	doc := map[string]any{
+		"epoch": view.Epoch,
+		"nodes": view.Nodes,
+		"slo":   s.slo.Doc(),
+	}
+	if fs, ok := s.jobs.(interface{ FederationStats() jobs.FederationStats }); ok {
+		doc["federation"] = fs.FederationStats()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleFleetMetrics serves GET /v1/fleet/metrics: the merged Prometheus
+// exposition of every fleet member, each sample labelled with its node.
+func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	mf, ok := s.jobs.(jobs.MetricsFederator)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "metrics federation is not supported by this backend")
+		return
+	}
+	merged, _, err := mf.FederatedMetrics()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("federate metrics: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.Write(merged)
 }
 
 // fleetNodeDoc is the request body of the fleet mutation routes.
